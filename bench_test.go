@@ -1,0 +1,286 @@
+// Root-level benchmarks: one per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment at a reduced scale
+// and reports the headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// produces a one-screen summary of the reproduction. cmd/experiments runs
+// the same code at full scale with printed tables.
+package soteria
+
+import (
+	"testing"
+
+	"soteria/internal/config"
+	"soteria/internal/experiments"
+	"soteria/internal/memctrl"
+	"soteria/internal/reliability"
+)
+
+// benchWorkloads is the representative subset used by the performance
+// benchmarks (the full 19-workload sweep runs in cmd/experiments).
+var benchWorkloads = []string{"uBENCH128", "hashmap", "tpcc", "mcf"}
+
+func perfParams(b *testing.B) experiments.PerfParams {
+	b.Helper()
+	p := experiments.DefaultPerfParams()
+	p.Ops = 40_000
+	p.Warmup = 10_000
+	p.Workloads = benchWorkloads
+	return p
+}
+
+// BenchmarkTable2CloneDepths regenerates Table 2 (SRC/SAC depth tables).
+func BenchmarkTable2CloneDepths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table2()
+		if t.NumRows() != 2 {
+			b.Fatal("table 2 must have SRC and SAC rows")
+		}
+	}
+}
+
+// BenchmarkTable3SystemConfig regenerates Table 3 and validates it.
+func BenchmarkTable3SystemConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := config.Table3().Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4FaultSimConfig regenerates Table 4 and validates it.
+func BenchmarkTable4FaultSimConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := config.Table4().DIMM.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ExpectedLoss regenerates Fig 3 (expected loss versus error
+// count, 4 TB secure vs non-secure) and reports the amplification factor
+// (paper: ~12x).
+func BenchmarkFig3ExpectedLoss(b *testing.B) {
+	var amp float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		amp, err = reliability.AmplificationFactor(4 << 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(amp, "x-amplification")
+}
+
+// BenchmarkFig4EvictionLevels regenerates Fig 4 (eviction share per tree
+// level under lazy update) and reports the leaf-level share (paper: the
+// vast majority of evictions are leaf-level).
+func BenchmarkFig4EvictionLevels(b *testing.B) {
+	p := perfParams(b)
+	var leafShare float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPerf(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := res.Get("hashmap", memctrl.ModeSRC)
+		leafShare = r.Meta.EvictionsByLevel.Fraction(1)
+	}
+	b.ReportMetric(leafShare*100, "%leaf-evictions")
+}
+
+// BenchmarkFig10aPerformance regenerates Fig 10a (execution-time overhead
+// of SRC/SAC over the secure baseline; paper: ~1% / ~1.1%).
+func BenchmarkFig10aPerformance(b *testing.B) {
+	p := perfParams(b)
+	var src, sac float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPerf(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sSum, aSum float64
+		for _, name := range res.Names {
+			base := float64(res.Get(name, memctrl.ModeBaseline).ExecTime)
+			sSum += float64(res.Get(name, memctrl.ModeSRC).ExecTime) / base
+			aSum += float64(res.Get(name, memctrl.ModeSAC).ExecTime) / base
+		}
+		src = (sSum/float64(len(res.Names)) - 1) * 100
+		sac = (aSum/float64(len(res.Names)) - 1) * 100
+	}
+	b.ReportMetric(src, "%src-overhead")
+	b.ReportMetric(sac, "%sac-overhead")
+}
+
+// BenchmarkFig10bWrites regenerates Fig 10b (NVM write overhead; paper:
+// ~4.3% SRC / ~4.4% SAC).
+func BenchmarkFig10bWrites(b *testing.B) {
+	p := perfParams(b)
+	var src, sac float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPerf(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sSum, aSum float64
+		var n int
+		for _, name := range res.Names {
+			bw := float64(res.Get(name, memctrl.ModeBaseline).Ctrl.TotalNVMWrites())
+			if bw == 0 {
+				continue // cache-resident in this window; no ratio
+			}
+			sSum += float64(res.Get(name, memctrl.ModeSRC).Ctrl.TotalNVMWrites()) / bw
+			aSum += float64(res.Get(name, memctrl.ModeSAC).Ctrl.TotalNVMWrites()) / bw
+			n++
+		}
+		src = (sSum/float64(n) - 1) * 100
+		sac = (aSum/float64(n) - 1) * 100
+	}
+	b.ReportMetric(src, "%src-writes")
+	b.ReportMetric(sac, "%sac-writes")
+}
+
+// BenchmarkFig10cEvictionRate regenerates Fig 10c (metadata-cache dirty
+// evictions per memory operation; paper: ~1.3% average).
+func BenchmarkFig10cEvictionRate(b *testing.B) {
+	p := perfParams(b)
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPerf(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, name := range res.Names {
+			r := res.Get(name, memctrl.ModeSRC)
+			sum += float64(r.Meta.DirtyTreeEvictions) / float64(r.MemOps)
+		}
+		rate = sum / float64(len(res.Names)) * 100
+	}
+	b.ReportMetric(rate, "%evictions/op")
+}
+
+// BenchmarkFig11UDR regenerates a reduced Fig 11 point (UDR at FIT 80 under
+// Chipkill for baseline/SRC/SAC; paper: 3e-5 / 2.66e-8 / 1.5e-9).
+func BenchmarkFig11UDR(b *testing.B) {
+	p := experiments.DefaultRelParams()
+	p.Trials = 20_000
+	p.FITs = []float64{80}
+	var base, src, sac float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, src, sac = r.UDRs["baseline"][0], r.UDRs["SRC"][0], r.UDRs["SAC"][0]
+	}
+	b.ReportMetric(base*1e9, "baseline-UDR-e9")
+	b.ReportMetric(src*1e9, "src-UDR-e9")
+	b.ReportMetric(sac*1e9, "sac-UDR-e9")
+}
+
+// BenchmarkFig12DataLoss regenerates Fig 12 (loss split for an 8 TB memory)
+// at a reduced trial count.
+func BenchmarkFig12DataLoss(b *testing.B) {
+	p := experiments.DefaultRelParams()
+	p.Trials = 20_000
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig12(p, 80, 8<<40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.NumRows() != 4 {
+			b.Fatal("Fig 12 must compare four schemes")
+		}
+	}
+}
+
+// BenchmarkMTBF regenerates the §4 MTBF sanity check (paper: 694 h at FIT 1
+// to 8.6 h at FIT 80).
+func BenchmarkMTBF(b *testing.B) {
+	var m float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = reliability.SystemMTBF(80, reliability.PaperClusterNodes,
+			reliability.PaperClusterDIMMs, reliability.PaperClusterChips)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m, "hours-at-FIT80")
+}
+
+// BenchmarkAblationEagerLazy regenerates the lazy-vs-eager tree-update
+// ablation (§2.5's "extreme slowdown" argument) and reports the slowdown.
+func BenchmarkAblationEagerLazy(b *testing.B) {
+	p := experiments.DefaultPerfParams()
+	p.Ops, p.Warmup = 15_000, 5_000
+	p.Workloads = []string{"hashmap"}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationEagerLazy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.NumRows() != 1 {
+			b.Fatal("ablation row missing")
+		}
+	}
+}
+
+// BenchmarkAblationCloneDepth regenerates the uniform clone-depth sweep
+// (cost/benefit behind Table 2's SAC shape).
+func BenchmarkAblationCloneDepth(b *testing.B) {
+	p := experiments.DefaultPerfParams()
+	p.Ops, p.Warmup = 10_000, 2_000
+	rel := experiments.DefaultRelParams()
+	rel.Trials = 5_000
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationCloneDepth(p, rel, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.NumRows() != 5 {
+			b.Fatal("depth rows missing")
+		}
+	}
+}
+
+// BenchmarkControllerReadHit measures the secure read path with warm
+// metadata (the steady-state datapath cost).
+func BenchmarkControllerReadHit(b *testing.B) {
+	ctrl, err := memctrl.New(config.TestSystem(), memctrl.ModeSRC, []byte("b"), memctrl.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var line [64]byte
+	now, err := ctrl.WriteBlock(0, 0, &line)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, now, err = ctrl.ReadBlock(now, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerWrite measures the secure write path (encrypt + MAC +
+// shadow log + WPQ).
+func BenchmarkControllerWrite(b *testing.B) {
+	ctrl, err := memctrl.New(config.TestSystem(), memctrl.ModeSAC, []byte("b"), memctrl.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var line [64]byte
+	var now = ctrl.DrainWPQ(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%1024) * 64
+		var err error
+		if now, err = ctrl.WriteBlock(now, addr, &line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

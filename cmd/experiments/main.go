@@ -1,0 +1,184 @@
+// Command experiments regenerates the tables and figures of the Soteria
+// paper's evaluation from the simulators in this repository.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig11 -trials 500000
+//	experiments -run fig10a -ops 500000 -footprint 268435456
+//
+// Experiments: table2 table3 table4 fig3 fig4 fig10a fig10b fig10c fig11
+// fig12 mtbf all (perf = fig4+fig10a/b/c in one sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"soteria/internal/experiments"
+	"soteria/internal/stats"
+	"soteria/internal/workload"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "experiment to run (comma-separated): table2,table3,table4,fig3,fig4,fig10a,fig10b,fig10c,fig11,fig12,mtbf,perf,all")
+		ops       = flag.Uint64("ops", 150_000, "measured memory operations per workload (performance experiments)")
+		warmup    = flag.Uint64("warmup", 30_000, "warm-up memory operations per workload")
+		footprint = flag.Uint64("footprint", 64<<20, "workload data footprint in bytes")
+		metaKB    = flag.Int("metacache", 128, "metadata cache size in KB (0 = Table 3's 512 kB; use with paper-scale -ops)")
+		llcKB     = flag.Int("llc", 1024, "LLC size in KB (0 = Table 3's 8 MB; use with paper-scale -ops)")
+		trials    = flag.Int("trials", 120_000, "Monte Carlo trials per FIT point (reliability experiments)")
+		fit       = flag.Float64("fit", 40, "FIT/chip for Fig 12")
+		seed      = flag.Int64("seed", 1, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of markdown")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(r))] = true
+	}
+	all := want["all"]
+	emit := func(t *stats.Table) {
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteMarkdown(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if all || want["table3"] {
+		emit(experiments.Table3())
+	}
+	if all || want["table4"] {
+		emit(experiments.Table4())
+	}
+	if all || want["table2"] {
+		emit(experiments.Table2())
+	}
+	if all || want["fig3"] {
+		t, err := experiments.Fig3(4<<40, 10)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["mtbf"] {
+		t, err := experiments.MTBFTable(nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+
+	needPerf := all || want["perf"] || want["fig4"] || want["fig10a"] || want["fig10b"] || want["fig10c"] || want["metamiss"]
+	if needPerf {
+		p := experiments.DefaultPerfParams()
+		p.Ops, p.Warmup, p.Footprint, p.Seed = *ops, *warmup, *footprint, *seed
+		p.MetaCacheBytes = *metaKB << 10
+		p.LLCBytes = *llcKB << 10
+		start := time.Now()
+		names := p.Workloads
+		if len(names) == 0 {
+			names = workload.Names()
+		}
+		fmt.Fprintf(os.Stderr, "running performance sweep (%d workloads x 3 modes, %d ops each)...\n",
+			len(names), p.Ops)
+		res, err := experiments.RunPerf(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "performance sweep done in %v\n", time.Since(start).Round(time.Second))
+		if all || want["perf"] || want["fig4"] {
+			emit(experiments.Fig4(res))
+		}
+		if all || want["perf"] || want["fig10a"] {
+			emit(experiments.Fig10a(res))
+		}
+		if all || want["perf"] || want["fig10b"] {
+			emit(experiments.Fig10b(res))
+		}
+		if all || want["perf"] || want["fig10c"] {
+			emit(experiments.Fig10c(res))
+		}
+		if all || want["perf"] || want["metamiss"] {
+			emit(experiments.MetaMissTable(res))
+		}
+	}
+
+	if all || want["fig11"] {
+		p := experiments.DefaultRelParams()
+		p.Trials, p.Seed = *trials, *seed
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running Fig 11 Monte Carlo (%d trials x %d FIT points)...\n", p.Trials, len(p.FITs))
+		r, err := experiments.Fig11(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "Fig 11 done in %v\n", time.Since(start).Round(time.Second))
+		emit(r.Table)
+		fmt.Printf("\ngeo-mean UDR reduction vs baseline: SRC %.3gx, SAC %.3gx (paper: 2.5e3x, 3.7e4x)\n",
+			r.GainSRC, r.GainSAC)
+	}
+	if all || want["fig12"] {
+		p := experiments.DefaultRelParams()
+		p.Trials, p.Seed = *trials, *seed
+		t, err := experiments.Fig12(p, *fit, 8<<40)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["strongecc"] {
+		p := experiments.DefaultRelParams()
+		p.Trials, p.Seed = *trials, *seed
+		t, err := experiments.StrongECC(p)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["ablation"] || want["ablation-depth"] {
+		t, err := experiments.AblationCloneDepth(experiments.PerfParams{}, experiments.RelParams{}, 80)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["ablation"] || want["ablation-eager"] {
+		t, err := experiments.AblationEagerLazy(experiments.PerfParams{})
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["trees"] {
+		p := experiments.DefaultRelParams()
+		p.Trials, p.Seed = *trials, *seed
+		t, err := experiments.TreeComparison(p, *fit)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["wear"] {
+		t, err := experiments.WearLeveling(0, 0, 0, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+// Package soteria is a from-scratch Go reproduction of "Soteria: Towards
+// Resilient Integrity-Protected and Encrypted Non-Volatile Memories"
+// (Zubair, Gurumurthi, Sridharan, Awad — MICRO 2021).
+//
+// The repository contains a byte-accurate secure NVM memory controller
+// (AES counter-mode encryption with split counters, an SGX-style Tree of
+// Counters with lazy updates, Anubis shadow tracking, Osiris counter
+// recovery, and Soteria's metadata cloning), a trace-driven performance
+// model, and a FaultSim-style Monte Carlo reliability simulator — enough to
+// regenerate every table and figure of the paper's evaluation. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+//
+// The root-level benchmarks (bench_test.go) regenerate each experiment:
+//
+//	go test -bench=Fig11 -benchtime 1x .
+package soteria

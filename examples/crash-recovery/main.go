@@ -1,0 +1,85 @@
+// Crash recovery: run a persistent key-value workload through the cache
+// hierarchy, cut the power at an arbitrary point with dirty security
+// metadata on chip, and recover via Anubis shadow tracking + Osiris counter
+// trials — then prove every record survived and the whole image verifies.
+//
+//	go run ./examples/crash-recovery
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"soteria/internal/config"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+const records = 500
+
+func recordLine(i int, generation uint64) nvm.Line {
+	var l nvm.Line
+	binary.LittleEndian.PutUint64(l[0:8], uint64(i))
+	binary.LittleEndian.PutUint64(l[8:16], generation)
+	copy(l[16:], fmt.Sprintf("value-%d-gen-%d", i, generation))
+	return l
+}
+
+func main() {
+	cfg := config.TestSystem()
+	ctrl, err := memctrl.New(cfg, memctrl.ModeSAC, []byte("kv"), memctrl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: populate the store, several generations deep so counters
+	// advance well past their NVM copies.
+	var now sim.Time
+	gen := uint64(0)
+	for ; gen < 3; gen++ {
+		for i := 0; i < records; i++ {
+			l := recordLine(i, gen)
+			if now, err = ctrl.WriteBlock(now, uint64(i)*64, &l); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	gen-- // last completed generation
+
+	fmt.Printf("wrote %d records x %d generations (%v simulated)\n", records, gen+1, now.Duration())
+
+	// Phase 2: power loss. Volatile metadata cache and shadow mirror are
+	// gone; the ADR domain (WPQ, root registers) survives.
+	ctrl.Crash()
+	fmt.Println("power lost: metadata cache dropped with dirty counters on chip")
+
+	// Phase 3: recovery. The shadow table identifies every tracked
+	// block; node counters come back from their 16-bit LSBs, leaf minors
+	// from Osiris trials against the persisted data MACs.
+	rep, err := ctrl.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery: %d shadow entries, %d blocks reconstructed, %d lost slots, %d failed\n",
+		rep.TrackedEntries, rep.RecoveredBlocks, len(rep.LostSlots), len(rep.FailedBlocks))
+
+	// Phase 4: audit. Every record must decrypt, verify, and carry the
+	// last completed generation.
+	for i := 0; i < records; i++ {
+		data, nn, err := ctrl.ReadBlock(now, uint64(i)*64)
+		if err != nil {
+			log.Fatalf("record %d unreadable after recovery: %v", i, err)
+		}
+		if got := binary.LittleEndian.Uint64(data[8:16]); got != gen {
+			log.Fatalf("record %d has generation %d, want %d", i, got, gen)
+		}
+		now = nn
+	}
+	now = ctrl.FlushAll(now)
+	if err := ctrl.VerifyAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all %d records intact at generation %d; full image verifies\n", records, gen)
+}

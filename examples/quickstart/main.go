@@ -1,0 +1,81 @@
+// Quickstart: stand up a Soteria-protected NVM, write and read encrypted,
+// integrity-verified data, survive a power loss, and inspect the
+// controller's books.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soteria/internal/config"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+func main() {
+	// A scaled-down system configuration (4 MB NVM) so the example runs
+	// instantly; config.Table3() gives the paper's full 16 GB setup.
+	cfg := config.TestSystem()
+
+	// ModeSRC = Soteria Relaxed Cloning: every security-metadata node
+	// keeps one lazily written clone.
+	ctrl, err := memctrl.New(cfg, memctrl.ModeSRC, []byte("quickstart-key"), memctrl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Write a few cache lines. The controller encrypts with AES counter
+	// mode, persists a MAC per block, updates the split counters and
+	// logs Anubis shadow entries — all through the ADR write queue.
+	var now sim.Time
+	for i := 0; i < 16; i++ {
+		var line nvm.Line
+		copy(line[:], fmt.Sprintf("persistent record #%02d", i))
+		addr := uint64(i) * 4096
+		if now, err = ctrl.WriteBlock(now, addr, &line); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Reads decrypt and verify the MAC chain up to the on-chip root.
+	data, now, err := ctrl.ReadBlock(now, 5*4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %q\n", data[:22])
+
+	// The NVM itself only ever sees ciphertext.
+	raw := ctrl.Device().ReadRaw(5 * 4096)
+	fmt.Printf("at rest:   %x...\n", raw[:22])
+
+	// Power loss: all volatile state (metadata cache, shadow mirror)
+	// vanishes. The WPQ contents and two on-chip root registers survive.
+	ctrl.Crash()
+	rep, err := ctrl.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered %d tracked metadata blocks (%d lost)\n",
+		rep.RecoveredBlocks, len(rep.LostSlots)+len(rep.FailedBlocks))
+
+	// Everything is still there and still verifies.
+	data, now, err = ctrl.ReadBlock(now, 5*4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recovery: %q\n", data[:22])
+	if err := ctrl.VerifyAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("full NVM image verifies against the on-chip root")
+
+	s := ctrl.Stats()
+	fmt.Printf("\nNVM writes: data=%d mac=%d shadow=%d metadata=%d clones=%d\n",
+		s.NVMWrites[memctrl.WCData], s.NVMWrites[memctrl.WCDataMAC],
+		s.NVMWrites[memctrl.WCShadow], s.NVMWrites[memctrl.WCMetadata],
+		s.NVMWrites[memctrl.WCClone])
+	fmt.Printf("simulated time: %v\n", now.Duration())
+}

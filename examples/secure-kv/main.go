@@ -1,0 +1,179 @@
+// secure-kv: a small persistent key-value store built on the Soteria
+// controller's public API — the kind of downstream adoption the library
+// targets. Records live in encrypted, integrity-protected, crash-recoverable
+// NVM; the store itself needs no cryptography, no journals for the security
+// metadata, and survives both power loss and injected NVM faults.
+//
+//	go run ./examples/secure-kv
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"log"
+
+	"soteria/internal/config"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// KV is a fixed-capacity open-addressing hash table over 64-byte slots:
+// 16-byte key, 40-byte value, 8-byte tag. One slot = one NVM line = one
+// atomic, encrypted, verified write.
+type KV struct {
+	ctrl  *memctrl.Controller
+	now   sim.Time
+	slots uint64
+}
+
+const (
+	keyLen = 16
+	valLen = 40
+)
+
+// NewKV creates a store with the given slot count (power of two).
+func NewKV(ctrl *memctrl.Controller, slots uint64) *KV {
+	return &KV{ctrl: ctrl, slots: slots}
+}
+
+func (kv *KV) slotAddr(i uint64) uint64 { return i * nvm.LineSize }
+
+func hashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64()
+}
+
+func encodeSlot(key, val []byte) nvm.Line {
+	var l nvm.Line
+	copy(l[0:keyLen], key)
+	copy(l[keyLen:keyLen+valLen], val)
+	binary.LittleEndian.PutUint64(l[keyLen+valLen:], hashKey(key)|1) // tag: nonzero = occupied
+	return l
+}
+
+// Put inserts or updates a key (<=16 bytes) with a value (<=40 bytes).
+func (kv *KV) Put(key, val string) error {
+	if len(key) > keyLen || len(val) > valLen {
+		return fmt.Errorf("kv: key/value too large")
+	}
+	k := make([]byte, keyLen)
+	copy(k, key)
+	h := hashKey(k)
+	for probe := uint64(0); probe < kv.slots; probe++ {
+		i := (h + probe) % kv.slots
+		line, now, err := kv.ctrl.ReadBlock(kv.now, kv.slotAddr(i))
+		if err != nil {
+			return err
+		}
+		kv.now = now
+		tag := binary.LittleEndian.Uint64(line[keyLen+valLen:])
+		if tag != 0 && string(line[0:keyLen]) != string(k) {
+			continue // occupied by another key
+		}
+		slot := encodeSlot(k, []byte(val))
+		if kv.now, err = kv.ctrl.WriteBlock(kv.now, kv.slotAddr(i), &slot); err != nil {
+			return err
+		}
+		// Durability point: drain the write queue (sfence).
+		kv.now = kv.ctrl.DrainWPQ(kv.now)
+		return nil
+	}
+	return fmt.Errorf("kv: table full")
+}
+
+// Get fetches a key's value; ok=false when absent.
+func (kv *KV) Get(key string) (string, bool, error) {
+	k := make([]byte, keyLen)
+	copy(k, key)
+	h := hashKey(k)
+	for probe := uint64(0); probe < kv.slots; probe++ {
+		i := (h + probe) % kv.slots
+		line, now, err := kv.ctrl.ReadBlock(kv.now, kv.slotAddr(i))
+		if err != nil {
+			return "", false, err
+		}
+		kv.now = now
+		tag := binary.LittleEndian.Uint64(line[keyLen+valLen:])
+		if tag == 0 {
+			return "", false, nil // open slot: key absent
+		}
+		if string(line[0:keyLen]) == string(k) {
+			val := line[keyLen : keyLen+valLen]
+			n := len(val)
+			for n > 0 && val[n-1] == 0 {
+				n--
+			}
+			return string(val[:n]), true, nil
+		}
+	}
+	return "", false, nil
+}
+
+func main() {
+	ctrl, err := memctrl.New(config.TestSystem(), memctrl.ModeSAC, []byte("kv-master-key"), memctrl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv := NewKV(ctrl, 1<<12)
+
+	// Populate.
+	users := map[string]string{
+		"alice": "ed25519:4f2a...", "bob": "ed25519:99c1...",
+		"carol": "rsa4096:17ab...", "dave": "ed25519:b0d2...",
+	}
+	for k, v := range users {
+		if err := kv.Put(k, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("stored %d records (encrypted + integrity-protected at rest)\n", len(users))
+
+	// Power loss mid-run; the store needs no recovery logic of its own.
+	ctrl.Crash()
+	if _, err := ctrl.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("power loss -> controller recovery complete")
+
+	for k, want := range users {
+		got, ok, err := kv.Get(k)
+		if err != nil || !ok || got != want {
+			log.Fatalf("record %q damaged after crash: %q %v %v", k, got, ok, err)
+		}
+	}
+	fmt.Println("all records intact and verified")
+
+	// NVM faults land in every written counter block's home copy while
+	// the machine is off; SAC's clones absorb them transparently on
+	// reboot.
+	ctrl.Crash()
+	lay := ctrl.Layout()
+	for i := uint64(0); i < lay.Levels[0].Nodes; i++ {
+		if ctrl.Device().Materialized(lay.NodeAddr(1, i)) {
+			ctrl.Device().CorruptLine(lay.NodeAddr(1, i))
+		}
+	}
+	if _, err := ctrl.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	for k, want := range users {
+		got, ok, err := kv.Get(k)
+		if err != nil || !ok || got != want {
+			log.Fatalf("fault not absorbed for %q: %v", k, err)
+		}
+	}
+	fmt.Printf("metadata faults absorbed across reboot (clone repairs: %d)\n", ctrl.FaultStats().Repairs)
+
+	// Updates stay fresh (no replay of old values is possible).
+	if err := kv.Put("alice", "ed25519:rotated"); err != nil {
+		log.Fatal(err)
+	}
+	got, _, err := kv.Get("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key rotation persisted: alice -> %s\n", got)
+}

@@ -1,0 +1,114 @@
+// Tamper detection: play the attacker from the paper's threat model (§2.1)
+// against the secure controller — snoop-and-modify, data replay, and the
+// strongest metadata replay (overwriting *every* clone of a tree node) —
+// and watch each attempt get caught.
+//
+//	go run ./examples/tamper-detection
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"soteria/internal/config"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+func main() {
+	cfg := config.TestSystem()
+	ctrl, err := memctrl.New(cfg, memctrl.ModeSRC, []byte("k"), memctrl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := ctrl.Device()
+	lay := ctrl.Layout()
+	var now sim.Time
+
+	var secret nvm.Line
+	copy(secret[:], "attack at dawn")
+	if now, err = ctrl.WriteBlock(now, 0, &secret); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== attack 1: flip a ciphertext bit (bus/array tamper) ===")
+	ct := dev.ReadRaw(0)
+	ct[3] ^= 0x01
+	dev.Write(0, &ct)
+	_, now, err = ctrl.ReadBlock(now, 0)
+	report(err, memctrl.ErrMACMismatch)
+	ct[3] ^= 0x01 // restore for the next act
+	dev.Write(0, &ct)
+
+	fmt.Println("\n=== attack 2: replay old data + old MAC (counter replay) ===")
+	oldCT := dev.ReadRaw(0)
+	macLine, _ := lay.DataMACAddr(0)
+	oldMAC := dev.ReadRaw(macLine)
+	var v2 nvm.Line
+	copy(v2[:], "retreat at dusk")
+	if now, err = ctrl.WriteBlock(now, 0, &v2); err != nil {
+		log.Fatal(err)
+	}
+	dev.Write(0, &oldCT)
+	dev.Write(macLine, &oldMAC)
+	_, now, err = ctrl.ReadBlock(now, 0)
+	report(err, memctrl.ErrMACMismatch)
+
+	fmt.Println("\n=== attack 3: replay one stale copy of a tree node ===")
+	// Restore a clean state first.
+	if now, err = ctrl.WriteBlock(now, 0, &v2); err != nil {
+		log.Fatal(err)
+	}
+	now = ctrl.FlushAll(now)
+	leafHome := lay.NodeAddr(1, 0)
+	stale := dev.ReadRaw(leafHome)
+	// Advance the tree legitimately, flush, then replay the stale home
+	// copy only. Soteria's fault handler treats the lone stale copy as a
+	// fault and *repairs it from the clone* (§3.2.2).
+	if now, err = ctrl.WriteBlock(now, 0, &secret); err != nil {
+		log.Fatal(err)
+	}
+	now = ctrl.FlushAll(now)
+	dropVolatile(ctrl)
+	dev.Write(leafHome, &stale)
+	_, now, err = ctrl.ReadBlock(now, 0)
+	if err != nil {
+		log.Fatalf("single-copy replay should be absorbed by the clone, got %v", err)
+	}
+	fmt.Printf("detected and repaired from clone: repairs=%d\n", ctrl.FaultStats().Repairs)
+
+	fmt.Println("\n=== attack 4: replay *all* copies of the node ===")
+	staleClone := stale
+	if now, err = ctrl.WriteBlock(now, 0, &v2); err != nil {
+		log.Fatal(err)
+	}
+	now = ctrl.FlushAll(now)
+	dropVolatile(ctrl)
+	dev.Write(leafHome, &stale)
+	dev.Write(lay.CloneAddr(1, 0, 0), &staleClone)
+	_, _, err = ctrl.ReadBlock(now, 0)
+	report(err, memctrl.ErrTamper)
+	fmt.Printf("tamper detections: %d\n", ctrl.FaultStats().TamperDetections)
+}
+
+// dropVolatile empties the metadata cache so the next access re-reads NVM
+// (models an attacker waiting for cold state).
+func dropVolatile(ctrl *memctrl.Controller) {
+	ctrl.Crash()
+	if _, err := ctrl.Recover(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func report(err, want error) {
+	switch {
+	case err == nil:
+		log.Fatal("ATTACK SUCCEEDED — this must never print")
+	case errors.Is(err, want):
+		fmt.Printf("detected: %v\n", err)
+	default:
+		fmt.Printf("detected (as %v)\n", err)
+	}
+}

@@ -1,0 +1,3 @@
+module soteria
+
+go 1.22

@@ -1,0 +1,306 @@
+// Package cache implements the generic set-associative, write-back, LRU
+// cache used for every cache in the simulated system: the L1/L2/LLC data
+// hierarchy and the on-chip security-metadata cache. The cache is generic
+// over its payload so the data hierarchy can carry empty payloads (presence
+// only) while the metadata cache carries decoded counter blocks and tree
+// nodes.
+package cache
+
+import (
+	"fmt"
+
+	"soteria/internal/config"
+)
+
+// Stats aggregates cache activity counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64 // total evictions of valid lines
+	Writebacks uint64 // evictions of dirty lines
+}
+
+// MissRatio returns misses / (hits+misses), or 0 when unused.
+func (s Stats) MissRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+// Entry is an evicted cache line handed back to the caller.
+type Entry[V any] struct {
+	Addr  uint64 // line-aligned byte address
+	Dirty bool
+	Value V
+}
+
+type way[V any] struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64
+	value V
+}
+
+// Cache is a set-associative write-back cache with true-LRU replacement.
+// It is a purely functional model: it tracks presence, dirtiness, and an
+// arbitrary payload, but charges no latency itself (timing is the
+// controller's business).
+type Cache[V any] struct {
+	sets     []([]way[V])
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+	stats    Stats
+}
+
+// New constructs a cache from a config.CacheConfig.
+func New[V any](cfg config.CacheConfig) (*Cache[V], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Sets()
+	c := &Cache[V]{
+		sets:     make([][]way[V], nsets),
+		setMask:  uint64(nsets - 1),
+		lineBits: lineBits(),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way[V], cfg.Ways)
+	}
+	return c, nil
+}
+
+func lineBits() uint {
+	b := uint(0)
+	for s := config.BlockSize; s > 1; s >>= 1 {
+		b++
+	}
+	return b
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew[V any](cfg config.CacheConfig) *Cache[V] {
+	c, err := New[V](cfg)
+	if err != nil {
+		panic(fmt.Sprintf("cache: %v", err))
+	}
+	return c
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache[V]) Stats() Stats { return c.stats }
+
+// Sets returns the number of sets.
+func (c *Cache[V]) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache[V]) Ways() int { return len(c.sets[0]) }
+
+func (c *Cache[V]) index(addr uint64) (set uint64, tag uint64) {
+	line := addr >> c.lineBits
+	return line & c.setMask, line >> uint(popcount(c.setMask))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Lookup probes the cache. On a hit it refreshes LRU state and returns a
+// pointer to the payload (callers may mutate it in place). Stats are
+// updated.
+func (c *Cache[V]) Lookup(addr uint64) (*V, bool) {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			c.tick++
+			ws[i].lru = c.tick
+			c.stats.Hits++
+			return &ws[i].value, true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Peek probes without touching LRU state or statistics.
+func (c *Cache[V]) Peek(addr uint64) (*V, bool) {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			return &ws[i].value, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports presence without disturbing anything.
+func (c *Cache[V]) Contains(addr uint64) bool {
+	_, ok := c.Peek(addr)
+	return ok
+}
+
+// MarkDirty sets the dirty bit of a resident line; it reports whether the
+// line was present.
+func (c *Cache[V]) MarkDirty(addr uint64) bool {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			ws[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills addr with value. If the victim way holds a valid line, that
+// line is returned as evicted (dirty lines are the caller's responsibility
+// to write back). Inserting an address that is already resident replaces
+// its payload and returns no eviction.
+func (c *Cache[V]) Insert(addr uint64, value V, dirty bool) (evicted Entry[V], hasEvict bool) {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	c.tick++
+	// Already resident: replace in place.
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			ws[i].value = value
+			ws[i].dirty = ws[i].dirty || dirty
+			ws[i].lru = c.tick
+			return Entry[V]{}, false
+		}
+	}
+	// Free way?
+	victim := -1
+	for i := range ws {
+		if !ws[i].valid {
+			victim = i
+			break
+		}
+	}
+	// LRU victim.
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(ws); i++ {
+			if ws[i].lru < ws[victim].lru {
+				victim = i
+			}
+		}
+		evicted = Entry[V]{
+			Addr:  c.addrOf(set, ws[victim].tag),
+			Dirty: ws[victim].dirty,
+			Value: ws[victim].value,
+		}
+		hasEvict = true
+		c.stats.Evictions++
+		if ws[victim].dirty {
+			c.stats.Writebacks++
+		}
+	}
+	ws[victim] = way[V]{valid: true, dirty: dirty, tag: tag, lru: c.tick, value: value}
+	return evicted, hasEvict
+}
+
+func (c *Cache[V]) addrOf(set, tag uint64) uint64 {
+	line := tag<<uint(popcount(c.setMask)) | set
+	return line << c.lineBits
+}
+
+// Invalidate drops a resident line (returning it) without write-back —
+// what a power loss does to volatile state.
+func (c *Cache[V]) Invalidate(addr uint64) (Entry[V], bool) {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			e := Entry[V]{Addr: addr &^ (config.BlockSize - 1), Dirty: ws[i].dirty, Value: ws[i].value}
+			ws[i] = way[V]{}
+			return e, true
+		}
+	}
+	return Entry[V]{}, false
+}
+
+// DropAll invalidates every line without write-back and returns the lines
+// that were dirty. It models the loss of volatile state at a crash.
+func (c *Cache[V]) DropAll() []Entry[V] {
+	var dirty []Entry[V]
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			e := &c.sets[s][w]
+			if e.valid && e.dirty {
+				dirty = append(dirty, Entry[V]{Addr: c.addrOf(uint64(s), e.tag), Dirty: true, Value: e.value})
+			}
+			*e = way[V]{}
+		}
+	}
+	return dirty
+}
+
+// DirtyEntries returns (without invalidating) every dirty resident line,
+// in set order. Used by flush paths and by Anubis-style tracking audits.
+func (c *Cache[V]) DirtyEntries() []Entry[V] {
+	var out []Entry[V]
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			e := &c.sets[s][w]
+			if e.valid && e.dirty {
+				out = append(out, Entry[V]{Addr: c.addrOf(uint64(s), e.tag), Dirty: true, Value: e.value})
+			}
+		}
+	}
+	return out
+}
+
+// CleanLine clears the dirty bit of a resident line (after a write-back).
+func (c *Cache[V]) CleanLine(addr uint64) {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			ws[i].dirty = false
+			return
+		}
+	}
+}
+
+// Len returns the number of valid lines currently resident.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WayOf returns the way index at which addr is resident, or -1. The Anubis
+// shadow table is indexed by (set, way), so the controller needs this.
+func (c *Cache[V]) WayOf(addr uint64) int {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetOf returns the set index addr maps to.
+func (c *Cache[V]) SetOf(addr uint64) int {
+	set, _ := c.index(addr)
+	return int(set)
+}

@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"soteria/internal/config"
+)
+
+func tiny() config.CacheConfig {
+	// 4 sets x 2 ways x 64B = 512B
+	return config.CacheConfig{SizeBytes: 512, Ways: 2, LatencyCycles: 1}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := MustNew[int](tiny())
+	if _, ok := c.Lookup(0); ok {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(0, 42, false)
+	v, ok := c.Lookup(0)
+	if !ok || *v != 42 {
+		t.Fatalf("lookup after insert: %v %v", v, ok)
+	}
+	// Same line, different byte offset.
+	v, ok = c.Lookup(63)
+	if !ok || *v != 42 {
+		t.Fatal("offset within line missed")
+	}
+	if _, ok := c.Lookup(64); ok {
+		t.Fatal("adjacent line hit")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew[string](tiny()) // 4 sets, 2 ways
+	// Three lines mapping to set 0: line addresses 0, 256, 512 (4 sets * 64 = 256 stride).
+	c.Insert(0, "a", false)
+	c.Insert(256, "b", false)
+	c.Lookup(0) // make "a" most recently used
+	ev, has := c.Insert(512, "c", false)
+	if !has {
+		t.Fatal("no eviction from full set")
+	}
+	if ev.Addr != 256 || ev.Value != "b" {
+		t.Fatalf("evicted %+v, want line 256 (b)", ev)
+	}
+	if !c.Contains(0) || !c.Contains(512) || c.Contains(256) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := MustNew[int](tiny())
+	c.Insert(0, 1, true)
+	c.Insert(256, 2, false)
+	ev, has := c.Insert(512, 3, false)
+	if !has || !ev.Dirty || ev.Addr != 0 {
+		t.Fatalf("dirty eviction wrong: %+v %v", ev, has)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatal("writeback not counted")
+	}
+}
+
+func TestInsertExistingMergesDirty(t *testing.T) {
+	c := MustNew[int](tiny())
+	c.Insert(0, 1, true)
+	if _, has := c.Insert(0, 2, false); has {
+		t.Fatal("re-insert evicted something")
+	}
+	v, _ := c.Peek(0)
+	if *v != 2 {
+		t.Fatal("payload not replaced")
+	}
+	e, ok := c.Invalidate(0)
+	if !ok || !e.Dirty {
+		t.Fatal("dirty bit lost on re-insert")
+	}
+}
+
+func TestMarkDirtyAndClean(t *testing.T) {
+	c := MustNew[int](tiny())
+	if c.MarkDirty(0) {
+		t.Fatal("marked absent line dirty")
+	}
+	c.Insert(0, 1, false)
+	if !c.MarkDirty(0) {
+		t.Fatal("failed to mark resident line")
+	}
+	if got := c.DirtyEntries(); len(got) != 1 || got[0].Addr != 0 {
+		t.Fatalf("dirty entries %v", got)
+	}
+	c.CleanLine(0)
+	if len(c.DirtyEntries()) != 0 {
+		t.Fatal("clean line still dirty")
+	}
+}
+
+func TestDropAllReturnsDirtyOnly(t *testing.T) {
+	c := MustNew[int](tiny())
+	c.Insert(0, 1, true)
+	c.Insert(64, 2, false)
+	c.Insert(128, 3, true)
+	dirty := c.DropAll()
+	if len(dirty) != 2 {
+		t.Fatalf("dropped %d dirty lines, want 2", len(dirty))
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty after DropAll")
+	}
+}
+
+func TestWaySetOf(t *testing.T) {
+	c := MustNew[int](tiny())
+	c.Insert(256, 7, false) // set 0 (line 4, 4 sets -> set 0)
+	if c.SetOf(256) != 0 {
+		t.Fatalf("SetOf(256) = %d", c.SetOf(256))
+	}
+	if w := c.WayOf(256); w != 0 {
+		t.Fatalf("WayOf = %d", w)
+	}
+	if c.WayOf(64) != -1 {
+		t.Fatal("WayOf for absent line should be -1")
+	}
+}
+
+// Property: the cache never holds more lines than its capacity, and a line
+// just inserted is always resident.
+func TestCapacityInvariant(t *testing.T) {
+	cfg := config.CacheConfig{SizeBytes: 2048, Ways: 4, LatencyCycles: 1}
+	capacity := cfg.SizeBytes / config.BlockSize
+	c := MustNew[uint64](cfg)
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			addr := uint64(a) * config.BlockSize
+			c.Insert(addr, addr, a%2 == 0)
+			if !c.Contains(addr) {
+				return false
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with W ways, any W distinct lines of one set are simultaneously
+// resident after being inserted back-to-back (no premature eviction).
+func TestFullSetResidency(t *testing.T) {
+	cfg := config.CacheConfig{SizeBytes: 4096, Ways: 8, LatencyCycles: 1}
+	c := MustNew[int](cfg)
+	sets := uint64(cfg.Sets())
+	for i := uint64(0); i < 8; i++ {
+		c.Insert(i*sets*config.BlockSize, int(i), false)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if !c.Contains(i * sets * config.BlockSize) {
+			t.Fatalf("way %d evicted early", i)
+		}
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	if _, err := New[int](config.CacheConfig{SizeBytes: 100, Ways: 3}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

@@ -1,0 +1,260 @@
+// Package config holds the simulation presets used throughout the Soteria
+// reproduction. The two exported presets mirror Table 3 (the simulated
+// system) and Table 4 (the FaultSim configuration) of the paper.
+package config
+
+import (
+	"fmt"
+	"time"
+)
+
+// BlockSize is the cache-line and NVM-line size in bytes used everywhere in
+// the system (Table 3: "Cacheline Size 64B").
+const BlockSize = 64
+
+// CacheConfig describes one level of a set-associative cache.
+type CacheConfig struct {
+	// SizeBytes is the total capacity of the cache.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LatencyCycles is the access latency in CPU cycles.
+	LatencyCycles int
+}
+
+// Sets returns the number of sets implied by the size, associativity and the
+// global block size.
+func (c CacheConfig) Sets() int {
+	return c.SizeBytes / (BlockSize * c.Ways)
+}
+
+// Validate reports an error when the configuration cannot describe a real
+// cache (non power-of-two sets, zero ways, ...).
+func (c CacheConfig) Validate() error {
+	if c.Ways <= 0 {
+		return fmt.Errorf("config: cache ways must be positive, got %d", c.Ways)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(BlockSize*c.Ways) != 0 {
+		return fmt.Errorf("config: cache size %d not divisible into %d-way sets of %dB blocks",
+			c.SizeBytes, c.Ways, BlockSize)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("config: cache set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// NVMConfig describes the timing and geometry of the simulated PCM main
+// memory.
+type NVMConfig struct {
+	// CapacityBytes is the simulated capacity (Table 3: 16 GB).
+	CapacityBytes uint64
+	// ReadLatency is the PCM array read latency (Table 3: 150 ns).
+	ReadLatency time.Duration
+	// WriteLatency is the PCM array write latency (Table 3: 300 ns).
+	WriteLatency time.Duration
+	// Banks is the number of banks the controller can keep busy in
+	// parallel.
+	Banks int
+	// WPQEntries is the capacity of the ADR-protected Write Pending
+	// Queue. The paper quotes a minimum of 8 entries (512 B) and a
+	// typical range of 8-64.
+	WPQEntries int
+}
+
+// Validate reports an error for impossible NVM configurations.
+func (n NVMConfig) Validate() error {
+	if n.CapacityBytes == 0 || n.CapacityBytes%BlockSize != 0 {
+		return fmt.Errorf("config: NVM capacity %d must be a positive multiple of %d", n.CapacityBytes, BlockSize)
+	}
+	if n.Banks <= 0 {
+		return fmt.Errorf("config: NVM banks must be positive, got %d", n.Banks)
+	}
+	if n.WPQEntries <= 0 {
+		return fmt.Errorf("config: WPQ entries must be positive, got %d", n.WPQEntries)
+	}
+	if n.ReadLatency <= 0 || n.WriteLatency <= 0 {
+		return fmt.Errorf("config: NVM latencies must be positive")
+	}
+	return nil
+}
+
+// CPUConfig describes the simple trace-driven core model.
+type CPUConfig struct {
+	// ClockHz is the core frequency (Table 3: 2.67 GHz).
+	ClockHz float64
+	// Cores is the number of cores whose traces are interleaved.
+	Cores int
+	// NonMemCPI is the cycles charged per non-memory instruction between
+	// two memory references in a trace.
+	NonMemCPI float64
+}
+
+// SecurityConfig describes the encryption and integrity-protection
+// organization (Table 3, "Encryption Parameters").
+type SecurityConfig struct {
+	// CounterArity is the number of data blocks covered by one split
+	// counter block (64-way split counters, VAULT style).
+	CounterArity int
+	// TreeArity is the arity of the ToC Merkle tree above the counter
+	// level (8-ary).
+	TreeArity int
+	// MetadataCache configures the on-chip metadata cache
+	// (Table 3: 512 kB, 8-way).
+	MetadataCache CacheConfig
+	// MACBits is the width of every MAC in the system (64 bits, matching
+	// the paper and prior work).
+	MACBits int
+	// CounterLSBBits is the number of counter LSBs stored per shadow
+	// entry. Anubis used 49; Soteria reduces this to 16 to make room for
+	// the duplicated entry halves (Fig 8).
+	CounterLSBBits int
+}
+
+// SystemConfig aggregates every knob of the performance simulation.
+type SystemConfig struct {
+	L1       CacheConfig
+	L2       CacheConfig
+	LLC      CacheConfig
+	NVM      NVMConfig
+	CPU      CPUConfig
+	Security SecurityConfig
+}
+
+// Validate checks the full system configuration.
+func (s SystemConfig) Validate() error {
+	for _, c := range []struct {
+		name string
+		cfg  CacheConfig
+	}{{"L1", s.L1}, {"L2", s.L2}, {"LLC", s.LLC}, {"metadata cache", s.Security.MetadataCache}} {
+		if err := c.cfg.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+	}
+	if err := s.NVM.Validate(); err != nil {
+		return err
+	}
+	if s.CPU.ClockHz <= 0 {
+		return fmt.Errorf("config: CPU clock must be positive")
+	}
+	if s.Security.CounterArity <= 0 || s.Security.TreeArity <= 1 {
+		return fmt.Errorf("config: counter arity must be >0 and tree arity >1")
+	}
+	return nil
+}
+
+// Table3 returns the simulated system configuration from Table 3 of the
+// paper: 4 out-of-order x86 cores at 2.67 GHz, 32 kB 2-way L1, 512 kB 8-way
+// L2, 8 MB 64-way LLC, 16 GB PCM at 150/300 ns, AES counter mode with 64-way
+// split counters, an 8-ary ToC tree and a 512 kB 8-way metadata cache.
+func Table3() SystemConfig {
+	return SystemConfig{
+		L1:  CacheConfig{SizeBytes: 32 << 10, Ways: 2, LatencyCycles: 2},
+		L2:  CacheConfig{SizeBytes: 512 << 10, Ways: 8, LatencyCycles: 20},
+		LLC: CacheConfig{SizeBytes: 8 << 20, Ways: 64, LatencyCycles: 32},
+		NVM: NVMConfig{
+			CapacityBytes: 16 << 30,
+			ReadLatency:   150 * time.Nanosecond,
+			WriteLatency:  300 * time.Nanosecond,
+			Banks:         16,
+			WPQEntries:    32,
+		},
+		CPU: CPUConfig{ClockHz: 2.67e9, Cores: 4, NonMemCPI: 1.0},
+		Security: SecurityConfig{
+			CounterArity:   64,
+			TreeArity:      8,
+			MetadataCache:  CacheConfig{SizeBytes: 512 << 10, Ways: 8, LatencyCycles: 3},
+			MACBits:        64,
+			CounterLSBBits: 16,
+		},
+	}
+}
+
+// TestSystem returns a scaled-down configuration suitable for functional
+// unit tests: identical structure to Table3 but with a small memory and tiny
+// caches so that evictions and full-tree walks happen quickly.
+func TestSystem() SystemConfig {
+	c := Table3()
+	c.NVM.CapacityBytes = 4 << 20 // 4 MB
+	c.L1 = CacheConfig{SizeBytes: 2 << 10, Ways: 2, LatencyCycles: 2}
+	c.L2 = CacheConfig{SizeBytes: 8 << 10, Ways: 4, LatencyCycles: 20}
+	c.LLC = CacheConfig{SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 32}
+	c.Security.MetadataCache = CacheConfig{SizeBytes: 8 << 10, Ways: 4, LatencyCycles: 3}
+	c.NVM.WPQEntries = 16
+	return c
+}
+
+// DIMMConfig describes the FaultSim DIMM geometry (Table 4).
+type DIMMConfig struct {
+	// Chips is the total number of DRAM/PCM devices on the DIMM.
+	Chips int
+	// ChipsPerRank is the number of devices that form one rank
+	// (and therefore one ECC codeword).
+	ChipsPerRank int
+	// BusBits is the data-bus width of a single chip (x8 devices).
+	BusBits int
+	// Ranks, Banks, Rows, Cols describe the addressable geometry of each
+	// chip.
+	Ranks, Banks, Rows, Cols int
+	// DataBlockBits is the size of one ECC codeword's worth of data
+	// (Table 4: 512 bits = 64 B).
+	DataBlockBits int
+}
+
+// BytesPerBeat returns the number of user-data bytes delivered by one bus
+// beat across the data chips of a rank (8 data chips x 8 bits = 8 bytes).
+func (d DIMMConfig) BytesPerBeat() int {
+	dataChips := d.ChipsPerRank - 1 // one device holds check symbols
+	return dataChips * d.BusBits / 8
+}
+
+// CapacityBytes returns the user-data capacity of the DIMM.
+func (d DIMMConfig) CapacityBytes() uint64 {
+	return uint64(d.Ranks) * uint64(d.Banks) * uint64(d.Rows) * uint64(d.Cols) * uint64(d.BytesPerBeat())
+}
+
+// Validate reports an error for impossible DIMM geometries.
+func (d DIMMConfig) Validate() error {
+	if d.Chips != d.ChipsPerRank*d.Ranks {
+		return fmt.Errorf("config: chips (%d) != chips/rank (%d) * ranks (%d)", d.Chips, d.ChipsPerRank, d.Ranks)
+	}
+	if d.Banks <= 0 || d.Rows <= 0 || d.Cols <= 0 || d.BusBits <= 0 {
+		return fmt.Errorf("config: DIMM geometry fields must be positive")
+	}
+	return nil
+}
+
+// FaultSimConfig aggregates the reliability-simulation parameters (Table 4).
+type FaultSimConfig struct {
+	DIMM DIMMConfig
+	// Years of simulated lifetime per Monte Carlo trial.
+	Years float64
+	// Trials is the number of Monte Carlo simulations
+	// (Table 4: 1 million).
+	Trials int
+	// ScrubInterval is the patrol-scrub period that clears transient
+	// faults; zero disables scrubbing.
+	ScrubInterval time.Duration
+}
+
+// Table4 returns the FaultSim configuration from Table 4 of the paper:
+// 18 chips (9 per rank, x8), 2 ranks, 16 banks, 16384 rows, 4096 columns,
+// Chipkill repair, 512-bit data blocks, 1 million simulations.
+func Table4() FaultSimConfig {
+	return FaultSimConfig{
+		DIMM: DIMMConfig{
+			Chips:         18,
+			ChipsPerRank:  9,
+			BusBits:       8,
+			Ranks:         2,
+			Banks:         16,
+			Rows:          16384,
+			Cols:          4096,
+			DataBlockBits: 512,
+		},
+		Years:         5,
+		Trials:        1_000_000,
+		ScrubInterval: 24 * time.Hour,
+	}
+}

@@ -1,0 +1,119 @@
+package config
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable3MatchesPaper(t *testing.T) {
+	c := Table3()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 3 literals.
+	if c.CPU.Cores != 4 || c.CPU.ClockHz != 2.67e9 {
+		t.Fatal("CPU config drifted from Table 3")
+	}
+	if c.L1.SizeBytes != 32<<10 || c.L1.Ways != 2 || c.L1.LatencyCycles != 2 {
+		t.Fatal("L1 config drifted")
+	}
+	if c.L2.SizeBytes != 512<<10 || c.L2.Ways != 8 || c.L2.LatencyCycles != 20 {
+		t.Fatal("L2 config drifted")
+	}
+	if c.LLC.SizeBytes != 8<<20 || c.LLC.Ways != 64 || c.LLC.LatencyCycles != 32 {
+		t.Fatal("LLC config drifted")
+	}
+	if c.NVM.CapacityBytes != 16<<30 {
+		t.Fatal("capacity drifted")
+	}
+	if c.NVM.ReadLatency != 150*time.Nanosecond || c.NVM.WriteLatency != 300*time.Nanosecond {
+		t.Fatal("PCM latencies drifted")
+	}
+	if c.Security.CounterArity != 64 || c.Security.TreeArity != 8 {
+		t.Fatal("encryption parameters drifted")
+	}
+	if c.Security.MetadataCache.SizeBytes != 512<<10 || c.Security.MetadataCache.Ways != 8 {
+		t.Fatal("metadata cache drifted")
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	c := Table4()
+	if err := c.DIMM.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := c.DIMM
+	if d.Chips != 18 || d.ChipsPerRank != 9 || d.BusBits != 8 {
+		t.Fatal("chip organization drifted from Table 4")
+	}
+	if d.Ranks != 2 || d.Banks != 16 || d.Rows != 16384 || d.Cols != 4096 {
+		t.Fatal("geometry drifted")
+	}
+	if d.DataBlockBits != 512 {
+		t.Fatal("data block drifted")
+	}
+	if c.Trials != 1_000_000 || c.Years != 5 {
+		t.Fatal("simulation scale drifted")
+	}
+	if d.BytesPerBeat() != 8 {
+		t.Fatalf("bytes/beat = %d", d.BytesPerBeat())
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 0, Ways: 2},
+		{SizeBytes: 1024, Ways: 0},
+		{SizeBytes: 1000, Ways: 2},       // not divisible
+		{SizeBytes: 3 * 64 * 2, Ways: 2}, // 3 sets: not a power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	good := CacheConfig{SizeBytes: 4096, Ways: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Sets() != 16 {
+		t.Fatalf("sets = %d", good.Sets())
+	}
+}
+
+func TestSystemValidationCatchesEachField(t *testing.T) {
+	mutations := []func(*SystemConfig){
+		func(c *SystemConfig) { c.L1.Ways = 0 },
+		func(c *SystemConfig) { c.NVM.CapacityBytes = 100 },
+		func(c *SystemConfig) { c.NVM.Banks = 0 },
+		func(c *SystemConfig) { c.NVM.WPQEntries = 0 },
+		func(c *SystemConfig) { c.NVM.ReadLatency = 0 },
+		func(c *SystemConfig) { c.CPU.ClockHz = 0 },
+		func(c *SystemConfig) { c.Security.TreeArity = 1 },
+	}
+	for i, m := range mutations {
+		c := Table3()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestDIMMValidation(t *testing.T) {
+	d := Table4().DIMM
+	d.Chips = 17 // != 9*2
+	if err := d.Validate(); err == nil {
+		t.Fatal("inconsistent chip count accepted")
+	}
+}
+
+func TestTestSystemIsValidAndSmall(t *testing.T) {
+	c := TestSystem()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NVM.CapacityBytes >= Table3().NVM.CapacityBytes {
+		t.Fatal("test system not smaller than Table 3")
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+
+	"soteria/internal/ecc"
+	"soteria/internal/itree"
+	"soteria/internal/nvm"
+)
+
+func TestTable2MatchesPaper(t *testing.T) {
+	src, sac := Table2()
+	wantSRC := []int{2, 2, 2, 2, 2, 2, 2, 2, 2}
+	wantSAC := []int{2, 2, 3, 3, 4, 4, 4, 4, 5}
+	for i := range wantSRC {
+		if src[i] != wantSRC[i] {
+			t.Fatalf("SRC level %d depth %d, want %d", i+1, src[i], wantSRC[i])
+		}
+		if sac[i] != wantSAC[i] {
+			t.Fatalf("SAC level %d depth %d, want %d", i+1, sac[i], wantSAC[i])
+		}
+	}
+}
+
+func TestPolicyDepthBounds(t *testing.T) {
+	for _, p := range []ClonePolicy{Baseline(), SRC(), SAC()} {
+		for top := 1; top <= 12; top++ {
+			for lvl := 1; lvl <= top; lvl++ {
+				d := p.Depth(lvl, top)
+				if d < 1 || d > MaxDepth {
+					t.Fatalf("%s: depth %d at level %d/%d outside [1,%d]", p.Name, d, lvl, top, MaxDepth)
+				}
+			}
+		}
+	}
+	if Baseline().Depth(3, 9) != 1 {
+		t.Fatal("baseline must not clone")
+	}
+}
+
+func TestSACMonotoneUpward(t *testing.T) {
+	// SAC invests more (never less) redundancy as coverage grows.
+	for top := 2; top <= 12; top++ {
+		p := SAC()
+		prev := 0
+		for lvl := 1; lvl <= top; lvl++ {
+			d := p.Depth(lvl, top)
+			if d < prev {
+				t.Fatalf("SAC depth decreases at level %d/%d", lvl, top)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestCustomPolicy(t *testing.T) {
+	p, err := Custom("x", []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth(1, 5) != 1 || p.Depth(2, 5) != 3 || p.Depth(5, 5) != 3 {
+		t.Fatal("custom depth table misapplied")
+	}
+	if _, err := Custom("bad", []int{7}); err == nil {
+		t.Fatal("depth above MaxDepth accepted")
+	}
+	if _, err := Custom("empty", nil); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+// devMem adapts nvm.Device to the Mem interface.
+type devMem struct{ dev *nvm.Device }
+
+func (m devMem) ReadLine(addr uint64) (nvm.Line, bool) {
+	r := m.dev.Read(addr)
+	return r.Data, r.Uncorrectable
+}
+func (m devMem) WriteLine(addr uint64, line *nvm.Line) { m.dev.Write(addr, line) }
+
+func handlerFixture(t *testing.T, policy ClonePolicy) (*FaultHandler, *itree.Layout, *nvm.Device) {
+	t.Helper()
+	lay, err := itree.NewLayout(itree.Params{
+		DataBytes:    1 << 20,
+		CounterArity: 64,
+		TreeArity:    8,
+		CloneDepths:  policy.Depths(2), // 1MB -> levels: 256 counters, 32 nodes... computed below
+	})
+	if err != nil {
+		// Depth table length mismatch is fine; rebuild with the real
+		// level count.
+		t.Fatal(err)
+	}
+	lay, err = itree.NewLayout(itree.Params{
+		DataBytes:    1 << 20,
+		CounterArity: 64,
+		TreeArity:    8,
+		CloneDepths:  policy.Depths(lay.TopLevel()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDepths(lay, policy); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := nvm.NewDevice(lay.Total+nvm.LineSize, ecc.SECDED{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFaultHandler(devMem{dev}, lay), lay, dev
+}
+
+func writeNode(lay *itree.Layout, dev *nvm.Device, level int, index uint64, line *nvm.Line) {
+	for _, a := range lay.CopyAddrs(level, index) {
+		dev.Write(a, line)
+	}
+}
+
+func TestReadVerifiedClean(t *testing.T) {
+	h, lay, dev := handlerFixture(t, SRC())
+	var line nvm.Line
+	line[0] = 0x11
+	writeNode(lay, dev, 2, 3, &line)
+	got, out := h.ReadVerified(2, 3, func(l *nvm.Line) bool { return l[0] == 0x11 })
+	if out != OutcomeClean || got != line {
+		t.Fatalf("outcome %v", out)
+	}
+}
+
+func TestRepairFromCloneAfterUncorrectable(t *testing.T) {
+	h, lay, dev := handlerFixture(t, SRC())
+	var line nvm.Line
+	line[7] = 0x42
+	writeNode(lay, dev, 1, 5, &line)
+	dev.CorruptLine(lay.NodeAddr(1, 5)) // home copy dies
+	got, out := h.ReadVerified(1, 5, func(l *nvm.Line) bool { return l[7] == 0x42 })
+	if out != OutcomeRepaired || got != line {
+		t.Fatalf("outcome %v", out)
+	}
+	// Purify must have fixed the home copy.
+	if r := dev.Read(lay.NodeAddr(1, 5)); r.Uncorrectable || r.Data != line {
+		t.Fatal("home copy not purified")
+	}
+	if h.Stats().Repairs != 1 {
+		t.Fatal("repair not counted")
+	}
+	// Next read is clean.
+	if _, out := h.ReadVerified(1, 5, func(l *nvm.Line) bool { return l[7] == 0x42 }); out != OutcomeClean {
+		t.Fatalf("post-repair outcome %v", out)
+	}
+}
+
+func TestAllCopiesDeadIsUnverifiable(t *testing.T) {
+	h, lay, dev := handlerFixture(t, SRC())
+	var line nvm.Line
+	writeNode(lay, dev, 2, 0, &line)
+	for _, a := range lay.CopyAddrs(2, 0) {
+		dev.CorruptLine(a)
+	}
+	_, out := h.ReadVerified(2, 0, func(l *nvm.Line) bool { return true })
+	if out != OutcomeUnverifiable {
+		t.Fatalf("outcome %v", out)
+	}
+	st := h.Stats()
+	start, end := lay.CoverageOf(2, 0)
+	if st.UnverifiableBytes != end-start {
+		t.Fatalf("unverifiable bytes %d, want %d", st.UnverifiableBytes, end-start)
+	}
+	if st.UDR(lay.DataBytes) <= 0 {
+		t.Fatal("UDR not positive")
+	}
+	if len(st.Events) != 1 || st.Events[0].Level != 2 {
+		t.Fatalf("events %v", st.Events)
+	}
+}
+
+func TestBaselineHasNoClonesToFallBackOn(t *testing.T) {
+	h, lay, dev := handlerFixture(t, Baseline())
+	var line nvm.Line
+	writeNode(lay, dev, 2, 1, &line)
+	dev.CorruptLine(lay.NodeAddr(2, 1))
+	_, out := h.ReadVerified(2, 1, func(l *nvm.Line) bool { return true })
+	if out != OutcomeUnverifiable {
+		t.Fatalf("baseline outcome %v, want unverifiable", out)
+	}
+}
+
+func TestReplayOfAllCopiesDetectedAsTamper(t *testing.T) {
+	h, lay, dev := handlerFixture(t, SRC())
+	var v1, v2 nvm.Line
+	v1[0], v2[0] = 1, 2
+	writeNode(lay, dev, 2, 2, &v1)
+	// Legitimate update to v2...
+	writeNode(lay, dev, 2, 2, &v2)
+	// ...then the attacker replays v1 into every copy. ECC is clean, but
+	// verification (which in the real controller checks the MAC under
+	// the *current* parent counter) rejects the stale content.
+	writeNode(lay, dev, 2, 2, &v1)
+	_, out := h.ReadVerified(2, 2, func(l *nvm.Line) bool { return l[0] == 2 })
+	if out != OutcomeTamper {
+		t.Fatalf("outcome %v, want tamper", out)
+	}
+	if h.Stats().TamperDetections != 1 {
+		t.Fatal("tamper not counted")
+	}
+}
+
+func TestReplayOfSingleCloneIsRepaired(t *testing.T) {
+	// §3.2.2: "since there are multiple duplicates of the intermediate
+	// nodes, replaying a single MT node will end up being corrected".
+	h, lay, dev := handlerFixture(t, SRC())
+	var v1, v2 nvm.Line
+	v1[0], v2[0] = 1, 2
+	writeNode(lay, dev, 2, 2, &v1)
+	writeNode(lay, dev, 2, 2, &v2)
+	// Replay only the home copy.
+	dev.Write(lay.NodeAddr(2, 2), &v1)
+	got, out := h.ReadVerified(2, 2, func(l *nvm.Line) bool { return l[0] == 2 })
+	if out != OutcomeRepaired || got != v2 {
+		t.Fatalf("outcome %v", out)
+	}
+	if r := dev.Read(lay.NodeAddr(2, 2)); r.Data != v2 {
+		t.Fatal("replayed home copy not purified")
+	}
+}
+
+func TestWriteWithClonesAddressesMatchLayoutAndWPQBound(t *testing.T) {
+	h, lay, _ := handlerFixture(t, SAC())
+	for lvl := 1; lvl <= lay.TopLevel(); lvl++ {
+		addrs := h.WriteWithClones(lvl, 0, &nvm.Line{})
+		if len(addrs) != lay.CloneDepths[lvl-1] {
+			t.Fatalf("level %d: %d copies, want %d", lvl, len(addrs), lay.CloneDepths[lvl-1])
+		}
+		if len(addrs) > MaxDepth {
+			t.Fatalf("level %d exceeds WPQ-safe depth", lvl)
+		}
+	}
+}

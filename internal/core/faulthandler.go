@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"soteria/internal/itree"
+	"soteria/internal/nvm"
+)
+
+// Mem is the device access the fault handler needs. Reads report detected
+// uncorrectable errors; writes are repair ("purify") writes and bypass the
+// WPQ timing path (recovery is not on the performance-critical path).
+type Mem interface {
+	ReadLine(addr uint64) (line nvm.Line, uncorrectable bool)
+	WriteLine(addr uint64, line *nvm.Line)
+}
+
+// Outcome classifies one verified metadata read (Fig 9).
+type Outcome int
+
+// Outcomes of FaultHandler.ReadVerified.
+const (
+	// OutcomeClean: home copy read and verified with no incident.
+	OutcomeClean Outcome = iota
+	// OutcomeRepaired: the home copy was uncorrectable or failed MAC
+	// verification, but a clone passed and all copies were purified.
+	OutcomeRepaired
+	// OutcomeUnverifiable: every copy was bad. The data covered by this
+	// node can no longer be verified (counted toward UDR). With no
+	// clones configured this is also where a baseline system lands on
+	// any uncorrectable metadata error.
+	OutcomeUnverifiable
+	// OutcomeTamper: the home copy failed verification but had no ECC
+	// error and no clone disagreed with it consistently — every copy
+	// carries the same MAC-failing content, which is the signature of a
+	// coordinated replay/tamper rather than a random fault (step 6 of
+	// Fig 9: "recovery will fail in the integrity verification stage,
+	// and the attack will be detected").
+	OutcomeTamper
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeRepaired:
+		return "repaired"
+	case OutcomeUnverifiable:
+		return "unverifiable"
+	case OutcomeTamper:
+		return "tamper"
+	default:
+		return "?"
+	}
+}
+
+// LossEvent records one unverifiable-node incident.
+type LossEvent struct {
+	Level int
+	Index uint64
+	Bytes uint64 // data bytes rendered unverifiable
+}
+
+// Stats aggregates fault-handler activity.
+type Stats struct {
+	Reads             uint64
+	CloneLookups      uint64
+	Repairs           uint64
+	TamperDetections  uint64
+	UnverifiableNodes uint64
+	UnverifiableBytes uint64
+	Events            []LossEvent
+}
+
+// UDR returns the Unverifiable Data Ratio accumulated so far against the
+// given total memory size (§5.3: UDR = L_unverifiable / total size).
+func (s Stats) UDR(totalBytes uint64) float64 {
+	if totalBytes == 0 {
+		return 0
+	}
+	return float64(s.UnverifiableBytes) / float64(totalBytes)
+}
+
+// FaultHandler implements Soteria's metadata fault handling (Fig 9): on a
+// verification or ECC failure of a metadata node it walks the node's
+// clones, adopts the first copy that passes integrity verification, and
+// purifies every copy from it.
+type FaultHandler struct {
+	mem    Mem
+	layout *itree.Layout
+	stats  Stats
+}
+
+// NewFaultHandler builds a handler over the given memory and layout.
+func NewFaultHandler(mem Mem, layout *itree.Layout) *FaultHandler {
+	return &FaultHandler{mem: mem, layout: layout}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (h *FaultHandler) Stats() Stats { return h.stats }
+
+// ResetStats clears the accumulated statistics (between experiment runs).
+func (h *FaultHandler) ResetStats() { h.stats = Stats{} }
+
+// ReadVerified reads metadata node (level, index), verifying each candidate
+// copy with the caller-supplied predicate (MAC check under the parent
+// counter). It returns the verified line and the outcome; for
+// OutcomeUnverifiable and OutcomeTamper the returned line must not be
+// trusted.
+func (h *FaultHandler) ReadVerified(level int, index uint64, verify func(line *nvm.Line) bool) (nvm.Line, Outcome) {
+	h.stats.Reads++
+	home := h.layout.NodeAddr(level, index)
+	line, unc := h.mem.ReadLine(home)
+	homeECCBad := unc
+	if !unc && verify(&line) {
+		return line, OutcomeClean
+	}
+
+	// Step 4 of Fig 9: bring all clones and attempt to verify/repair.
+	copies := h.layout.CopyAddrs(level, index)
+	for _, addr := range copies[1:] {
+		h.stats.CloneLookups++
+		cl, unc := h.mem.ReadLine(addr)
+		if unc || !verify(&cl) {
+			continue
+		}
+		// Step 6-7: a clone passed; purify all affected copies.
+		for _, a := range copies {
+			h.mem.WriteLine(a, &cl)
+		}
+		h.stats.Repairs++
+		return cl, OutcomeRepaired
+	}
+
+	// No copy verified. Distinguish "random faults killed everything"
+	// from "consistent content that simply fails verification", which
+	// is how a replay of all copies (or of a node with no clones and no
+	// ECC complaint) manifests.
+	if !homeECCBad {
+		h.stats.TamperDetections++
+		return line, OutcomeTamper
+	}
+	start, end := h.layout.CoverageOf(level, index)
+	h.stats.UnverifiableNodes++
+	h.stats.UnverifiableBytes += end - start
+	h.stats.Events = append(h.stats.Events, LossEvent{Level: level, Index: index, Bytes: end - start})
+	return line, OutcomeUnverifiable
+}
+
+// WriteWithClones writes a node's line to its home address and every clone
+// slot, returning the full list of (addr, line) writes so the controller
+// can push them through the WPQ as one atomic group. The group size equals
+// the level's configured depth and is guaranteed <= MaxDepth.
+func (h *FaultHandler) WriteWithClones(level int, index uint64, line *nvm.Line) []uint64 {
+	return h.layout.CopyAddrs(level, index)
+}
+
+// CheckDepths validates that a layout's clone allocation matches a policy
+// (defensive check used at controller construction).
+func CheckDepths(layout *itree.Layout, policy ClonePolicy) error {
+	top := layout.TopLevel()
+	for i, want := range policy.Depths(top) {
+		if got := layout.CloneDepths[i]; got != want {
+			return fmt.Errorf("core: layout depth %d at level %d, policy %q wants %d", got, i+1, policy.Name, want)
+		}
+	}
+	return nil
+}

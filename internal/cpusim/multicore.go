@@ -1,0 +1,145 @@
+package cpusim
+
+import (
+	"fmt"
+
+	"soteria/internal/cache"
+	"soteria/internal/config"
+	"soteria/internal/memctrl"
+	"soteria/internal/trace"
+)
+
+// MultiCPU models the Table-3 chip organization: several cores with
+// private L1/L2 caches sharing one LLC and one secure memory controller.
+// Cores issue in round-robin over a single global clock — an in-order
+// interleaving that is pessimistic about overlap but identical across the
+// protection schemes being compared, which is what the relative
+// measurements need.
+type MultiCPU struct {
+	cores []*CPU
+	llc   *cache.Cache[line]
+	ctrl  *memctrl.Controller
+}
+
+// NewMulti builds cfg.CPU.Cores cores over a shared LLC and controller.
+func NewMulti(cfg config.SystemConfig, ctrl *memctrl.Controller) (*MultiCPU, error) {
+	n := cfg.CPU.Cores
+	if n <= 0 {
+		return nil, fmt.Errorf("cpusim: core count must be positive, got %d", n)
+	}
+	llc, err := cache.New[line](cfg.LLC)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiCPU{llc: llc, ctrl: ctrl}
+	for i := 0; i < n; i++ {
+		core, err := New(cfg, ctrl)
+		if err != nil {
+			return nil, err
+		}
+		core.llc = llc // share
+		m.cores = append(m.cores, core)
+	}
+	return m, nil
+}
+
+// Cores returns the number of cores.
+func (m *MultiCPU) Cores() int { return len(m.cores) }
+
+// Run interleaves the generators (one per core, wrapping if fewer are
+// given) until every core has executed opsPerCore memory operations, and
+// returns aggregated statistics.
+func (m *MultiCPU) Run(gens []trace.Generator, opsPerCore uint64) (Result, error) {
+	if len(gens) == 0 {
+		return Result{}, fmt.Errorf("cpusim: need at least one generator")
+	}
+	type lane struct {
+		core *CPU
+		gen  trace.Generator
+		done bool
+	}
+	lanes := make([]lane, len(m.cores))
+	for i := range lanes {
+		lanes[i] = lane{core: m.cores[i], gen: gens[i%len(gens)]}
+	}
+	var now = m.cores[0].now
+	active := len(lanes)
+	var rec trace.Record
+	for active > 0 {
+		for i := range lanes {
+			l := &lanes[i]
+			if l.done {
+				continue
+			}
+			if l.core.memOps >= opsPerCore || !l.gen.Next(&rec) {
+				l.done = true
+				active--
+				continue
+			}
+			// Serialize on the shared clock: each core resumes at the
+			// global time, then advances it.
+			l.core.now = now
+			if err := l.core.step(&rec); err != nil {
+				return m.result(gens[0].Name()), err
+			}
+			now = l.core.now
+		}
+	}
+	return m.result(gens[0].Name()), nil
+}
+
+// step executes one already-fetched trace record on the core.
+func (c *CPU) step(rec *trace.Record) error {
+	c.instructions += uint64(rec.Gap)
+	c.now += c.cycles(float64(rec.Gap) * c.cfg.CPU.NonMemCPI)
+	var err error
+	switch rec.Op {
+	case trace.OpRead:
+		err = c.doRead(c.align(rec.Addr))
+	case trace.OpWrite:
+		err = c.doWrite(c.align(rec.Addr), false)
+	case trace.OpWritePersist:
+		err = c.doWrite(c.align(rec.Addr), true)
+	case trace.OpBarrier:
+		c.barriers++
+		c.now = c.ctrl.DrainWPQ(c.now)
+		return nil // barriers are not memory operations
+	default:
+		return fmt.Errorf("cpusim: unknown op %v", rec.Op)
+	}
+	if err != nil {
+		return err
+	}
+	c.instructions++
+	c.memOps++
+	return nil
+}
+
+func (m *MultiCPU) result(name string) Result {
+	r := Result{
+		Workload: name,
+		Mode:     m.ctrl.Mode().String(),
+		Ctrl:     m.ctrl.Stats(),
+		Meta:     m.ctrl.MetaStats(),
+		WPQ:      m.ctrl.WPQStats(),
+		LLC:      m.llc.Stats(),
+	}
+	for _, c := range m.cores {
+		r.Instructions += c.instructions
+		r.MemOps += c.memOps
+		r.Reads += c.reads
+		r.Writes += c.writes
+		r.Barriers += c.barriers
+		l1 := c.l1.Stats()
+		r.L1.Hits += l1.Hits
+		r.L1.Misses += l1.Misses
+		l2 := c.l2.Stats()
+		r.L2.Hits += l2.Hits
+		r.L2.Misses += l2.Misses
+		if c.now > r.ExecTime {
+			r.ExecTime = c.now
+		}
+	}
+	r.LLCMisses = m.llc.Stats().Misses
+	return r
+}

@@ -1,0 +1,242 @@
+// Package ctrenc implements the confidentiality layer of the secure memory
+// controller: AES-128 counter-mode encryption with VAULT-style 64-ary split
+// counters, plus the keyed 64-bit MACs used throughout the integrity
+// machinery (data MACs, ToC node MACs, shadow-entry MACs).
+//
+// Counter-mode encryption generates a One-Time Pad from an Initialization
+// Vector containing the block address and its counter (Fig 1 of the paper);
+// the pad is XORed with the plaintext. Because the pad depends only on
+// (address, counter), pad generation overlaps the memory fetch, hiding
+// decryption latency — the timing model in internal/memctrl exploits
+// exactly that property.
+package ctrenc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"soteria/internal/config"
+)
+
+// BlockSize is the granularity of encryption: one 64-byte memory line.
+const BlockSize = config.BlockSize
+
+// MinorBits is the width of each minor counter in a split-counter block
+// (VAULT-style 64-ary split counters: 64 minors of 6 bits).
+const MinorBits = 6
+
+// MinorMax is the largest value a minor counter can hold before the page
+// must be re-encrypted under an incremented major counter.
+const MinorMax = (1 << MinorBits) - 1
+
+// CountersPerBlock is the number of data blocks covered by one counter
+// block (Table 3: 64-way split counter).
+const CountersPerBlock = 64
+
+// Engine performs counter-mode encryption and MAC computation. It is
+// deterministic given its keys, which models the on-chip AES engine of the
+// memory controller. The zero value is unusable; construct with NewEngine.
+type Engine struct {
+	aead   cipher.Block // AES-128 for OTP generation
+	macKey [32]byte     // key for MAC derivation
+}
+
+// NewEngine derives the encryption and MAC keys from the given root key
+// (any length; it is hashed).
+func NewEngine(rootKey []byte) (*Engine, error) {
+	h := sha256.Sum256(append([]byte("soteria-enc-key:"), rootKey...))
+	blk, err := aes.NewCipher(h[:16])
+	if err != nil {
+		return nil, fmt.Errorf("ctrenc: %w", err)
+	}
+	e := &Engine{aead: blk}
+	e.macKey = sha256.Sum256(append([]byte("soteria-mac-key:"), rootKey...))
+	return e, nil
+}
+
+// MustNewEngine is NewEngine for static keys; it panics on error.
+func MustNewEngine(rootKey []byte) *Engine {
+	e, err := NewEngine(rootKey)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// otp generates the 64-byte one-time pad for (addr, counter): four AES
+// blocks over an IV of (address, counter, block index, padding).
+func (e *Engine) otp(addr, counter uint64) (pad [BlockSize]byte) {
+	var iv [16]byte
+	binary.LittleEndian.PutUint64(iv[0:8], addr)
+	binary.LittleEndian.PutUint64(iv[8:16], counter)
+	for i := 0; i < BlockSize/16; i++ {
+		iv[15] = byte(i) ^ iv[15] // fold block index into the IV tail
+		e.aead.Encrypt(pad[i*16:(i+1)*16], iv[:])
+		iv[15] ^= byte(i) // restore
+	}
+	return pad
+}
+
+// Encrypt produces the ciphertext of one line under (addr, counter).
+// Counter-mode is an involution: Decrypt is the same operation.
+func (e *Engine) Encrypt(addr, counter uint64, plaintext *[BlockSize]byte) [BlockSize]byte {
+	pad := e.otp(addr, counter)
+	var ct [BlockSize]byte
+	for i := range ct {
+		ct[i] = plaintext[i] ^ pad[i]
+	}
+	return ct
+}
+
+// Decrypt recovers the plaintext of one line; identical to Encrypt because
+// CTR mode XORs the same pad.
+func (e *Engine) Decrypt(addr, counter uint64, ciphertext *[BlockSize]byte) [BlockSize]byte {
+	return e.Encrypt(addr, counter, ciphertext)
+}
+
+// MAC domains separate the uses of the 64-bit MAC so a value from one
+// context can never be replayed into another.
+type MACDomain byte
+
+const (
+	// DomainData authenticates (ciphertext, address, counter) of a data
+	// block.
+	DomainData MACDomain = iota + 1
+	// DomainCounter authenticates a leaf (encryption-counter) block
+	// under its parent ToC counter.
+	DomainCounter
+	// DomainNode authenticates an intermediate ToC node under its
+	// parent counter.
+	DomainNode
+	// DomainShadow authenticates an Anubis shadow entry.
+	DomainShadow
+	// DomainShadowTree authenticates nodes of the eager BMT protecting
+	// the shadow region.
+	DomainShadowTree
+)
+
+// MAC computes the keyed 64-bit MAC over the given parts within a domain.
+// tweak1/tweak2 carry the binding context (address or level/index plus the
+// protecting parent counter), which is what defeats cross-location replay.
+func (e *Engine) MAC(domain MACDomain, tweak1, tweak2 uint64, parts ...[]byte) uint64 {
+	h := sha256.New()
+	h.Write(e.macKey[:])
+	var hdr [17]byte
+	hdr[0] = byte(domain)
+	binary.LittleEndian.PutUint64(hdr[1:9], tweak1)
+	binary.LittleEndian.PutUint64(hdr[9:17], tweak2)
+	h.Write(hdr[:])
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return binary.LittleEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// DataMAC authenticates one data block: MAC over the ciphertext bound to
+// its address and encryption counter (Yan et al. style, as adopted by the
+// paper).
+func (e *Engine) DataMAC(addr, counter uint64, ciphertext *[BlockSize]byte) uint64 {
+	return e.MAC(DomainData, addr, counter, ciphertext[:])
+}
+
+// --- Split-counter blocks ---------------------------------------------------
+
+// CounterBlock is a VAULT-style split-counter block: one 64-bit major
+// counter shared by 64 data blocks, one 6-bit minor counter per block, and
+// the block's own 64-bit MAC (computed under the parent ToC counter).
+// It serializes to exactly one 64-byte line:
+//
+//	bytes  0..7   major counter (LE)
+//	bytes  8..55  64 minor counters, 6 bits each, packed little-endian
+//	bytes 56..63  MAC (LE)
+type CounterBlock struct {
+	Major  uint64
+	Minors [CountersPerBlock]uint8 // each 0..MinorMax
+	MAC    uint64
+}
+
+// Counter returns the full encryption counter for slot i:
+// major<<MinorBits | minor. This is the value fed into the IV.
+func (c *CounterBlock) Counter(i int) uint64 {
+	return c.Major<<MinorBits | uint64(c.Minors[i])
+}
+
+// Increment advances the minor counter of slot i. It reports overflow=true
+// when the minor wrapped, in which case the caller must increment the major
+// counter (via BumpMajor) and re-encrypt all covered blocks.
+func (c *CounterBlock) Increment(i int) (overflow bool) {
+	if c.Minors[i] == MinorMax {
+		return true
+	}
+	c.Minors[i]++
+	return false
+}
+
+// BumpMajor increments the major counter and clears every minor — the
+// page re-encryption event of the split-counter scheme.
+func (c *CounterBlock) BumpMajor() {
+	c.Major++
+	for i := range c.Minors {
+		c.Minors[i] = 0
+	}
+}
+
+// Serialize packs the counter block into a 64-byte line.
+func (c *CounterBlock) Serialize() [BlockSize]byte {
+	var out [BlockSize]byte
+	binary.LittleEndian.PutUint64(out[0:8], c.Major)
+	packMinors(out[8:56], &c.Minors)
+	binary.LittleEndian.PutUint64(out[56:64], c.MAC)
+	return out
+}
+
+// DeserializeCounterBlock unpacks a 64-byte line into a counter block.
+func DeserializeCounterBlock(line *[BlockSize]byte) CounterBlock {
+	var c CounterBlock
+	c.Major = binary.LittleEndian.Uint64(line[0:8])
+	unpackMinors(line[8:56], &c.Minors)
+	c.MAC = binary.LittleEndian.Uint64(line[56:64])
+	return c
+}
+
+// ContentMAC computes the MAC binding this counter block's contents to its
+// block index and protecting parent counter. The stored MAC field is not
+// part of the input.
+func (c *CounterBlock) ContentMAC(e *Engine, blockIndex, parentCounter uint64) uint64 {
+	body := c.Serialize()
+	return e.MAC(DomainCounter, blockIndex, parentCounter, body[:56])
+}
+
+// packMinors packs 64 6-bit values into 48 bytes.
+func packMinors(dst []byte, minors *[CountersPerBlock]uint8) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	bit := 0
+	for _, m := range minors {
+		v := uint16(m & MinorMax)
+		byteIdx, off := bit/8, bit%8
+		dst[byteIdx] |= byte(v << uint(off))
+		if off > 2 { // spills into the next byte
+			dst[byteIdx+1] |= byte(v >> uint(8-off))
+		}
+		bit += MinorBits
+	}
+}
+
+// unpackMinors reverses packMinors.
+func unpackMinors(src []byte, minors *[CountersPerBlock]uint8) {
+	bit := 0
+	for i := range minors {
+		byteIdx, off := bit/8, bit%8
+		v := uint16(src[byteIdx]) >> uint(off)
+		if off > 2 {
+			v |= uint16(src[byteIdx+1]) << uint(8-off)
+		}
+		minors[i] = uint8(v & MinorMax)
+		bit += MinorBits
+	}
+}

@@ -1,0 +1,203 @@
+package ctrenc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func eng(t testing.TB) *Engine {
+	t.Helper()
+	return MustNewEngine([]byte("test-root-key"))
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	e := eng(t)
+	f := func(pt [BlockSize]byte, addr, ctr uint64) bool {
+		ct := e.Encrypt(addr, ctr, &pt)
+		back := e.Decrypt(addr, ctr, &ct)
+		return back == pt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextDependsOnAddressAndCounter(t *testing.T) {
+	e := eng(t)
+	var pt [BlockSize]byte
+	a := e.Encrypt(0x1000, 5, &pt)
+	b := e.Encrypt(0x1040, 5, &pt)
+	c := e.Encrypt(0x1000, 6, &pt)
+	if a == b {
+		t.Fatal("same pad for different addresses (spatial OTP reuse)")
+	}
+	if a == c {
+		t.Fatal("same pad for different counters (temporal OTP reuse)")
+	}
+}
+
+func TestWrongCounterFailsToDecrypt(t *testing.T) {
+	e := eng(t)
+	pt := [BlockSize]byte{1, 2, 3}
+	ct := e.Encrypt(64, 10, &pt)
+	got := e.Decrypt(64, 11, &ct)
+	if got == pt {
+		t.Fatal("decrypted correctly with wrong counter")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	e1 := MustNewEngine([]byte("k1"))
+	e2 := MustNewEngine([]byte("k2"))
+	var pt [BlockSize]byte
+	if e1.Encrypt(0, 0, &pt) == e2.Encrypt(0, 0, &pt) {
+		t.Fatal("two keys produced identical pads")
+	}
+	if e1.DataMAC(0, 0, &pt) == e2.DataMAC(0, 0, &pt) {
+		t.Fatal("two keys produced identical MACs")
+	}
+}
+
+func TestMACDomainSeparation(t *testing.T) {
+	e := eng(t)
+	body := []byte("same bytes")
+	m1 := e.MAC(DomainData, 1, 2, body)
+	m2 := e.MAC(DomainCounter, 1, 2, body)
+	m3 := e.MAC(DomainNode, 1, 2, body)
+	if m1 == m2 || m2 == m3 || m1 == m3 {
+		t.Fatal("MAC domains collide")
+	}
+	if e.MAC(DomainData, 1, 2, body) != m1 {
+		t.Fatal("MAC not deterministic")
+	}
+	if e.MAC(DomainData, 2, 2, body) == m1 {
+		t.Fatal("MAC ignores tweak1")
+	}
+	if e.MAC(DomainData, 1, 3, body) == m1 {
+		t.Fatal("MAC ignores tweak2")
+	}
+}
+
+func TestDataMACDetectsTamper(t *testing.T) {
+	e := eng(t)
+	pt := [BlockSize]byte{9, 9, 9}
+	ct := e.Encrypt(128, 3, &pt)
+	mac := e.DataMAC(128, 3, &ct)
+	// Flip one ciphertext bit.
+	ct[10] ^= 1
+	if e.DataMAC(128, 3, &ct) == mac {
+		t.Fatal("MAC unchanged after ciphertext tamper")
+	}
+	ct[10] ^= 1
+	// Replay at a different address.
+	if e.DataMAC(192, 3, &ct) == mac {
+		t.Fatal("MAC unchanged across addresses (replay)")
+	}
+	// Replay with an older counter.
+	if e.DataMAC(128, 2, &ct) == mac {
+		t.Fatal("MAC unchanged across counters (counter replay)")
+	}
+}
+
+func TestMinorPackRoundTrip(t *testing.T) {
+	f := func(raw [CountersPerBlock]uint8) bool {
+		var c CounterBlock
+		for i, v := range raw {
+			c.Minors[i] = v & MinorMax
+		}
+		c.Major = 0xDEADBEEF
+		c.MAC = 0x1234567890ABCDEF
+		line := c.Serialize()
+		back := DeserializeCounterBlock(&line)
+		return back == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterIncrementAndOverflow(t *testing.T) {
+	var c CounterBlock
+	for i := 0; i < MinorMax; i++ {
+		if c.Increment(7) {
+			t.Fatalf("premature overflow at %d", i)
+		}
+	}
+	if c.Minors[7] != MinorMax {
+		t.Fatalf("minor = %d, want %d", c.Minors[7], MinorMax)
+	}
+	if !c.Increment(7) {
+		t.Fatal("overflow not reported")
+	}
+	old := c.Counter(7)
+	c.BumpMajor()
+	if c.Major != 1 || c.Minors[7] != 0 {
+		t.Fatal("BumpMajor did not reset")
+	}
+	if c.Counter(7) <= old {
+		t.Fatal("counter went backwards after major bump")
+	}
+}
+
+// Counters must be strictly monotonic across increments and major bumps —
+// the anti-replay property the whole scheme rests on.
+func TestCounterMonotonic(t *testing.T) {
+	var c CounterBlock
+	prev := c.Counter(0)
+	for step := 0; step < 200; step++ {
+		if c.Increment(0) {
+			c.BumpMajor()
+		}
+		cur := c.Counter(0)
+		if cur <= prev {
+			t.Fatalf("counter not monotonic at step %d: %d <= %d", step, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestContentMACBindsIndexAndParent(t *testing.T) {
+	e := eng(t)
+	var c CounterBlock
+	c.Major = 7
+	c.Minors[3] = 2
+	m := c.ContentMAC(e, 10, 100)
+	if c.ContentMAC(e, 11, 100) == m {
+		t.Fatal("MAC ignores block index")
+	}
+	if c.ContentMAC(e, 10, 101) == m {
+		t.Fatal("MAC ignores parent counter (node replay possible)")
+	}
+	// The stored MAC field must not feed back into the computation.
+	c.MAC = 0xFFFF
+	if c.ContentMAC(e, 10, 100) != m {
+		t.Fatal("stored MAC field included in content MAC")
+	}
+}
+
+func TestCounterValueLayout(t *testing.T) {
+	var c CounterBlock
+	c.Major = 2
+	c.Minors[0] = 3
+	if got, want := c.Counter(0), uint64(2<<MinorBits|3); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkEncryptLine(b *testing.B) {
+	e := eng(b)
+	var pt [BlockSize]byte
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		e.Encrypt(uint64(i)*64, uint64(i), &pt)
+	}
+}
+
+func BenchmarkDataMAC(b *testing.B) {
+	e := eng(b)
+	var ct [BlockSize]byte
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		e.DataMAC(uint64(i)*64, 1, &ct)
+	}
+}

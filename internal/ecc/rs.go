@@ -1,0 +1,202 @@
+package ecc
+
+import "fmt"
+
+// RS is a systematic Reed-Solomon code over GF(2^8) with k data symbols and
+// nsym check symbols per codeword (n = k + nsym <= 255). It corrects up to
+// nsym/2 symbol errors and detects most heavier corruptions.
+type RS struct {
+	k, nsym int
+	gen     []byte // generator polynomial, highest-degree first
+}
+
+// NewRS builds a Reed-Solomon code with k data symbols and nsym check
+// symbols.
+func NewRS(k, nsym int) (*RS, error) {
+	if k <= 0 || nsym <= 0 || k+nsym > 255 {
+		return nil, fmt.Errorf("ecc: invalid RS parameters k=%d nsym=%d", k, nsym)
+	}
+	gen := []byte{1}
+	for i := 0; i < nsym; i++ {
+		gen = polyMul(gen, []byte{1, gfPow(i)})
+	}
+	return &RS{k: k, nsym: nsym, gen: gen}, nil
+}
+
+// K returns the number of data symbols per codeword.
+func (r *RS) K() int { return r.k }
+
+// NSym returns the number of check symbols per codeword.
+func (r *RS) NSym() int { return r.nsym }
+
+// Encode computes the nsym check symbols for the k data symbols in msg.
+func (r *RS) Encode(msg []byte) []byte {
+	if len(msg) != r.k {
+		panic(fmt.Sprintf("ecc: RS.Encode got %d symbols, want %d", len(msg), r.k))
+	}
+	// Polynomial long division of msg * x^nsym by the generator.
+	rem := make([]byte, r.nsym)
+	for _, m := range msg {
+		factor := m ^ rem[0]
+		copy(rem, rem[1:])
+		rem[r.nsym-1] = 0
+		if factor != 0 {
+			for j := 1; j < len(r.gen); j++ {
+				rem[j-1] ^= gfMul(r.gen[j], factor)
+			}
+		}
+	}
+	return rem
+}
+
+// syndromes returns the nsym syndromes of the received codeword
+// (data||check) and whether they are all zero.
+func (r *RS) syndromes(cw []byte) ([]byte, bool) {
+	syn := make([]byte, r.nsym)
+	clean := true
+	for i := 0; i < r.nsym; i++ {
+		syn[i] = polyEval(cw, gfPow(i))
+		if syn[i] != 0 {
+			clean = false
+		}
+	}
+	return syn, clean
+}
+
+// Decode attempts to correct the codeword formed by msg||check in place.
+// It returns the number of symbols corrected, or ok=false when the codeword
+// is detectably uncorrectable. Miscorrection (an undetected heavy error) is
+// possible with any bounded-distance decoder and is exercised in tests.
+func (r *RS) Decode(msg, check []byte) (corrected int, ok bool) {
+	if len(msg) != r.k || len(check) != r.nsym {
+		panic("ecc: RS.Decode called with wrong lengths")
+	}
+	cw := make([]byte, r.k+r.nsym)
+	copy(cw, msg)
+	copy(cw[r.k:], check)
+
+	syn, clean := r.syndromes(cw)
+	if clean {
+		return 0, true
+	}
+
+	// Berlekamp-Massey: find the error-locator polynomial sigma
+	// (lowest-degree first here for convenience).
+	sigma := []byte{1}
+	prev := []byte{1}
+	var l, m int = 0, 1
+	b := byte(1)
+	for n := 0; n < r.nsym; n++ {
+		var d byte = syn[n]
+		for i := 1; i <= l; i++ {
+			if i < len(sigma) {
+				d ^= gfMul(sigma[i], syn[n-i])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n {
+			t := make([]byte, len(sigma))
+			copy(t, sigma)
+			coef := gfDiv(d, b)
+			sigma = polyAddShifted(sigma, prev, coef, m)
+			l = n + 1 - l
+			prev = t
+			b = d
+			m = 1
+		} else {
+			coef := gfDiv(d, b)
+			sigma = polyAddShifted(sigma, prev, coef, m)
+			m++
+		}
+	}
+	degree := len(sigma) - 1
+	for degree > 0 && sigma[degree] == 0 {
+		degree--
+	}
+	if degree == 0 || degree > r.nsym/2 {
+		return 0, false // too many errors to correct
+	}
+
+	// Chien search for error positions.
+	n := r.k + r.nsym
+	var errPos []int
+	for i := 0; i < n; i++ {
+		// Position i (highest-degree-first index) corresponds to
+		// codeword exponent n-1-i; a root at alpha^{-(n-1-i)} marks an
+		// error there.
+		xinv := gfPow(255 - (n-1-i)%255)
+		var v byte
+		for j := len(sigma) - 1; j >= 0; j-- {
+			v = gfMul(v, xinv) ^ sigma[j]
+		}
+		if v == 0 {
+			errPos = append(errPos, i)
+		}
+	}
+	if len(errPos) != degree {
+		return 0, false // locator polynomial has wrong root count
+	}
+
+	// Forney's algorithm for error magnitudes.
+	// Omega(x) = [S(x) * sigma(x)] mod x^nsym, with S lowest-first.
+	omega := make([]byte, r.nsym)
+	for i := 0; i < r.nsym; i++ {
+		for j := 0; j <= i && j < len(sigma); j++ {
+			omega[i] ^= gfMul(sigma[j], syn[i-j])
+		}
+	}
+	for _, pos := range errPos {
+		xiExp := (n - 1 - pos) % 255
+		xi := gfPow(xiExp)
+		xiInv := gfInv(xi)
+		// omega(xi^-1)
+		var num byte
+		for i := len(omega) - 1; i >= 0; i-- {
+			num = gfMul(num, xiInv) ^ omega[i]
+		}
+		// sigma'(xi^-1): formal derivative keeps odd-power terms.
+		var den byte
+		for i := 1; i < len(sigma); i += 2 {
+			term := sigma[i]
+			for j := 0; j < i-1; j++ {
+				term = gfMul(term, xiInv)
+			}
+			den ^= term
+		}
+		if den == 0 {
+			return 0, false
+		}
+		mag := gfMul(xi, gfDiv(num, den))
+		cw[pos] ^= mag
+	}
+
+	// Verify: corrected codeword must have zero syndromes.
+	if _, clean := r.syndromes(cw); !clean {
+		return 0, false
+	}
+	copy(msg, cw[:r.k])
+	copy(check, cw[r.k:])
+	return len(errPos), true
+}
+
+// polyAddShifted returns a + coef * b * x^shift where polynomials are
+// lowest-degree-first.
+func polyAddShifted(a, b []byte, coef byte, shift int) []byte {
+	need := len(b) + shift
+	out := make([]byte, max(len(a), need))
+	copy(out, a)
+	for i, c := range b {
+		out[i+shift] ^= gfMul(c, coef)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

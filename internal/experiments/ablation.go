@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"soteria/internal/config"
+	"soteria/internal/core"
+	"soteria/internal/cpusim"
+	"soteria/internal/faultsim"
+	"soteria/internal/memctrl"
+	"soteria/internal/stats"
+	"soteria/internal/workload"
+)
+
+// AblationCloneDepth sweeps uniform clone depths 1..5 and reports both what
+// they cost (NVM writes, from the performance model) and what they buy
+// (UDR, from the fault simulator). It quantifies the design argument behind
+// Table 2: uniform deep cloning pays leaf-level write cost for resilience
+// that SAC's targeted upper-level investment gets almost for free.
+func AblationCloneDepth(perf PerfParams, rel RelParams, fit float64) (*stats.Table, error) {
+	if perf.Ops == 0 {
+		perf = DefaultPerfParams()
+		perf.Ops, perf.Warmup = 40_000, 10_000
+	}
+	if rel.Trials == 0 {
+		rel = DefaultRelParams()
+		rel.Trials = 40_000
+	}
+	if fit == 0 {
+		fit = 80
+	}
+	wl := workload.ByNameMust("hashmap")
+	fsCfg := config.Table4()
+
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation — uniform clone depth (hashmap writes; UDR at FIT=%g)", fit),
+		"depth", "NVM writes", "write overhead %", "UDR", "UDR vs depth-1")
+	var baseWrites, baseUDR float64
+	for depth := 1; depth <= core.MaxDepth; depth++ {
+		policy, err := core.Custom(fmt.Sprintf("uniform-%d", depth), []int{depth})
+		if err != nil {
+			return nil, err
+		}
+		res, err := runPolicy(wl, policy, perf)
+		if err != nil {
+			return nil, err
+		}
+		writes := float64(res.Ctrl.TotalNVMWrites())
+
+		scheme, err := faultsim.BuildScheme(fsCfg.DIMM, policy, rel.ShadowSlots)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := faultsim.Run(faultsim.Options{
+			Config: fsCfg, TotalFIT: fit, Trials: rel.Trials, Seed: rel.Seed, Conditional: true,
+		}, []*faultsim.Scheme{scheme})
+		if err != nil {
+			return nil, err
+		}
+		udr := mc.Schemes[0].UDR(mc.Trials)
+
+		if depth == 1 {
+			baseWrites, baseUDR = writes, udr
+		}
+		gain := 0.0
+		if udr > 0 {
+			gain = baseUDR / udr
+		}
+		t.AddRow(depth, uint64(writes), (writes/baseWrites-1)*100, udr, gain)
+	}
+	return t, nil
+}
+
+// runPolicy runs one workload under an arbitrary clone policy (the
+// controller modes only expose baseline/SRC/SAC, so this builds the
+// controller by construction-equivalent means: a custom policy maps onto
+// the nearest mode semantics via depth table).
+func runPolicy(w workload.Workload, policy core.ClonePolicy, p PerfParams) (cpusim.Result, error) {
+	cfg := config.Table3()
+	if p.MetaCacheBytes > 0 {
+		cfg.Security.MetadataCache.SizeBytes = p.MetaCacheBytes
+	}
+	if p.LLCBytes > 0 {
+		cfg.LLC.SizeBytes = p.LLCBytes
+	}
+	ctrl, err := memctrl.NewWithPolicy(cfg, policy, []byte("ablation"), memctrl.Options{})
+	if err != nil {
+		return cpusim.Result{}, err
+	}
+	cpu, err := cpusim.New(cfg, ctrl)
+	if err != nil {
+		return cpusim.Result{}, err
+	}
+	gen := w.New(p.Footprint, p.Seed)
+	if p.Warmup > 0 {
+		if _, err := cpu.Run(gen, p.Warmup); err != nil {
+			return cpusim.Result{}, err
+		}
+		ctrl.ResetStats()
+	}
+	return cpu.Run(gen, p.Warmup+p.Ops)
+}
+
+// AblationEagerLazy compares the paper's lazy tree update against the eager
+// scheme of §2.5 on write-heavy workloads — quantifying the "extreme
+// slowdown" that motivates lazy updates (and hence the whole
+// Anubis/Soteria recovery machinery).
+func AblationEagerLazy(p PerfParams) (*stats.Table, error) {
+	if p.Ops == 0 {
+		p = DefaultPerfParams()
+		p.Ops, p.Warmup = 40_000, 10_000
+	}
+	names := p.Workloads
+	if len(names) == 0 {
+		names = []string{"uBENCH64", "hashmap", "tpcc", "queue"}
+	}
+	t := stats.NewTable("Ablation — lazy vs eager tree update (§2.5)",
+		"workload", "lazy time", "eager time", "slowdown x", "lazy writes", "eager writes", "writes x")
+	for _, name := range names {
+		w := workload.ByNameMust(name)
+		lazy, err := runWithOptions(w, p, memctrl.Options{})
+		if err != nil {
+			return nil, err
+		}
+		eager, err := runWithOptions(w, p, memctrl.Options{EagerTreeUpdate: true})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name,
+			lazy.ExecTime.Duration().String(), eager.ExecTime.Duration().String(),
+			float64(eager.ExecTime)/float64(lazy.ExecTime),
+			lazy.Ctrl.TotalNVMWrites(), eager.Ctrl.TotalNVMWrites(),
+			float64(eager.Ctrl.TotalNVMWrites())/float64(lazy.Ctrl.TotalNVMWrites()))
+	}
+	return t, nil
+}
+
+func runWithOptions(w workload.Workload, p PerfParams, opt memctrl.Options) (cpusim.Result, error) {
+	cfg := config.Table3()
+	if p.MetaCacheBytes > 0 {
+		cfg.Security.MetadataCache.SizeBytes = p.MetaCacheBytes
+	}
+	if p.LLCBytes > 0 {
+		cfg.LLC.SizeBytes = p.LLCBytes
+	}
+	ctrl, err := memctrl.New(cfg, memctrl.ModeBaseline, []byte("ablation"), opt)
+	if err != nil {
+		return cpusim.Result{}, err
+	}
+	cpu, err := cpusim.New(cfg, ctrl)
+	if err != nil {
+		return cpusim.Result{}, err
+	}
+	gen := w.New(p.Footprint, p.Seed)
+	if p.Warmup > 0 {
+		if _, err := cpu.Run(gen, p.Warmup); err != nil {
+			return cpusim.Result{}, err
+		}
+		ctrl.ResetStats()
+	}
+	return cpu.Run(gen, p.Warmup+p.Ops)
+}
+
+// MetaMissTable reports the §5.1 observation that the metadata cache miss
+// rate stays low ("less than 4% for most applications" for tree nodes).
+func MetaMissTable(r *PerfResults) *stats.Table {
+	t := stats.NewTable("§5.1 — metadata cache behaviour",
+		"workload", "accesses", "misses", "miss rate %")
+	for _, name := range r.Names {
+		res := r.Get(name, memctrl.ModeSRC)
+		s := res.Meta
+		t.AddRow(name, s.Hits+s.Misses, s.Misses, s.MissRatio()*100)
+	}
+	return t
+}

@@ -1,0 +1,277 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) from the simulators in this repository. Each experiment
+// returns stats.Table values so the cmd/experiments binary, the root-level
+// benchmarks and EXPERIMENTS.md all render identical numbers.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"soteria/internal/config"
+	"soteria/internal/cpusim"
+	"soteria/internal/memctrl"
+	"soteria/internal/stats"
+	"soteria/internal/workload"
+)
+
+// PerfParams scales the performance experiments (Fig 4, Fig 10a/b/c).
+// The paper simulated 500M instructions per workload on gem5; the defaults
+// here run the same sweep at a laptop-friendly scale, and every knob can be
+// raised toward paper scale.
+type PerfParams struct {
+	// Ops is the number of measured memory operations per workload.
+	Ops uint64
+	// Warmup operations run before statistics reset.
+	Warmup uint64
+	// Footprint is each workload's data footprint in bytes.
+	Footprint uint64
+	// Seed fixes workload randomness.
+	Seed int64
+	// Workloads filters the suite (nil = all).
+	Workloads []string
+	// Modes filters the schemes (nil = baseline, SRC, SAC).
+	Modes []memctrl.Mode
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// MetaCacheBytes shrinks the metadata cache for laptop-scale runs:
+	// the paper simulates 500M instructions against a 512 kB metadata
+	// cache; at a ~1000x smaller op budget the cache-capacity-to-
+	// footprint-traversed ratio is preserved by shrinking the cache
+	// instead. Zero keeps Table 3's 512 kB (use with paper-scale -ops).
+	MetaCacheBytes int
+	// LLCBytes scales the LLC together with the metadata cache. The
+	// governing relationship in Table 3 is that the metadata cache
+	// *covers* (512 kB x 64 = 32 MB) far more data than the LLC holds
+	// (8 MB), so LLC write-backs mostly hit cached counters; scaling
+	// one without the other distorts exactly the eviction behaviour the
+	// figures measure. Zero keeps Table 3's 8 MB.
+	LLCBytes int
+}
+
+// DefaultPerfParams returns the scale used by `cmd/experiments` by default.
+func DefaultPerfParams() PerfParams {
+	return PerfParams{
+		Ops:            150_000,
+		Warmup:         30_000,
+		Footprint:      64 << 20,
+		Seed:           1,
+		MetaCacheBytes: 128 << 10, // covers 8 MB of data via counters
+		LLCBytes:       1 << 20,   // 1/8 of the coverage, like Table 3
+	}
+}
+
+func (p PerfParams) modes() []memctrl.Mode {
+	if len(p.Modes) != 0 {
+		return p.Modes
+	}
+	return []memctrl.Mode{memctrl.ModeBaseline, memctrl.ModeSRC, memctrl.ModeSAC}
+}
+
+func (p PerfParams) workloads() []workload.Workload {
+	if len(p.Workloads) == 0 {
+		return workload.All()
+	}
+	var out []workload.Workload
+	for _, n := range p.Workloads {
+		out = append(out, workload.ByNameMust(n))
+	}
+	return out
+}
+
+// PerfRun is the result of one (workload, mode) simulation.
+type PerfRun struct {
+	Workload string
+	Mode     memctrl.Mode
+	Result   cpusim.Result
+}
+
+// PerfResults indexes runs by workload and mode.
+type PerfResults struct {
+	Params PerfParams
+	Runs   map[string]map[memctrl.Mode]cpusim.Result
+	Names  []string
+}
+
+// Get returns one run's result.
+func (r *PerfResults) Get(name string, mode memctrl.Mode) cpusim.Result {
+	return r.Runs[name][mode]
+}
+
+// RunPerf executes the full (workload x mode) sweep. Simulations are
+// independent and run in parallel.
+func RunPerf(p PerfParams) (*PerfResults, error) {
+	if p.Ops == 0 {
+		p = DefaultPerfParams()
+	}
+	ws := p.workloads()
+	modes := p.modes()
+	res := &PerfResults{Params: p, Runs: make(map[string]map[memctrl.Mode]cpusim.Result)}
+	for _, w := range ws {
+		res.Names = append(res.Names, w.Name)
+		res.Runs[w.Name] = make(map[memctrl.Mode]cpusim.Result)
+	}
+
+	type job struct {
+		w    workload.Workload
+		mode memctrl.Mode
+	}
+	var jobs []job
+	for _, w := range ws {
+		for _, m := range modes {
+			jobs = append(jobs, job{w, m})
+		}
+	}
+	par := p.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := runOne(j.w, j.mode, p)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s/%s: %w", j.w.Name, j.mode, err)
+				return
+			}
+			res.Runs[j.w.Name][j.mode] = r
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+func runOne(w workload.Workload, mode memctrl.Mode, p PerfParams) (cpusim.Result, error) {
+	cfg := config.Table3()
+	if p.MetaCacheBytes > 0 {
+		cfg.Security.MetadataCache.SizeBytes = p.MetaCacheBytes
+	}
+	if p.LLCBytes > 0 {
+		cfg.LLC.SizeBytes = p.LLCBytes
+	}
+	ctrl, err := memctrl.New(cfg, mode, []byte("experiments"), memctrl.Options{})
+	if err != nil {
+		return cpusim.Result{}, err
+	}
+	cpu, err := cpusim.New(cfg, ctrl)
+	if err != nil {
+		return cpusim.Result{}, err
+	}
+	gen := w.New(p.Footprint, p.Seed)
+	if p.Warmup > 0 {
+		if _, err := cpu.Run(gen, p.Warmup); err != nil {
+			return cpusim.Result{}, err
+		}
+		ctrl.ResetStats()
+	}
+	return cpu.Run(gen, p.Warmup+p.Ops)
+}
+
+// Fig10a renders the execution-time overhead of SRC and SAC over the secure
+// baseline (the paper reports ~1% / ~1.1% averages).
+func Fig10a(r *PerfResults) *stats.Table {
+	t := stats.NewTable("Fig 10a — execution time normalized to secure baseline",
+		"workload", "baseline", "SRC", "SAC", "SRC overhead %", "SAC overhead %")
+	var srcs, sacs []float64
+	for _, name := range r.Names {
+		base := float64(r.Get(name, memctrl.ModeBaseline).ExecTime)
+		src := float64(r.Get(name, memctrl.ModeSRC).ExecTime)
+		sac := float64(r.Get(name, memctrl.ModeSAC).ExecTime)
+		srcs = append(srcs, src/base)
+		sacs = append(sacs, sac/base)
+		t.AddRow(name, 1.0, src/base, sac/base, (src/base-1)*100, (sac/base-1)*100)
+	}
+	t.AddRow("average", 1.0, stats.Mean(srcs), stats.Mean(sacs),
+		(stats.Mean(srcs)-1)*100, (stats.Mean(sacs)-1)*100)
+	return t
+}
+
+// Fig10b renders the NVM write overhead of SRC and SAC over the baseline
+// (paper: ~4.3% and ~4.4%).
+func Fig10b(r *PerfResults) *stats.Table {
+	t := stats.NewTable("Fig 10b — NVM writes normalized to secure baseline",
+		"workload", "baseline writes", "SRC writes", "SAC writes", "SRC overhead %", "SAC overhead %")
+	var srcs, sacs []float64
+	for _, name := range r.Names {
+		bs := r.Get(name, memctrl.ModeBaseline).Ctrl
+		ss := r.Get(name, memctrl.ModeSRC).Ctrl
+		as := r.Get(name, memctrl.ModeSAC).Ctrl
+		b, s, a := float64(bs.TotalNVMWrites()), float64(ss.TotalNVMWrites()), float64(as.TotalNVMWrites())
+		if b == 0 {
+			// A cache-resident workload that never wrote to NVM in
+			// this window has no meaningful overhead ratio.
+			t.AddRow(name, 0, ss.TotalNVMWrites(), as.TotalNVMWrites(), "n/a", "n/a")
+			continue
+		}
+		srcs = append(srcs, s/b)
+		sacs = append(sacs, a/b)
+		t.AddRow(name, bs.TotalNVMWrites(), ss.TotalNVMWrites(), as.TotalNVMWrites(),
+			(s/b-1)*100, (a/b-1)*100)
+	}
+	t.AddRow("average", "", "", "", (stats.Mean(srcs)-1)*100, (stats.Mean(sacs)-1)*100)
+	return t
+}
+
+// Fig10c renders metadata-cache evictions per memory request (the paper
+// observes ~1.3% on average, overwhelmingly from the leaf level).
+func Fig10c(r *PerfResults) *stats.Table {
+	t := stats.NewTable("Fig 10c — metadata cache evictions per memory request",
+		"workload", "memory ops", "dirty tree evictions", "evictions/op %")
+	var fr []float64
+	for _, name := range r.Names {
+		res := r.Get(name, memctrl.ModeSRC)
+		ops := res.MemOps
+		ev := res.Meta.DirtyTreeEvictions
+		pct := 0.0
+		if ops > 0 {
+			pct = float64(ev) / float64(ops) * 100
+		}
+		fr = append(fr, pct)
+		t.AddRow(name, ops, ev, pct)
+	}
+	t.AddRow("average", "", "", stats.Mean(fr))
+	return t
+}
+
+// Fig4 renders the share of dirty evictions coming from each tree level
+// under the lazy update (the paper's Fig 4: upper levels are rarely
+// touched).
+func Fig4(r *PerfResults) *stats.Table {
+	// Find the deepest tree among runs (constant across workloads).
+	levels := 0
+	for _, name := range r.Names {
+		res := r.Get(name, memctrl.ModeSRC)
+		if res.Meta.EvictionsByLevel != nil && res.Meta.EvictionsByLevel.Buckets()-1 > levels {
+			levels = res.Meta.EvictionsByLevel.Buckets() - 1
+		}
+	}
+	headers := []string{"workload"}
+	for l := 1; l <= levels; l++ {
+		headers = append(headers, fmt.Sprintf("L%d %%", l))
+	}
+	t := stats.NewTable("Fig 4 — eviction share per Merkle-tree level (lazy update)", headers...)
+	for _, name := range r.Names {
+		res := r.Get(name, memctrl.ModeSRC)
+		row := make([]interface{}, 0, levels+1)
+		row = append(row, name)
+		h := res.Meta.EvictionsByLevel
+		for l := 1; l <= levels; l++ {
+			row = append(row, h.Fraction(l)*100)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

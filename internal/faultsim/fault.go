@@ -1,0 +1,204 @@
+package faultsim
+
+import (
+	"math"
+	"math/rand"
+
+	"soteria/internal/config"
+)
+
+// Fault is one device fault: a rectangle of a chip's (bank, row, col)
+// space, active over a time window.
+type Fault struct {
+	Chip      int // global chip index; rank = Chip / ChipsPerRank
+	Gran      Granularity
+	Transient bool
+	// Start is the arrival time in hours since the beginning of the
+	// trial; End is when the fault stops being visible (scrub for
+	// transients, end-of-life for permanents).
+	Start, End float64
+	// Fixed coordinates; wildcards are expressed by the rectangle
+	// bounds in rect().
+	Bank, Row, Col int
+	// BankSpan is the number of consecutive banks a multi-bank fault
+	// covers (>= 2); zero for other granularities.
+	BankSpan int
+}
+
+// Rect is an inclusive rectangle of beats within one rank:
+// banks [B0,B1], rows [R0,R1], cols [C0,C1].
+type Rect struct {
+	Rank           int
+	B0, B1, R0, R1 int
+	C0, C1         int
+}
+
+// rect expands a fault to its rectangle within its chip's rank-local
+// address space.
+func (f *Fault) rect(d config.DIMMConfig) Rect {
+	r := Rect{
+		Rank: f.Chip / d.ChipsPerRank,
+		B0:   0, B1: d.Banks - 1,
+		R0: 0, R1: d.Rows - 1,
+		C0: 0, C1: d.Cols - 1,
+	}
+	switch f.Gran {
+	case GranBit, GranWord:
+		// A bit fault within a word and a word fault are identical at
+		// beat granularity (Chipkill symbols are per-chip bytes of a
+		// beat).
+		r.B0, r.B1 = f.Bank, f.Bank
+		r.R0, r.R1 = f.Row, f.Row
+		r.C0, r.C1 = f.Col, f.Col
+	case GranColumn:
+		r.B0, r.B1 = f.Bank, f.Bank
+		r.C0, r.C1 = f.Col, f.Col
+	case GranRow:
+		r.B0, r.B1 = f.Bank, f.Bank
+		r.R0, r.R1 = f.Row, f.Row
+	case GranBank, GranMultiRank:
+		// Multi-rank faults (shared command/address circuitry) present
+		// as the same bank failing in every rank; the mirror fault on
+		// the peer rank is emitted at sampling time.
+		r.B0, r.B1 = f.Bank, f.Bank
+	case GranMultiBank:
+		r.B0 = f.Bank
+		r.B1 = mini(f.Bank+f.BankSpan-1, d.Banks-1)
+	}
+	return r
+}
+
+// overlapTime reports whether two activity windows intersect.
+func overlapTime(a, b *Fault) bool {
+	return a.Start < b.End && b.Start < a.End
+}
+
+// intersect returns the rectangle common to two faults on *different* chips
+// of the same rank, and whether it is non-empty — the Chipkill-uncorrectable
+// condition.
+func intersect(a, b Rect) (Rect, bool) {
+	if a.Rank != b.Rank {
+		return Rect{}, false
+	}
+	out := Rect{
+		Rank: a.Rank,
+		B0:   maxi(a.B0, b.B0), B1: mini(a.B1, b.B1),
+		R0: maxi(a.R0, b.R0), R1: mini(a.R1, b.R1),
+		C0: maxi(a.C0, b.C0), C1: mini(a.C1, b.C1),
+	}
+	if out.B0 > out.B1 || out.R0 > out.R1 || out.C0 > out.C1 {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Beats returns the number of beats the rectangle covers.
+func (r Rect) Beats() uint64 {
+	return uint64(r.B1-r.B0+1) * uint64(r.R1-r.R0+1) * uint64(r.C1-r.C0+1)
+}
+
+// sampleFault draws one fault of the given mode at the given time.
+// Multi-rank faults mirror onto the peer rank, so the caller may receive
+// two faults.
+func sampleFault(rng *rand.Rand, d config.DIMMConfig, gran Granularity, transient bool, t, end float64) []Fault {
+	f := Fault{
+		Chip:      rng.Intn(d.Chips),
+		Gran:      gran,
+		Transient: transient,
+		Start:     t,
+		End:       end,
+		Bank:      rng.Intn(d.Banks),
+		Row:       rng.Intn(d.Rows),
+		Col:       rng.Intn(d.Cols),
+	}
+	if gran == GranMultiBank {
+		// A multi-bank fault spans a small consecutive group of banks
+		// (2-8), per the field-study classification — not the whole
+		// device.
+		f.BankSpan = 2 + rng.Intn(7)
+	}
+	if gran != GranMultiRank {
+		return []Fault{f}
+	}
+	// Multi-rank: the same device position fails across ranks (lockstep
+	// pairs); emit the mirror fault on the peer rank's chip.
+	peer := f
+	peer.Chip = (f.Chip + d.ChipsPerRank) % d.Chips
+	return []Fault{f, peer}
+}
+
+// Uncorrectable computes the rectangles of Chipkill-uncorrectable beats
+// given a trial's fault set: every pair of temporally overlapping faults on
+// different chips of the same rank contributes its spatial intersection.
+func Uncorrectable(d config.DIMMConfig, faults []Fault) []Rect {
+	return UncorrectableK(d, faults, 1)
+}
+
+// UncorrectableK generalizes Uncorrectable to an ECC that corrects up to
+// `correctChips` simultaneous chip-granular symbol errors per codeword
+// (correctChips=1 is Chipkill-Correct; correctChips=2 models the "stronger
+// ECC" alternative of §3.1/§6.2, e.g. double-Chipkill RS codes). A beat is
+// uncorrectable when faults on more than correctChips distinct chips of one
+// rank overlap it in space and time.
+func UncorrectableK(d config.DIMMConfig, faults []Fault, correctChips int) []Rect {
+	if correctChips < 1 {
+		correctChips = 1
+	}
+	need := correctChips + 1
+	var out []Rect
+	// Depth-first over fault combinations, pruning on empty spatial or
+	// temporal intersection; fault counts per trial are tiny.
+	var dfs func(start int, chosen []int, r Rect, tStart, tEnd float64)
+	dfs = func(start int, chosen []int, r Rect, tStart, tEnd float64) {
+		if len(chosen) == need {
+			out = append(out, r)
+			return
+		}
+		for i := start; i < len(faults); i++ {
+			f := &faults[i]
+			if len(chosen) > 0 {
+				first := &faults[chosen[0]]
+				if f.Chip/d.ChipsPerRank != first.Chip/d.ChipsPerRank {
+					continue
+				}
+				dup := false
+				for _, j := range chosen {
+					if faults[j].Chip == f.Chip {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				if f.Start >= tEnd || tStart >= f.End {
+					continue
+				}
+				nr, ok := intersect(r, f.rect(d))
+				if !ok {
+					continue
+				}
+				dfs(i+1, append(chosen, i), nr,
+					math.Max(tStart, f.Start), math.Min(tEnd, f.End))
+				continue
+			}
+			dfs(i+1, append(chosen, i), f.rect(d), f.Start, f.End)
+		}
+	}
+	dfs(0, nil, Rect{}, 0, 0)
+	return out
+}

@@ -1,0 +1,352 @@
+package faultsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"soteria/internal/config"
+)
+
+// Options configures a Monte Carlo run.
+type Options struct {
+	Config config.FaultSimConfig
+	// TotalFIT is the per-chip failure rate (the paper sweeps 1..80).
+	TotalFIT float64
+	// Trials overrides Config.Trials when non-zero.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Workers bounds parallelism (default: GOMAXPROCS).
+	Workers int
+	// Conditional enables importance sampling: trials are drawn
+	// conditioned on at least two faults arriving (the only trials that
+	// can produce Chipkill-uncorrectable errors) and every loss is
+	// weighted by P(N >= 2). This gives the same expectation as plain
+	// sampling with orders of magnitude fewer wasted trials — at FIT 80
+	// a 16 GB DIMM sees ~0.06 faults per five-year lifetime, so double
+	// faults are ~1e-6 of raw trials.
+	Conditional bool
+	// ECC selects the correction model (default Chipkill).
+	ECC ECCModel
+}
+
+// ECCModel is the module-level error correction the Monte Carlo assumes.
+type ECCModel int
+
+// ECC models for the §3.1/§6.2 stronger-ECC comparison.
+const (
+	// ECCChipkill corrects any single-chip fault per codeword
+	// (Table 4's repair mechanism).
+	ECCChipkill ECCModel = iota
+	// ECCMultiBit is Chipkill plus stronger multi-bit correction (BCH
+	// style, the §6.2 "stronger code" suggestion): overlaps of two
+	// *bit/word-granularity* faults are corrected, but structured
+	// faults (row/column/bank) still present whole-symbol errors on two
+	// chips and remain uncorrectable.
+	ECCMultiBit
+	// ECCDoubleChipkill corrects two simultaneous chip-granular symbol
+	// errors per codeword (an expensive hypothetical upper bound).
+	ECCDoubleChipkill
+)
+
+func (m ECCModel) String() string {
+	return [...]string{"chipkill", "chipkill+multibit", "double-chipkill"}[m]
+}
+
+// rectsFor computes the uncorrectable beats under the model.
+func (m ECCModel) rectsFor(d config.DIMMConfig, faults []Fault) []Rect {
+	switch m {
+	case ECCDoubleChipkill:
+		return UncorrectableK(d, faults, 2)
+	case ECCMultiBit:
+		// Pairwise overlaps, dropping bit/word x bit/word coincidences
+		// (a couple of corrupt bits per codeword: within multi-bit
+		// correction strength).
+		var out []Rect
+		for i := 0; i < len(faults); i++ {
+			for j := i + 1; j < len(faults); j++ {
+				a, b := &faults[i], &faults[j]
+				if a.Chip == b.Chip || a.Chip/d.ChipsPerRank != b.Chip/d.ChipsPerRank || !overlapTime(a, b) {
+					continue
+				}
+				if smallGran(a.Gran) && smallGran(b.Gran) {
+					continue
+				}
+				if r, ok := intersect(a.rect(d), b.rect(d)); ok {
+					out = append(out, r)
+				}
+			}
+		}
+		return out
+	default:
+		return UncorrectableK(d, faults, 1)
+	}
+}
+
+func smallGran(g Granularity) bool { return g == GranBit || g == GranWord }
+
+// minFaultsFor returns the smallest fault count that can defeat the model.
+func (m ECCModel) minFaultsFor() int {
+	if m == ECCDoubleChipkill {
+		return 3
+	}
+	return 2
+}
+
+// SchemeResult accumulates per-scheme losses over all trials. Loss sums
+// are expectation-weighted bytes (equal to raw sums when Conditional is
+// off).
+type SchemeResult struct {
+	Name string
+	// DataBytes is the scheme's protected data capacity.
+	DataBytes uint64
+	// TrialsWithUE counts (conditional) trials with uncorrectable loss.
+	TrialsWithUE int
+	// TrialsWithUnv counts trials that lost verifiability of any data.
+	TrialsWithUnv int
+	// TotalLErr / TotalLUnv are the weighted per-lifetime expected loss
+	// sums in bytes.
+	TotalLErr float64
+	TotalLUnv float64
+}
+
+// UDR returns the Unverifiable Data Ratio: expected unverifiable bytes per
+// byte of memory over the simulated lifetime (§5.3).
+func (r SchemeResult) UDR(trials int) float64 {
+	if trials == 0 || r.DataBytes == 0 {
+		return 0
+	}
+	return r.TotalLUnv / (float64(trials) * float64(r.DataBytes))
+}
+
+// ErrorRatio is the analogous ratio for direct data loss (L_error).
+func (r SchemeResult) ErrorRatio(trials int) float64 {
+	if trials == 0 || r.DataBytes == 0 {
+		return 0
+	}
+	return r.TotalLErr / (float64(trials) * float64(r.DataBytes))
+}
+
+// Result is a full Monte Carlo outcome.
+type Result struct {
+	Trials   int
+	TotalFIT float64
+	Schemes  []SchemeResult
+	// FaultTrials counts trials that saw at least one fault at all.
+	FaultTrials int
+	// Weight is the importance weight applied per conditional trial
+	// (1 when Conditional is off).
+	Weight float64
+}
+
+// poisson draws a Poisson(lambda) variate (Knuth's method; lambda is small
+// in every use here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1<<20 {
+			panic("faultsim: poisson runaway (lambda too large)")
+		}
+	}
+}
+
+// poissonAtLeast2 draws from Poisson(lambda) conditioned on the outcome
+// being >= 2, by inverse-CDF over the truncated distribution.
+func poissonAtLeast2(rng *rand.Rand, lambda float64) int {
+	p0 := math.Exp(-lambda)
+	p1 := p0 * lambda
+	norm := 1 - p0 - p1
+	if norm <= 0 {
+		return 2
+	}
+	u := rng.Float64() * norm
+	k := 2
+	pk := p1 * lambda / 2
+	for {
+		if u < pk || k > 1000 {
+			return k
+		}
+		u -= pk
+		k++
+		pk *= lambda / float64(k)
+	}
+}
+
+// modeDist flattens a mode table into a sampleable (granularity, transient)
+// distribution.
+type modeDist struct {
+	grans      []Granularity
+	transients []bool
+	cum        []float64 // cumulative rates
+	total      float64
+}
+
+func newModeDist(modes []Mode) *modeDist {
+	d := &modeDist{}
+	for _, m := range modes {
+		for _, k := range []struct {
+			fit float64
+			tr  bool
+		}{{m.TransientFIT, true}, {m.PermanentFIT, false}} {
+			if k.fit <= 0 {
+				continue
+			}
+			d.total += k.fit
+			d.grans = append(d.grans, m.Gran)
+			d.transients = append(d.transients, k.tr)
+			d.cum = append(d.cum, d.total)
+		}
+	}
+	return d
+}
+
+func (d *modeDist) sample(rng *rand.Rand) (Granularity, bool) {
+	u := rng.Float64() * d.total
+	for i, c := range d.cum {
+		if u < c {
+			return d.grans[i], d.transients[i]
+		}
+	}
+	return d.grans[len(d.grans)-1], d.transients[len(d.transients)-1]
+}
+
+// sampleN places n fault events at uniform times with mode-proportional
+// granularities.
+func sampleN(rng *rand.Rand, cfg config.FaultSimConfig, dist *modeDist, n int) []Fault {
+	hours := cfg.Years * 365 * 24
+	scrub := cfg.ScrubInterval.Hours()
+	var faults []Fault
+	for i := 0; i < n; i++ {
+		gran, transient := dist.sample(rng)
+		t := rng.Float64() * hours
+		end := hours + 1
+		if transient && scrub > 0 {
+			end = math.Min(t+scrub, hours+1)
+		}
+		faults = append(faults, sampleFault(rng, cfg.DIMM, gran, transient, t, end)...)
+	}
+	return faults
+}
+
+// SampleTrial draws one unconditioned trial's fault set over the configured
+// lifetime.
+func SampleTrial(rng *rand.Rand, cfg config.FaultSimConfig, modes []Mode) []Fault {
+	dist := newModeDist(modes)
+	hours := cfg.Years * 365 * 24
+	lambda := dist.total * 1e-9 * hours * float64(cfg.DIMM.Chips)
+	return sampleN(rng, cfg, dist, poisson(rng, lambda))
+}
+
+// Run executes the Monte Carlo simulation for every scheme over a shared
+// fault stream (schemes see identical fault histories, like the paper's
+// common FaultSim traces).
+func Run(opt Options, schemes []*Scheme) (*Result, error) {
+	trials := opt.Trials
+	if trials == 0 {
+		trials = opt.Config.Trials
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("faultsim: trials must be positive")
+	}
+	if err := opt.Config.DIMM.Validate(); err != nil {
+		return nil, err
+	}
+	dist := newModeDist(ScaledModes(HopperModes(), opt.TotalFIT))
+	hours := opt.Config.Years * 365 * 24
+	lambda := dist.total * 1e-9 * hours * float64(opt.Config.DIMM.Chips)
+
+	weight := 1.0
+	if opt.Conditional {
+		// P(N >= 2): the probability mass the conditional trials
+		// represent.
+		weight = 1 - math.Exp(-lambda)*(1+lambda)
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	res := &Result{Trials: trials, TotalFIT: opt.TotalFIT, Weight: weight}
+	res.Schemes = make([]SchemeResult, len(schemes))
+	for i, s := range schemes {
+		res.Schemes[i] = SchemeResult{Name: s.Name, DataBytes: s.Layout.DataBytes}
+	}
+
+	type partial struct {
+		schemes     []SchemeResult
+		faultTrials int
+	}
+	var wg sync.WaitGroup
+	parts := make([]partial, workers)
+	per := trials / workers
+	extra := trials % workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*1_000_003))
+			p := partial{schemes: make([]SchemeResult, len(schemes))}
+			for t := 0; t < n; t++ {
+				var faults []Fault
+				if opt.Conditional {
+					faults = sampleN(rng, opt.Config, dist, poissonAtLeast2(rng, lambda))
+				} else {
+					faults = sampleN(rng, opt.Config, dist, poisson(rng, lambda))
+				}
+				if len(faults) > 0 {
+					p.faultTrials++
+				}
+				if len(faults) < opt.ECC.minFaultsFor() {
+					continue // within the code's correction capability
+				}
+				rects := opt.ECC.rectsFor(opt.Config.DIMM, faults)
+				if len(rects) == 0 {
+					continue
+				}
+				for i, s := range schemes {
+					lErr, lUnv := s.Loss(opt.Config.DIMM, rects)
+					if lErr > 0 || lUnv > 0 {
+						p.schemes[i].TrialsWithUE++
+					}
+					if lUnv > 0 {
+						p.schemes[i].TrialsWithUnv++
+					}
+					p.schemes[i].TotalLErr += weight * float64(lErr)
+					p.schemes[i].TotalLUnv += weight * float64(lUnv)
+				}
+			}
+			parts[w] = p
+		}(w, n)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		res.FaultTrials += p.faultTrials
+		for i := range schemes {
+			res.Schemes[i].TrialsWithUE += p.schemes[i].TrialsWithUE
+			res.Schemes[i].TrialsWithUnv += p.schemes[i].TrialsWithUnv
+			res.Schemes[i].TotalLErr += p.schemes[i].TotalLErr
+			res.Schemes[i].TotalLUnv += p.schemes[i].TotalLUnv
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+// Package faultsim reproduces the FaultSim methodology (Roberts & Nair,
+// "FAULTSIM: A fast, configurable memory-resilience simulator") used by the
+// paper's reliability evaluation (§4, Table 4): Monte Carlo simulation of
+// DRAM/NVM device faults over a five-year lifetime, with fault granularities
+// and rates drawn from the Hopper field study (Sridharan et al., "Memory
+// Errors in Modern Systems"), evaluated under Chipkill-Correct.
+//
+// A fault is a rectangle in a chip's (bank, row, column) space. Chipkill
+// corrects anything confined to one chip of a rank; two temporally
+// overlapping faults on different chips of the same rank whose rectangles
+// intersect produce uncorrectable words in the intersection. The package
+// then maps uncorrectable addresses onto the secure-memory layout
+// (data / counters / tree levels / clone regions) and computes the paper's
+// loss metrics: L_error, L_unverifiable and UDR (§5.3).
+package faultsim
+
+// Granularity is the spatial extent of one fault within a chip.
+type Granularity int
+
+// Fault granularities, matching the Hopper field-study classification used
+// by FaultSim and by Table 4's failure distribution.
+const (
+	GranBit Granularity = iota
+	GranWord
+	GranColumn
+	GranRow
+	GranBank
+	GranMultiBank
+	GranMultiRank
+	granCount
+)
+
+func (g Granularity) String() string {
+	return [...]string{"bit", "word", "column", "row", "bank", "multi-bank", "multi-rank"}[g]
+}
+
+// Mode couples a granularity with its transient and permanent FIT rates
+// (failures per 10^9 device-hours, per chip).
+type Mode struct {
+	Gran         Granularity
+	TransientFIT float64
+	PermanentFIT float64
+}
+
+// HopperModes returns the per-chip fault rates reported for the Hopper
+// supercomputer's DDR-3 devices (Sridharan et al.), the distribution named
+// in Table 4. Total ~= 66 FIT per chip.
+func HopperModes() []Mode {
+	return []Mode{
+		{GranBit, 14.2, 18.6},
+		{GranWord, 1.4, 0.3},
+		{GranColumn, 1.4, 5.6},
+		{GranRow, 0.2, 8.2},
+		{GranBank, 0.8, 10.0},
+		{GranMultiBank, 0.3, 1.4},
+		{GranMultiRank, 0.9, 2.8},
+	}
+}
+
+// TotalFIT sums all rates in the mode table.
+func TotalFIT(modes []Mode) float64 {
+	var t float64
+	for _, m := range modes {
+		t += m.TransientFIT + m.PermanentFIT
+	}
+	return t
+}
+
+// ScaledModes rescales a mode table so the per-chip total equals totalFIT,
+// preserving the relative distribution — how the paper sweeps FIT from 1 to
+// 80 "to model a variety of reliability scenarios due to differing NVM
+// technologies" (§4).
+func ScaledModes(modes []Mode, totalFIT float64) []Mode {
+	cur := TotalFIT(modes)
+	if cur == 0 {
+		return modes
+	}
+	s := totalFIT / cur
+	out := make([]Mode, len(modes))
+	for i, m := range modes {
+		out[i] = Mode{Gran: m.Gran, TransientFIT: m.TransientFIT * s, PermanentFIT: m.PermanentFIT * s}
+	}
+	return out
+}

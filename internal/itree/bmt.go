@@ -1,0 +1,226 @@
+package itree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"soteria/internal/ctrenc"
+)
+
+// LineStore abstracts the NVM the BMT reads and writes. ReadLine returns an
+// error for a detected uncorrectable line — the BMT surfaces that to the
+// caller instead of silently verifying garbage.
+type LineStore interface {
+	ReadLine(addr uint64) ([BlockSize]byte, error)
+	WriteLine(addr uint64, data *[BlockSize]byte)
+}
+
+// BMT is a Bonsai-Merkle-style hash tree over a contiguous run of 64-byte
+// leaves: every internal node packs eight 64-bit keyed hashes of its
+// children, and the root hash is held on chip. Unlike the ToC, any node is
+// recomputable from its children, so the tree supports only eager updates —
+// which is exactly why the paper (and Anubis before it) uses a small eager
+// BMT to protect the shadow region while the main tree stays a lazy ToC.
+type BMT struct {
+	eng      *ctrenc.Engine
+	store    LineStore
+	leafBase uint64
+	leaves   uint64
+	// levelBase[i] is the NVM address of internal level i (level 0 is
+	// nearest the leaves); levelNodes[i] its node count. The last level
+	// always has one node.
+	levelBase  []uint64
+	levelNodes []uint64
+	root       uint64 // on-chip root hash
+}
+
+// BMTStorageLines returns the number of 64-byte lines a BMT over n leaves
+// stores in memory (matching Layout's shadow-tree allocation).
+func BMTStorageLines(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	var total uint64
+	for c := ceilDiv(n, 8); ; c = ceilDiv(c, 8) {
+		total += c
+		if c == 1 {
+			return total
+		}
+	}
+}
+
+// NewBMT builds a BMT over `leaves` lines starting at leafBase, storing
+// internal nodes at treeBase. The tree is initialized from the current leaf
+// contents.
+func NewBMT(eng *ctrenc.Engine, store LineStore, leafBase, leaves, treeBase uint64) (*BMT, error) {
+	if leaves == 0 {
+		return nil, fmt.Errorf("itree: BMT needs at least one leaf")
+	}
+	b := &BMT{eng: eng, store: store, leafBase: leafBase, leaves: leaves}
+	cursor := treeBase
+	for n := ceilDiv(leaves, 8); ; n = ceilDiv(n, 8) {
+		b.levelBase = append(b.levelBase, cursor)
+		b.levelNodes = append(b.levelNodes, n)
+		cursor += n * BlockSize
+		if n == 1 {
+			break
+		}
+	}
+	if err := b.Rebuild(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AttachBMT builds the BMT's level map over existing storage without
+// rebuilding anything, then installs the given root. It is the post-crash
+// constructor: the root survived in the processor's persistent register and
+// the stored tree nodes are verified against it, never regenerated from
+// possibly-tampered leaves.
+func AttachBMT(eng *ctrenc.Engine, store LineStore, leafBase, leaves, treeBase uint64, root uint64) (*BMT, error) {
+	if leaves == 0 {
+		return nil, fmt.Errorf("itree: BMT needs at least one leaf")
+	}
+	b := &BMT{eng: eng, store: store, leafBase: leafBase, leaves: leaves, root: root}
+	cursor := treeBase
+	for n := ceilDiv(leaves, 8); ; n = ceilDiv(n, 8) {
+		b.levelBase = append(b.levelBase, cursor)
+		b.levelNodes = append(b.levelNodes, n)
+		cursor += n * BlockSize
+		if n == 1 {
+			break
+		}
+	}
+	return b, nil
+}
+
+// Root returns the on-chip root hash.
+func (b *BMT) Root() uint64 { return b.root }
+
+// SetRoot installs a previously saved root (recovery after power loss: the
+// root survives in the processor's persistent root register).
+func (b *BMT) SetRoot(r uint64) { b.root = r }
+
+// leafHash hashes one leaf line bound to its index.
+func (b *BMT) leafHash(index uint64, line *[BlockSize]byte) uint64 {
+	return b.eng.MAC(ctrenc.DomainShadowTree, index, 0, line[:])
+}
+
+// nodeHash hashes one internal node line bound to (level+1, index).
+func (b *BMT) nodeHash(level int, index uint64, line *[BlockSize]byte) uint64 {
+	return b.eng.MAC(ctrenc.DomainShadowTree, uint64(level+1)<<56|index, 1, line[:])
+}
+
+// Rebuild recomputes the whole tree from the leaves (used at construction
+// and by recovery once leaves are restored).
+func (b *BMT) Rebuild() error {
+	prevCount := b.leaves
+	hash := func(i uint64) (uint64, error) {
+		line, err := b.store.ReadLine(b.leafBase + i*BlockSize)
+		if err != nil {
+			return 0, err
+		}
+		return b.leafHash(i, &line), nil
+	}
+	for lvl := range b.levelBase {
+		for node := uint64(0); node < b.levelNodes[lvl]; node++ {
+			var line [BlockSize]byte
+			for c := 0; c < 8; c++ {
+				child := node*8 + uint64(c)
+				if child >= prevCount {
+					break
+				}
+				h, err := hash(child)
+				if err != nil {
+					return err
+				}
+				binary.LittleEndian.PutUint64(line[c*8:(c+1)*8], h)
+			}
+			b.store.WriteLine(b.levelBase[lvl]+node*BlockSize, &line)
+		}
+		prevCount = b.levelNodes[lvl]
+		base := b.levelBase[lvl]
+		l := lvl
+		hash = func(i uint64) (uint64, error) {
+			line, err := b.store.ReadLine(base + i*BlockSize)
+			if err != nil {
+				return 0, err
+			}
+			return b.nodeHash(l, i, &line), nil
+		}
+	}
+	top, err := b.store.ReadLine(b.levelBase[len(b.levelBase)-1])
+	if err != nil {
+		return err
+	}
+	b.root = b.nodeHash(len(b.levelBase)-1, 0, &top)
+	return nil
+}
+
+// Update writes a leaf and eagerly propagates hashes to the root — the
+// BMT's root is always fresh, giving the shadow region a single point of
+// verification after a crash.
+func (b *BMT) Update(index uint64, line *[BlockSize]byte) error {
+	if index >= b.leaves {
+		return fmt.Errorf("itree: BMT leaf %d out of range (%d)", index, b.leaves)
+	}
+	b.store.WriteLine(b.leafBase+index*BlockSize, line)
+	h := b.leafHash(index, line)
+	child := index
+	for lvl := range b.levelBase {
+		nodeIdx := child / 8
+		slot := child % 8
+		addr := b.levelBase[lvl] + nodeIdx*BlockSize
+		nodeLine, err := b.store.ReadLine(addr)
+		if err != nil {
+			return fmt.Errorf("itree: BMT level %d node %d unreadable: %w", lvl, nodeIdx, err)
+		}
+		binary.LittleEndian.PutUint64(nodeLine[slot*8:(slot+1)*8], h)
+		b.store.WriteLine(addr, &nodeLine)
+		h = b.nodeHash(lvl, nodeIdx, &nodeLine)
+		child = nodeIdx
+	}
+	b.root = h
+	return nil
+}
+
+// Verify checks a leaf's hash chain against the on-chip root. It returns
+// the leaf contents when authentic.
+func (b *BMT) Verify(index uint64) ([BlockSize]byte, error) {
+	if index >= b.leaves {
+		return [BlockSize]byte{}, fmt.Errorf("itree: BMT leaf %d out of range (%d)", index, b.leaves)
+	}
+	leaf, err := b.store.ReadLine(b.leafBase + index*BlockSize)
+	if err != nil {
+		return [BlockSize]byte{}, err
+	}
+	h := b.leafHash(index, &leaf)
+	child := index
+	for lvl := range b.levelBase {
+		nodeIdx := child / 8
+		slot := child % 8
+		nodeLine, err := b.store.ReadLine(b.levelBase[lvl] + nodeIdx*BlockSize)
+		if err != nil {
+			return [BlockSize]byte{}, err
+		}
+		if got := binary.LittleEndian.Uint64(nodeLine[slot*8 : (slot+1)*8]); got != h {
+			return [BlockSize]byte{}, fmt.Errorf("itree: BMT hash mismatch at level %d node %d slot %d", lvl, nodeIdx, slot)
+		}
+		h = b.nodeHash(lvl, nodeIdx, &nodeLine)
+		child = nodeIdx
+	}
+	if h != b.root {
+		return [BlockSize]byte{}, fmt.Errorf("itree: BMT root mismatch")
+	}
+	return leaf, nil
+}
+
+// VerifyAll verifies every leaf; the first failure aborts.
+func (b *BMT) VerifyAll() error {
+	for i := uint64(0); i < b.leaves; i++ {
+		if _, err := b.Verify(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,441 @@
+// Package memctrl is the secure NVM memory controller — the component the
+// whole paper is about. It composes every substrate in this repository:
+//
+//   - counter-mode encryption with split counters (internal/ctrenc),
+//   - a lazily updated SGX-style Tree of Counters (internal/itree),
+//   - the volatile metadata cache (internal/metacache),
+//   - Anubis shadow tracking with Soteria's duplicated entries
+//     (internal/shadow) and Osiris counter recovery (internal/osiris),
+//   - Soteria metadata cloning and fault handling (internal/core),
+//   - an ADR write-pending queue over a fault-injectable, ECC-protected
+//     NVM device (internal/wpq, internal/nvm, internal/ecc).
+//
+// The controller is byte-accurate (data really is encrypted, MACed,
+// verified and recovered) and simultaneously maintains the timing model the
+// performance figures are measured on.
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"soteria/internal/config"
+	"soteria/internal/core"
+	"soteria/internal/ctrenc"
+	"soteria/internal/ecc"
+	"soteria/internal/itree"
+	"soteria/internal/metacache"
+	"soteria/internal/nvm"
+	"soteria/internal/shadow"
+	"soteria/internal/sim"
+	"soteria/internal/wpq"
+)
+
+// Mode selects the protection scheme, matching the schemes compared in
+// Fig 10 and Fig 11 of the paper.
+type Mode int
+
+// Controller modes.
+const (
+	// ModeNonSecure is a plain NVM controller: no encryption, no
+	// integrity tree, no shadow region.
+	ModeNonSecure Mode = iota
+	// ModeBaseline is the paper's Secure Baseline: counter-mode
+	// encryption, lazily updated ToC, Anubis cache tracking — no
+	// clones, single-copy shadow entries.
+	ModeBaseline
+	// ModeSRC is Soteria Relaxed Cloning.
+	ModeSRC
+	// ModeSAC is Soteria Aggressive Cloning.
+	ModeSAC
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNonSecure:
+		return "non-secure"
+	case ModeBaseline:
+		return "secure-baseline"
+	case ModeSRC:
+		return "soteria-SRC"
+	case ModeSAC:
+		return "soteria-SAC"
+	default:
+		return "?"
+	}
+}
+
+// Policy returns the clone policy a mode implies.
+func (m Mode) Policy() core.ClonePolicy {
+	switch m {
+	case ModeSRC:
+		return core.SRC()
+	case ModeSAC:
+		return core.SAC()
+	default:
+		return core.Baseline()
+	}
+}
+
+// WriteCat categorizes NVM writes for the Fig 10b breakdown.
+type WriteCat int
+
+// NVM write categories.
+const (
+	WCData WriteCat = iota
+	WCDataMAC
+	WCShadow
+	WCMetadata // home-copy metadata write-back
+	WCClone    // Soteria clone writes
+	WCRecovery
+	wcCount
+)
+
+func (w WriteCat) String() string {
+	return [...]string{"data", "data-mac", "shadow", "metadata", "clone", "recovery"}[w]
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	MemRequests   uint64
+	DataReads     uint64
+	DataWrites    uint64
+	ColdReads     uint64
+	NVMWrites     [wcCount]uint64
+	NVMReads      uint64
+	WPQForwards   uint64
+	PageReencrypt uint64
+	ForcedWB      uint64
+	RecoveredOK   uint64
+	RecoveryLost  uint64
+}
+
+// TotalNVMWrites sums all write categories.
+func (s Stats) TotalNVMWrites() uint64 {
+	var t uint64
+	for _, v := range s.NVMWrites {
+		t += v
+	}
+	return t
+}
+
+// Errors surfaced by the controller.
+var (
+	// ErrUnverifiable: a metadata node (and all of its clones, if any)
+	// is dead; the covered region cannot be verified.
+	ErrUnverifiable = errors.New("memctrl: metadata unverifiable")
+	// ErrTamper: integrity verification failed with clean ECC on all
+	// copies — an active attack signature.
+	ErrTamper = errors.New("memctrl: integrity violation (tamper/replay)")
+	// ErrDataError: the data block itself holds an uncorrectable error.
+	ErrDataError = errors.New("memctrl: uncorrectable data error")
+	// ErrMACMismatch: the data MAC check failed.
+	ErrMACMismatch = errors.New("memctrl: data MAC mismatch")
+	// ErrCrashed: the controller needs Recover() before use.
+	ErrCrashed = errors.New("memctrl: controller crashed; call Recover")
+)
+
+// Options tune non-default controller behaviour.
+type Options struct {
+	// OsirisLimit bounds in-cache counter increments between forced
+	// write-backs; zero selects the default.
+	OsirisLimit int
+	// EagerTreeUpdate switches the ToC from the paper's lazy update to
+	// the eager scheme of §2.5: every data write propagates fresh MACs
+	// along the whole branch to the root. The root is always current, so
+	// no Anubis shadow tracking is needed (and none is performed) — but
+	// every write turns into a branch of write-backs, the "extreme
+	// slowdown" the paper cites as the reason to go lazy. Exposed for
+	// the ablation experiment.
+	EagerTreeUpdate bool
+}
+
+// Controller is the secure memory controller front-end. It is not
+// goroutine-safe: the simulation is single-threaded by design.
+type Controller struct {
+	cfg    config.SystemConfig
+	mode   Mode
+	policy core.ClonePolicy
+	layout *itree.Layout
+	dev    *nvm.Device
+	banks  *sim.Banks
+	q      *wpq.Queue
+	eng    *ctrenc.Engine
+	mcache *metacache.Cache
+	shadow *shadow.Table
+	fh     *core.FaultHandler
+
+	// Persistent on-chip registers (survive power loss in the ADR
+	// domain): the ToC root node and the shadow-BMT root.
+	root       itree.Node
+	shadowRoot uint64
+
+	readLat, writeLat sim.Time
+	fwdLat            sim.Time
+	osirisLimit       int
+	eager             bool
+
+	now       sim.Time
+	crashed   bool
+	bootstrap bool
+	stats     Stats
+	cascade   int
+
+	// inflight holds metadata blocks currently being written back,
+	// keyed by home address. While a block is in flight, getBlock serves
+	// the in-flight copy so that nested write-backs (eviction cascades)
+	// apply their parent-counter bumps to the copy that will actually be
+	// serialized — otherwise a concurrent re-fetch of the stale NVM copy
+	// could roll those bumps back.
+	inflight map[uint64]*metacache.Block
+}
+
+// New constructs a controller in the given mode over a fresh NVM device.
+func New(cfg config.SystemConfig, mode Mode, key []byte, opt Options) (*Controller, error) {
+	return newController(cfg, mode, mode.Policy(), key, opt)
+}
+
+// NewWithPolicy constructs a secure controller with an explicit clone
+// policy (used by depth-sweep ablations). Shadow entries are duplicated
+// (Soteria style) whenever the policy clones anything.
+func NewWithPolicy(cfg config.SystemConfig, policy core.ClonePolicy, key []byte, opt Options) (*Controller, error) {
+	mode := ModeSRC
+	if policy.Depth(1, 9) == 1 && policy.Depth(9, 9) == 1 {
+		mode = ModeBaseline
+	}
+	return newController(cfg, mode, policy, key, opt)
+}
+
+func newController(cfg config.SystemConfig, mode Mode, policy core.ClonePolicy, key []byte, opt Options) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	c := &Controller{
+		cfg:         cfg,
+		mode:        mode,
+		policy:      policy,
+		readLat:     sim.FromDuration(cfg.NVM.ReadLatency),
+		writeLat:    sim.FromDuration(cfg.NVM.WriteLatency),
+		fwdLat:      sim.FromDuration(cfg.NVM.ReadLatency) / 10,
+		osirisLimit: opt.OsirisLimit,
+		eager:       opt.EagerTreeUpdate,
+		inflight:    make(map[uint64]*metacache.Block),
+	}
+	if c.osirisLimit <= 0 {
+		c.osirisLimit = defaultOsirisLimit
+	}
+	c.banks = sim.NewBanks(cfg.NVM.Banks)
+
+	if mode == ModeNonSecure {
+		dev, err := nvm.NewDevice(cfg.NVM.CapacityBytes, ecc.NewChipkill())
+		if err != nil {
+			return nil, err
+		}
+		c.dev = dev
+		q, err := wpq.New(dev, c.banks, cfg.NVM.WPQEntries, c.writeLat)
+		if err != nil {
+			return nil, err
+		}
+		c.q = q
+		return c, nil
+	}
+
+	mcfg := cfg.Security.MetadataCache
+	shadowSlots := uint64(mcfg.Sets() * mcfg.Ways)
+
+	// First pass to learn the level count, second to size clone regions.
+	probe, err := itree.NewLayout(itree.Params{
+		DataBytes:    cfg.NVM.CapacityBytes,
+		CounterArity: cfg.Security.CounterArity,
+		TreeArity:    cfg.Security.TreeArity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	layout, err := itree.NewLayout(itree.Params{
+		DataBytes:     cfg.NVM.CapacityBytes,
+		CounterArity:  cfg.Security.CounterArity,
+		TreeArity:     cfg.Security.TreeArity,
+		CloneDepths:   policy.Depths(probe.TopLevel()),
+		ShadowEntries: shadowSlots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := core.CheckDepths(layout, policy); err != nil {
+		return nil, err
+	}
+	c.layout = layout
+
+	dev, err := nvm.NewDevice(roundUp(layout.Total, nvm.LineSize), ecc.NewChipkill())
+	if err != nil {
+		return nil, err
+	}
+	c.dev = dev
+	q, err := wpq.New(dev, c.banks, cfg.NVM.WPQEntries, c.writeLat)
+	if err != nil {
+		return nil, err
+	}
+	c.q = q
+
+	eng, err := ctrenc.NewEngine(key)
+	if err != nil {
+		return nil, err
+	}
+	c.eng = eng
+
+	mc, err := metacache.New(mcfg, layout.TopLevel())
+	if err != nil {
+		return nil, err
+	}
+	c.mcache = mc
+
+	// Table construction initializes every slot and builds the shadow
+	// BMT; those boot-time writes go straight to the device without
+	// timing charges or statistics.
+	c.bootstrap = true
+	tbl, err := shadow.NewTable(eng, c.shadowStore(), layout.ShadowBase, layout.ShadowEntries,
+		layout.ShadowTreeBase, shadow.Options{Duplicate: mode != ModeBaseline})
+	c.bootstrap = false
+	if err != nil {
+		return nil, err
+	}
+	c.shadow = tbl
+	c.shadowRoot = tbl.Root()
+
+	c.fh = core.NewFaultHandler(devMem{dev}, layout)
+	return c, nil
+}
+
+const defaultOsirisLimit = 8
+
+func roundUp(v, m uint64) uint64 { return (v + m - 1) / m * m }
+
+// Mode returns the controller's protection mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// Layout exposes the NVM address map (nil in non-secure mode).
+func (c *Controller) Layout() *itree.Layout { return c.layout }
+
+// Device exposes the underlying NVM for fault injection in tests and
+// experiments.
+func (c *Controller) Device() *nvm.Device { return c.dev }
+
+// Stats returns a copy of the controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// MetaStats returns the metadata cache statistics (zero value in
+// non-secure mode).
+func (c *Controller) MetaStats() metacache.Stats {
+	if c.mcache == nil {
+		return metacache.Stats{}
+	}
+	return c.mcache.Stats()
+}
+
+// WPQStats returns the write-pending-queue statistics.
+func (c *Controller) WPQStats() wpq.Stats { return c.q.Stats() }
+
+// FaultStats returns the Soteria fault-handler statistics (zero value in
+// non-secure mode).
+func (c *Controller) FaultStats() core.Stats {
+	if c.fh == nil {
+		return core.Stats{}
+	}
+	return c.fh.Stats()
+}
+
+// ShadowStats returns shadow-table statistics (zero value in non-secure
+// mode).
+func (c *Controller) ShadowStats() shadow.Stats {
+	if c.shadow == nil {
+		return shadow.Stats{}
+	}
+	return c.shadow.Stats()
+}
+
+// devMem adapts the device for the fault handler (repair writes bypass the
+// WPQ: recovery is off the critical path).
+type devMem struct{ dev *nvm.Device }
+
+func (m devMem) ReadLine(addr uint64) (nvm.Line, bool) {
+	r := m.dev.Read(addr)
+	return r.Data, r.Uncorrectable
+}
+
+func (m devMem) WriteLine(addr uint64, line *nvm.Line) { m.dev.Write(addr, line) }
+
+// shadowStore adapts WPQ-routed I/O for the shadow table; writes are
+// counted in the shadow category and coalesce in the WPQ.
+type shadowStore struct{ c *Controller }
+
+func (c *Controller) shadowStore() shadow.Store { return shadowStore{c} }
+
+func (s shadowStore) ReadLine(addr uint64) ([nvm.LineSize]byte, error) {
+	r := s.c.dev.Read(addr)
+	if r.Uncorrectable {
+		return r.Data, fmt.Errorf("memctrl: uncorrectable shadow line %#x", addr)
+	}
+	return r.Data, nil
+}
+
+func (s shadowStore) WriteLine(addr uint64, data *[nvm.LineSize]byte) {
+	// The shadow *table* lives in NVM and its writes are the Anubis
+	// "shadow log" cost. The shadow *tree* above it is tiny (tens of kB)
+	// and is held in ADR-protected on-chip SRAM — like the WPQ, it
+	// persists across power loss without consuming NVM write bandwidth.
+	// The device stands in for that SRAM functionally.
+	if s.c.layout.ShadowTreeLn > 0 && addr >= s.c.layout.ShadowTreeBase {
+		s.c.dev.Write(addr, data)
+		return
+	}
+	s.c.pushWrite(addr, data, WCShadow)
+}
+
+func (s shadowStore) ReadRaw(addr uint64) (nvm.Line, []int, bool) {
+	r := s.c.dev.Read(addr)
+	if r.Uncorrectable {
+		return s.c.dev.ReadRaw(addr), r.BadWords, true
+	}
+	return r.Data, nil, false
+}
+
+// pushWrite routes one line write through the WPQ, updating the category
+// accounting (coalesced writes cost no NVM write). During bootstrap the
+// write bypasses the WPQ and the books.
+func (c *Controller) pushWrite(addr uint64, data *nvm.Line, cat WriteCat) {
+	if c.bootstrap {
+		c.dev.Write(addr, data)
+		return
+	}
+	if !c.q.Pending(c.now, addr) {
+		c.stats.NVMWrites[cat]++
+	}
+	c.now = c.q.Push(c.now, addr, data)
+}
+
+// ResetStats zeroes every statistics counter (controller, metadata cache
+// excluded — its histograms reset with it — WPQ and fault handler), so
+// experiments can discard warm-up effects. The metadata cache and WPQ keep
+// their contents; only the books are cleared.
+func (c *Controller) ResetStats() {
+	c.stats = Stats{}
+	if c.fh != nil {
+		c.fh.ResetStats()
+	}
+}
+
+// readNVM reads one line, forwarding from the WPQ when the write is still
+// pending, otherwise charging the bank read latency.
+func (c *Controller) readNVM(addr uint64) nvm.ReadResult {
+	if c.q.Pending(c.now, addr) {
+		c.stats.WPQForwards++
+		c.now += c.fwdLat
+		return c.dev.Read(addr)
+	}
+	bank := c.banks.BankFor(addr / nvm.LineSize)
+	c.now = c.banks.Schedule(bank, c.now, c.readLat)
+	c.stats.NVMReads++
+	return c.dev.Read(addr)
+}

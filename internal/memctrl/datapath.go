@@ -1,0 +1,302 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"soteria/internal/ctrenc"
+	"soteria/internal/metacache"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// ReadBlock services one 64-byte read at a data-region address (as issued
+// by an LLC miss). It returns the plaintext, the completion time, and any
+// security or reliability error. Addresses must be line-aligned and inside
+// the data region.
+func (c *Controller) ReadBlock(now sim.Time, addr uint64) ([nvm.LineSize]byte, sim.Time, error) {
+	if err := c.checkDataAddr(addr); err != nil {
+		return nvm.Line{}, now, err
+	}
+	c.now = now
+	c.stats.MemRequests++
+	c.stats.DataReads++
+
+	if c.mode == ModeNonSecure {
+		r := c.readNVM(addr)
+		if r.Uncorrectable {
+			return r.Data, c.now, fmt.Errorf("%w: block %#x", ErrDataError, addr)
+		}
+		return r.Data, c.now, nil
+	}
+
+	blockIdx := addr / nvm.LineSize
+	leafIdx := c.layout.CounterBlockOf(blockIdx)
+	slot := c.layout.SlotOf(blockIdx)
+
+	cb, err := c.getBlock(1, leafIdx)
+	if err != nil {
+		return nvm.Line{}, c.now, err
+	}
+	counter := cb.Counter.Counter(slot)
+
+	// Cold-read semantics: a never-written block reads as zeroes with
+	// nothing to verify. (The counter can be non-zero here: a page
+	// re-encryption bumps the major counter of untouched siblings.)
+	if !c.dev.Materialized(addr) {
+		// The hardware still performs the array read; only the
+		// zero-content semantics are a simulation convenience.
+		c.chargeReadLatency(addr)
+		c.stats.ColdReads++
+		return nvm.Line{}, c.now, nil
+	}
+
+	// The data fetch and OTP generation overlap (Fig 1), so only the
+	// memory latency is charged; the MAC fetch may add a second access
+	// on a MAC-line miss.
+	r := c.readNVM(addr)
+	if r.Uncorrectable {
+		return nvm.Line{}, c.now, fmt.Errorf("%w: block %#x", ErrDataError, addr)
+	}
+	want, err := c.dataMAC(blockIdx)
+	if err != nil {
+		return nvm.Line{}, c.now, err
+	}
+	ct := r.Data
+	if got := c.eng.DataMAC(addr, counter, &ct); got != want {
+		return nvm.Line{}, c.now, fmt.Errorf("%w: block %#x", ErrMACMismatch, addr)
+	}
+	pt := c.eng.Decrypt(addr, counter, &ct)
+	return pt, c.now, nil
+}
+
+// WriteBlock services one 64-byte write at a data-region address (an LLC
+// write-back). The block's minor counter advances, the ciphertext and its
+// MAC persist through the WPQ, and the Anubis shadow entry for the counter
+// block is refreshed — the paper's "maximum of three writes (cipher, data
+// MAC and Shadow log) per write".
+func (c *Controller) WriteBlock(now sim.Time, addr uint64, data *[nvm.LineSize]byte) (sim.Time, error) {
+	if err := c.checkDataAddr(addr); err != nil {
+		return now, err
+	}
+	c.now = now
+	c.stats.MemRequests++
+	c.stats.DataWrites++
+
+	if c.mode == ModeNonSecure {
+		c.pushWrite(addr, data, WCData)
+		return c.now, nil
+	}
+
+	blockIdx := addr / nvm.LineSize
+	leafIdx := c.layout.CounterBlockOf(blockIdx)
+	slot := c.layout.SlotOf(blockIdx)
+
+	cb, err := c.getBlock(1, leafIdx)
+	if err != nil {
+		return c.now, err
+	}
+	if cb.Counter.Increment(slot) {
+		// Minor overflow: re-encrypt the whole covered page under an
+		// incremented major counter, then retry the bump.
+		if err := c.reencryptPage(leafIdx); err != nil {
+			return c.now, err
+		}
+		cb, err = c.getBlock(1, leafIdx)
+		if err != nil {
+			return c.now, err
+		}
+		if cb.Counter.Increment(slot) {
+			panic("memctrl: minor overflow immediately after page re-encryption")
+		}
+	}
+	counter := cb.Counter.Counter(slot)
+	home := c.layout.NodeAddr(1, leafIdx)
+	cb.UpdatesPerSlot[slot]++
+	needForce := !c.eager && cb.UpdatesPerSlot[slot] >= uint32(c.osirisLimit)
+	c.mcache.MarkDirty(home)
+	c.shadowUpdate(home)
+
+	ct := c.eng.Encrypt(addr, counter, data)
+	c.pushWrite(addr, &ct, WCData)
+	if err := c.setDataMAC(blockIdx, c.eng.DataMAC(addr, counter, &ct)); err != nil {
+		return c.now, err
+	}
+	if needForce {
+		// Osiris bound: the counter may not drift further from its
+		// NVM copy than recovery can search.
+		if err := c.forceWriteback(home); err != nil {
+			return c.now, err
+		}
+	}
+	if c.eager {
+		// Eager-update ablation (§2.5): flush the whole branch so the
+		// on-chip root reflects this write immediately.
+		if err := c.eagerPropagate(leafIdx); err != nil {
+			return c.now, err
+		}
+	}
+	return c.now, nil
+}
+
+// eagerPropagate force-writes the leaf's branch bottom-up; each write-back
+// dirties the next level, which the following iteration flushes, ending at
+// the on-chip root.
+func (c *Controller) eagerPropagate(leafIdx uint64) error {
+	level, index := 1, leafIdx
+	for {
+		home := c.layout.NodeAddr(level, index)
+		if _, ok := c.mcache.Peek(home); ok {
+			if err := c.forceWriteback(home); err != nil {
+				return err
+			}
+		}
+		_, pindex, _, stored := c.layout.Parent(level, index)
+		if !stored {
+			return nil
+		}
+		level, index = level+1, pindex
+	}
+}
+
+// reencryptPage handles a minor-counter overflow: the major counter bumps,
+// every minor resets, and all covered blocks that exist in memory are
+// re-encrypted and re-MACed under their new counters.
+func (c *Controller) reencryptPage(leafIdx uint64) error {
+	cb, err := c.getBlock(1, leafIdx)
+	if err != nil {
+		return err
+	}
+	home := c.layout.NodeAddr(1, leafIdx)
+	var oldCounters [ctrenc.CountersPerBlock]uint64
+	for i := range oldCounters {
+		oldCounters[i] = cb.Counter.Counter(i)
+	}
+	cb.Counter.BumpMajor()
+	newMajorCounter := cb.Counter // value copy for stable counters during the loop
+
+	firstBlock := leafIdx * uint64(ctrenc.CountersPerBlock)
+	for i := 0; i < ctrenc.CountersPerBlock; i++ {
+		blockIdx := firstBlock + uint64(i)
+		if blockIdx >= c.layout.DataBlocks {
+			break
+		}
+		addr := blockIdx * nvm.LineSize
+		if !c.dev.Materialized(addr) {
+			continue // never written; nothing to re-encrypt
+		}
+		r := c.readNVM(addr)
+		if r.Uncorrectable {
+			return fmt.Errorf("%w: block %#x during page re-encryption", ErrDataError, addr)
+		}
+		ct := r.Data
+		want, err := c.dataMAC(blockIdx)
+		if err != nil {
+			return err
+		}
+		if got := c.eng.DataMAC(addr, oldCounters[i], &ct); got != want {
+			return fmt.Errorf("%w: block %#x during page re-encryption", ErrMACMismatch, addr)
+		}
+		pt := c.eng.Decrypt(addr, oldCounters[i], &ct)
+		nct := c.eng.Encrypt(addr, newMajorCounter.Counter(i), &pt)
+		c.pushWrite(addr, &nct, WCData)
+		if err := c.setDataMAC(blockIdx, c.eng.DataMAC(addr, newMajorCounter.Counter(i), &nct)); err != nil {
+			return err
+		}
+	}
+
+	// The leaf changed wholesale: refresh bookkeeping and its shadow
+	// entry. (Re-peek: the loop may have reshuffled the cache.)
+	if blk, ok := c.mcache.Peek(home); ok {
+		for i := range blk.UpdatesPerSlot {
+			blk.UpdatesPerSlot[i] = 0
+		}
+		c.mcache.MarkDirty(home)
+		c.shadowUpdate(home)
+	} else {
+		// Evicted mid-loop (written back with the new major). Nothing
+		// more to do: memory already holds the re-encrypted state.
+		_ = blk
+	}
+	c.stats.PageReencrypt++
+	return nil
+}
+
+func (c *Controller) checkDataAddr(addr uint64) error {
+	if c.crashed {
+		return ErrCrashed
+	}
+	if addr%nvm.LineSize != 0 {
+		return fmt.Errorf("memctrl: unaligned data address %#x", addr)
+	}
+	limit := c.cfg.NVM.CapacityBytes
+	if addr >= limit {
+		return fmt.Errorf("memctrl: data address %#x beyond capacity %#x", addr, limit)
+	}
+	return nil
+}
+
+// DrainWPQ advances time until every write accepted so far has left the
+// write pending queue — the timing effect of an sfence/durability barrier.
+// (Functionally WPQ writes are already durable; only time passes.)
+func (c *Controller) DrainWPQ(now sim.Time) sim.Time {
+	c.now = now
+	c.now = c.q.FlushTime(c.now)
+	return c.now
+}
+
+// FlushAll writes back every dirty metadata block (leaf levels first so
+// parent bumps are folded in), then waits for the WPQ to drain. It leaves
+// the NVM image fully self-consistent — the state VerifyAll checks and a
+// clean shutdown produces.
+func (c *Controller) FlushAll(now sim.Time) sim.Time {
+	c.now = now
+	if c.mode == ModeNonSecure {
+		c.now = c.q.FlushTime(c.now)
+		return c.now
+	}
+	for pass := 0; ; pass++ {
+		if pass > c.layout.TopLevel()+2 {
+			panic("memctrl: FlushAll failed to reach a fixpoint")
+		}
+		dirty := c.mcache.DirtyEntries()
+		// Lowest level first: leaf write-backs dirty their parents,
+		// which later iterations of this pass pick up.
+		work := false
+		for level := 0; level <= c.layout.TopLevel(); level++ {
+			for _, e := range dirty {
+				if e.Value.Level != level || e.Value.Kind == metacache.KindMAC {
+					continue
+				}
+				if _, ok := c.mcache.Peek(e.Addr); !ok {
+					continue
+				}
+				// Skip if a cascade already cleaned it.
+				if !stillDirty(c, e.Addr) {
+					continue
+				}
+				if err := c.forceWriteback(e.Addr); err != nil {
+					// Unverifiable parent chain: the update is lost
+					// (already accounted); clean the line so the
+					// flush can terminate.
+					c.stats.RecoveryLost++
+					c.mcache.CleanLine(e.Addr)
+				}
+				work = true
+			}
+		}
+		if !work {
+			break
+		}
+	}
+	c.now = c.q.FlushTime(c.now)
+	return c.now
+}
+
+func stillDirty(c *Controller, addr uint64) bool {
+	for _, d := range c.mcache.DirtyEntries() {
+		if d.Addr == addr {
+			return true
+		}
+	}
+	return false
+}

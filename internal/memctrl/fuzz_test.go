@@ -1,0 +1,302 @@
+package memctrl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"soteria/internal/config"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// TestRandomizedLifecycle is the big correctness hammer: a long random
+// interleaving of reads, writes, crashes, recoveries, flushes and benign
+// fault injections, with a shadow model of expected contents. At every
+// point, reads must return the last written value and periodic VerifyAll
+// audits must pass. Any lost counter bump, stale MAC, broken shadow entry
+// or recovery bug shows up here.
+func TestRandomizedLifecycle(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeSRC, ModeSAC} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			runLifecycle(t, mode, 42)
+		})
+	}
+}
+
+func runLifecycle(t *testing.T, mode Mode, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := newCtrl(t, mode)
+	expect := make(map[uint64]nvm.Line)
+	var now sim.Time
+
+	const blocks = 1 << 12 // 256 kB working set
+	addr := func() uint64 { return uint64(rng.Intn(blocks)) * 64 }
+
+	steps := 4000
+	if testing.Short() {
+		steps = 800
+	}
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(100); {
+		case op < 45: // write
+			a := addr()
+			var l nvm.Line
+			rng.Read(l[:8])
+			l[8] = byte(step)
+			var err error
+			if now, err = c.WriteBlock(now, a, &l); err != nil {
+				t.Fatalf("step %d: write: %v", step, err)
+			}
+			expect[a] = l
+		case op < 85: // read
+			a := addr()
+			got, nn, err := c.ReadBlock(now, a)
+			if err != nil {
+				t.Fatalf("step %d: read %#x: %v", step, a, err)
+			}
+			now = nn
+			want, ok := expect[a]
+			if !ok {
+				want = nvm.Line{}
+			}
+			if got != want {
+				t.Fatalf("step %d: data mismatch at %#x", step, a)
+			}
+		case op < 90: // crash + recover
+			c.Crash()
+			rep, err := c.Recover()
+			if err != nil {
+				t.Fatalf("step %d: recover: %v", step, err)
+			}
+			if len(rep.LostSlots) != 0 || len(rep.FailedBlocks) != 0 {
+				t.Fatalf("step %d: recovery losses: %+v", step, rep)
+			}
+		case op < 94: // flush + full audit
+			now = c.FlushAll(now)
+			if err := c.VerifyAll(); err != nil {
+				t.Fatalf("step %d: verify: %v", step, err)
+			}
+		case op < 97 && mode != ModeBaseline: // benign fault: kill one metadata copy
+			lay := c.Layout()
+			level := 1 + rng.Intn(lay.TopLevel())
+			li := lay.Levels[level-1]
+			index := uint64(rng.Intn(int(li.Nodes)))
+			copies := lay.CopyAddrs(level, index)
+			// Never kill the last readable copy: this test checks fault
+			// *absorption*; total-loss accounting has its own tests.
+			victim := copies[rng.Intn(len(copies))]
+			healthy := 0
+			for _, a := range copies {
+				if a != victim && !c.Device().Read(a).Uncorrectable {
+					healthy++
+				}
+			}
+			if healthy > 0 && c.Device().Materialized(victim) {
+				c.Device().CorruptLine(victim)
+			}
+		default: // benign fault on baseline: correctable single bit
+			lay := c.Layout()
+			a := lay.NodeAddr(1, uint64(rng.Intn(int(lay.Levels[0].Nodes))))
+			if c.Device().Materialized(a) {
+				c.Device().FlipBit(a+uint64(rng.Intn(64)), uint(rng.Intn(8)))
+			}
+		}
+	}
+
+	// Final audit: flush, verify, and check every expected value.
+	now = c.FlushAll(now)
+	if err := c.VerifyAll(); err != nil {
+		t.Fatalf("final verify: %v", err)
+	}
+	for a, want := range expect {
+		got, nn, err := c.ReadBlock(now, a)
+		if err != nil {
+			t.Fatalf("final read %#x: %v", a, err)
+		}
+		if got != want {
+			t.Fatalf("final data mismatch at %#x", a)
+		}
+		now = nn
+	}
+}
+
+// TestLifecycleSeeds runs shorter lifecycles across several seeds so the
+// interleavings differ.
+func TestLifecycleSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed fuzz is slow")
+	}
+	for seed := int64(100); seed < 104; seed++ {
+		seed := seed
+		t.Run(ModeSRC.String(), func(t *testing.T) {
+			runLifecycle(t, ModeSRC, seed)
+		})
+	}
+}
+
+// TestCrashDuringHeavyEvictionPressure crashes while the metadata cache is
+// thrashing (deep eviction cascades in flight between operations), the
+// state recovery finds hardest.
+func TestCrashDuringHeavyEvictionPressure(t *testing.T) {
+	c := newCtrl(t, ModeSAC)
+	rng := rand.New(rand.NewSource(9))
+	var now sim.Time
+	var err error
+	written := make(map[uint64]nvm.Line)
+	// Touch far more counter blocks than the cache holds.
+	for i := 0; i < 4000; i++ {
+		a := uint64(rng.Intn(1<<15)) * 64 * 64 % (4 << 20) &^ 63
+		var l nvm.Line
+		l[0] = byte(i)
+		l[1] = byte(i >> 8)
+		if now, err = c.WriteBlock(now, a, &l); err != nil {
+			t.Fatal(err)
+		}
+		written[a] = l
+		if i%500 == 499 {
+			c.Crash()
+			if _, err := c.Recover(); err != nil {
+				t.Fatalf("recover at %d: %v", i, err)
+			}
+		}
+	}
+	for a, want := range written {
+		got, nn, err := c.ReadBlock(now, a)
+		if err != nil || got != want {
+			t.Fatalf("block %#x: %v", a, err)
+		}
+		now = nn
+	}
+}
+
+// TestDoubleCrashWithoutIntermediateWrites: recovery must be idempotent.
+func TestDoubleCrash(t *testing.T) {
+	c := newCtrl(t, ModeSRC)
+	var l nvm.Line
+	l[0] = 0xAA
+	now, err := c.WriteBlock(0, 0, &l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.Crash()
+		if _, err := c.Recover(); err != nil {
+			t.Fatalf("recover %d: %v", i, err)
+		}
+	}
+	got, _, err := c.ReadBlock(now, 0)
+	if err != nil || got != l {
+		t.Fatalf("data lost after repeated crashes: %v", err)
+	}
+	if err := c.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverWithoutCrashRejected guards the API contract.
+func TestRecoverWithoutCrash(t *testing.T) {
+	c := newCtrl(t, ModeSRC)
+	if _, err := c.Recover(); err == nil {
+		t.Fatal("Recover without Crash accepted")
+	}
+}
+
+// TestFaultDuringRecovery: metadata home copies die while the controller is
+// down; recovery must route around them via clones.
+func TestFaultDuringRecovery(t *testing.T) {
+	c := newCtrl(t, ModeSRC)
+	var now sim.Time
+	var err error
+	var l nvm.Line
+	l[0] = 0x5A
+	for i := 0; i < 20; i++ {
+		if now, err = c.WriteBlock(now, uint64(i)*4096, &l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Crash()
+	// While power is out, the home copies of several counter blocks rot.
+	lay := c.Layout()
+	for i := uint64(0); i < 5; i++ {
+		if c.Device().Materialized(lay.NodeAddr(1, i)) {
+			c.Device().CorruptLine(lay.NodeAddr(1, i))
+		}
+	}
+	rep, err := c.Recover()
+	if err != nil {
+		t.Fatalf("recover with rotten home copies: %v", err)
+	}
+	if len(rep.FailedBlocks) != 0 {
+		t.Fatalf("failed blocks: %v", rep.FailedBlocks)
+	}
+	for i := 0; i < 20; i++ {
+		got, nn, err := c.ReadBlock(now, uint64(i)*4096)
+		if err != nil || got != l {
+			t.Fatalf("block %d after recovery: %v", i, err)
+		}
+		now = nn
+	}
+}
+
+// TestUnverifiableIsStickyUntilRepair: after a total metadata loss the
+// region keeps failing, while unrelated regions keep working.
+func TestUnverifiableContainment(t *testing.T) {
+	c := newCtrl(t, ModeSRC)
+	var now sim.Time
+	var err error
+	var l nvm.Line
+	for i := 0; i < 8; i++ {
+		if now, err = c.WriteBlock(now, uint64(i)*4096, &l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = c.FlushAll(now)
+	c.mcache.DropAll()
+	for _, a := range c.Layout().CopyAddrs(1, 0) {
+		c.Device().CorruptLine(a)
+	}
+	for try := 0; try < 3; try++ {
+		if _, _, err := c.ReadBlock(now, 0); !errors.Is(err, ErrUnverifiable) {
+			t.Fatalf("try %d: err = %v", try, err)
+		}
+	}
+	// Containment: the second counter block's region is untouched.
+	if _, _, err := c.ReadBlock(now, 4096); err != nil {
+		t.Fatalf("unrelated region affected: %v", err)
+	}
+	fs := c.FaultStats()
+	if fs.UnverifiableNodes == 0 {
+		t.Fatal("loss not accounted")
+	}
+}
+
+// TestWPQAtomicityBound: SAC's deepest clone groups must always fit the
+// configured WPQ, even at the minimum 8-entry queue of §3.2.1.
+func TestWPQAtomicityBoundAtMinimumQueue(t *testing.T) {
+	cfg := config.TestSystem()
+	cfg.NVM.WPQEntries = 8 // the paper's minimum
+	c, err := New(cfg, ModeSAC, []byte("k"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now sim.Time
+	var l nvm.Line
+	// Enough traffic to force top-level write-backs.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		a := uint64(rng.Intn(1<<16)) * 64 % (4 << 20) &^ 63
+		if now, err = c.WriteBlock(now, a, &l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = c.FlushAll(now)
+	if err := c.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WPQStats().MaxDepth; got > 8 {
+		t.Fatalf("WPQ depth %d exceeded capacity", got)
+	}
+}

@@ -1,0 +1,398 @@
+package memctrl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"soteria/internal/core"
+	"soteria/internal/ctrenc"
+	"soteria/internal/itree"
+	"soteria/internal/metacache"
+	"soteria/internal/nvm"
+	"soteria/internal/shadow"
+	"soteria/internal/wpq"
+)
+
+// maxCascade bounds the eviction/writeback recursion. A correctly sized
+// metadata cache never approaches this; hitting it indicates a livelock
+// bug, so we fail loudly.
+const maxCascade = 512
+
+// isZeroLine reports whether a line is all zeroes (the pristine,
+// never-written state of a metadata node).
+func isZeroLine(l *nvm.Line) bool {
+	for _, b := range l {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// verifierFor builds the MAC-check predicate for metadata node (level,
+// index) under the protecting parent counter. The pristine all-zero state
+// is valid exactly when the parent counter is still zero (the node was
+// never written back, so the only legitimate content is the initial one —
+// and replaying zeroes later fails because the parent counter has moved).
+func (c *Controller) verifierFor(level int, index uint64, pctr uint64) func(*nvm.Line) bool {
+	if level == 1 {
+		return func(l *nvm.Line) bool {
+			if isZeroLine(l) {
+				return pctr == 0
+			}
+			cb := ctrenc.DeserializeCounterBlock(l)
+			return cb.ContentMAC(c.eng, index, pctr) == cb.MAC
+		}
+	}
+	return func(l *nvm.Line) bool {
+		if isZeroLine(l) {
+			return pctr == 0
+		}
+		n := itree.DeserializeNode(l)
+		return n.ContentMAC(c.eng, level, index, pctr) == n.MAC
+	}
+}
+
+// decodeBlock turns a verified line into a metadata cache payload.
+func (c *Controller) decodeBlock(level int, index uint64, line *nvm.Line) metacache.Block {
+	if level == 1 {
+		return metacache.Block{
+			Kind:           metacache.KindCounter,
+			Level:          1,
+			Index:          index,
+			Counter:        ctrenc.DeserializeCounterBlock(line),
+			UpdatesPerSlot: make([]uint32, ctrenc.CountersPerBlock),
+		}
+	}
+	return metacache.Block{
+		Kind:  metacache.KindNode,
+		Level: level,
+		Index: index,
+		Node:  itree.DeserializeNode(line),
+	}
+}
+
+// serializeBlock renders a metadata block's current content (MAC field
+// included as stored).
+func serializeBlock(b *metacache.Block) nvm.Line {
+	switch b.Kind {
+	case metacache.KindCounter:
+		return b.Counter.Serialize()
+	case metacache.KindNode:
+		return b.Node.Serialize()
+	default:
+		return b.Raw
+	}
+}
+
+// parentCounterOf returns the counter protecting node (level, index),
+// ensuring the parent chain is resident and verified.
+func (c *Controller) parentCounterOf(level int, index uint64) (uint64, error) {
+	_, pindex, slot, stored := c.layout.Parent(level, index)
+	if !stored {
+		return c.root.Counters[slot], nil
+	}
+	pb, err := c.getBlock(level+1, pindex)
+	if err != nil {
+		return 0, err
+	}
+	return pb.Node.Counters[slot], nil
+}
+
+// getBlock returns a trusted metadata block, fetching and verifying it (and
+// its ancestor chain) as needed. If the block is currently being written
+// back, its in-flight copy is returned — that copy is what will reach NVM,
+// so counter bumps must land there. The returned pointer is valid only
+// until the next cache-mutating call.
+func (c *Controller) getBlock(level int, index uint64) (*metacache.Block, error) {
+	home := c.layout.NodeAddr(level, index)
+	if b, ok := c.inflight[home]; ok {
+		return b, nil
+	}
+	for tries := 0; tries < 64; tries++ {
+		if b, ok := c.mcache.Lookup(home); ok {
+			return b, nil
+		}
+		if err := c.fetchBlock(level, index); err != nil {
+			return nil, err
+		}
+	}
+	panic(fmt.Sprintf("memctrl: livelock fetching metadata L%d[%d]", level, index))
+}
+
+// fetchBlock reads node (level, index) from NVM, verifies it through the
+// Soteria fault handler (which consults clones on failure), and inserts it
+// clean into the metadata cache.
+func (c *Controller) fetchBlock(level int, index uint64) error {
+	home := c.layout.NodeAddr(level, index)
+	pctr, err := c.parentCounterOf(level, index)
+	if err != nil {
+		return err
+	}
+	preClones := c.fh.Stats().CloneLookups
+	line, out := c.fh.ReadVerified(level, index, c.verifierFor(level, index, pctr))
+	// Timing: the home read always happens; each clone consulted adds a
+	// read. (Purify writes are off the critical path.)
+	c.chargeReadLatency(home)
+	for n := c.fh.Stats().CloneLookups - preClones; n > 0; n-- {
+		c.chargeReadLatency(home)
+	}
+	switch out {
+	case core.OutcomeUnverifiable:
+		return fmt.Errorf("%w: L%d[%d]", ErrUnverifiable, level, index)
+	case core.OutcomeTamper:
+		return fmt.Errorf("%w: L%d[%d]", ErrTamper, level, index)
+	}
+	// The parent fetch above can cascade into write-backs that
+	// themselves pull this very block into the cache (and advance its
+	// counters). Inserting the NVM copy now would roll those updates
+	// back; the resident copy is authoritative.
+	if _, ok := c.mcache.Peek(home); ok {
+		return nil
+	}
+	c.insertBlock(home, c.decodeBlock(level, index, &line), false)
+	return nil
+}
+
+// chargeReadLatency advances time for one NVM line read without performing
+// the functional read.
+func (c *Controller) chargeReadLatency(addr uint64) {
+	if c.q.Pending(c.now, addr) {
+		c.stats.WPQForwards++
+		c.now += c.fwdLat
+		return
+	}
+	bank := c.banks.BankFor(addr / nvm.LineSize)
+	c.now = c.banks.Schedule(bank, c.now, c.readLat)
+	c.stats.NVMReads++
+}
+
+// insertBlock places a block into the metadata cache, fully handling any
+// eviction this causes (write-back with lazy parent update, clone writes,
+// shadow maintenance). When dirty is true the new block's shadow entry is
+// written as well.
+func (c *Controller) insertBlock(home uint64, blk metacache.Block, dirty bool) {
+	ev, has := c.mcache.Insert(home, blk, dirty)
+	if has {
+		// The evicted occupant's shadow entry must be dropped *before*
+		// the write-back cascade below runs: the cascade can re-evict
+		// this very way and hand it to another dirty block, whose
+		// fresh shadow entry a late invalidation would clobber —
+		// leaving that block's in-cache updates untracked across a
+		// crash.
+		slot := c.mcache.SlotOf(home)
+		if slot >= 0 && ev.Value.Kind != metacache.KindMAC && c.shadow != nil {
+			if err := c.shadow.Invalidate(slot); err != nil {
+				panic(fmt.Sprintf("memctrl: shadow invalidate: %v", err))
+			}
+		}
+		if ev.Dirty {
+			if ev.Value.Kind == metacache.KindMAC {
+				// MAC lines are write-through and should never be
+				// dirty; handle defensively.
+				line := ev.Value.Raw
+				c.pushWrite(c.macLineAddr(ev.Value.Index), &line, WCDataMAC)
+			} else if err := c.writebackBlock(&ev.Value); err != nil {
+				// The parent chain is unverifiable; the update is
+				// lost. The fault handler already accounted the
+				// coverage loss.
+				c.stats.RecoveryLost++
+			}
+		}
+	}
+	if dirty && blk.Kind != metacache.KindMAC {
+		c.shadowUpdate(home)
+	}
+}
+
+// writebackBlock persists a metadata block that is no longer (or not)
+// resident: it bumps the parent counter (the lazy ToC update), recomputes
+// the block's MAC under the new parent counter, and pushes the home copy
+// plus every configured clone through the WPQ as one atomic group.
+//
+// blk must be a stable pointer (an evicted entry's local copy, or a
+// resident way protected by a pre-ensured parent — see forceWriteback).
+// The block is registered as in-flight for the duration, so any nested
+// write-back that needs to bump one of blk's own counters mutates *this*
+// copy, which is serialized only afterwards.
+func (c *Controller) writebackBlock(blk *metacache.Block) error {
+	c.cascade++
+	defer func() { c.cascade-- }()
+	if c.cascade > maxCascade {
+		panic("memctrl: eviction cascade exceeded bound")
+	}
+	level, index := blk.Level, blk.Index
+	home := c.layout.NodeAddr(level, index)
+	if _, dup := c.inflight[home]; dup {
+		panic(fmt.Sprintf("memctrl: L%d[%d] written back re-entrantly", level, index))
+	}
+	c.inflight[home] = blk
+	defer delete(c.inflight, home)
+
+	_, pindex, slot, stored := c.layout.Parent(level, index)
+	var pctr uint64
+	if !stored {
+		c.root.Increment(slot)
+		pctr = c.root.Counters[slot]
+	} else {
+		pHome := c.layout.NodeAddr(level+1, pindex)
+		pb, err := c.getBlock(level+1, pindex)
+		if err != nil {
+			return err
+		}
+		pb.Node.Increment(slot)
+		pctr = pb.Node.Counters[slot]
+		c.mcache.MarkDirty(pHome)
+		c.shadowUpdate(pHome)
+	}
+
+	switch blk.Kind {
+	case metacache.KindCounter:
+		blk.Counter.MAC = blk.Counter.ContentMAC(c.eng, index, pctr)
+	case metacache.KindNode:
+		blk.Node.MAC = blk.Node.ContentMAC(c.eng, level, index, pctr)
+	}
+	line := serializeBlock(blk)
+
+	addrs := c.layout.CopyAddrs(level, index)
+	writes := make([]wpq.Write, len(addrs))
+	for i, a := range addrs {
+		writes[i] = wpq.Write{Addr: a, Data: line}
+	}
+	c.now = c.q.PushAtomic(c.now, writes)
+	c.stats.NVMWrites[WCMetadata]++
+	c.stats.NVMWrites[WCClone] += uint64(len(addrs) - 1)
+	return nil
+}
+
+// shadowUpdate (re)writes the shadow entry describing the dirty block at
+// home — called on every in-cache modification, the Anubis "shadow log"
+// write.
+func (c *Controller) shadowUpdate(home uint64) {
+	if c.shadow == nil || c.eager {
+		// Eager mode keeps the root fresh on every write; there is no
+		// stale state for a shadow entry to recover, so the Anubis log
+		// is not maintained.
+		return
+	}
+	blk, ok := c.mcache.Peek(home)
+	if !ok || blk.Kind == metacache.KindMAC {
+		return
+	}
+	slot := c.mcache.SlotOf(home)
+	line := serializeBlock(blk)
+	e := shadow.Entry{
+		Valid: true,
+		Addr:  home,
+		MAC:   shadow.ContentMAC(c.eng, home, &line),
+	}
+	if blk.Kind == metacache.KindCounter {
+		e.LSBs[0] = uint16(blk.Counter.Major & 0xFFFF)
+	} else {
+		for i, ctr := range blk.Node.Counters {
+			e.LSBs[i] = uint16(ctr & 0xFFFF)
+		}
+	}
+	if err := c.shadow.Write(slot, e); err != nil {
+		panic(fmt.Sprintf("memctrl: shadow write: %v", err))
+	}
+}
+
+// forceWriteback flushes a resident dirty block to memory without evicting
+// it (the Osiris in-cache update bound and FlushAll both use this). The
+// block stays cached, clean.
+func (c *Controller) forceWriteback(home uint64) error {
+	blk, ok := c.mcache.Peek(home)
+	if !ok {
+		return nil
+	}
+	// Pre-ensure the parent chain: the fetch cascade this can trigger
+	// must run *before* we commit to writing the resident copy, because
+	// the cascade may evict (and thereby already write back) this very
+	// block, or modify its counters via nested write-backs.
+	level, index := blk.Level, blk.Index
+	if _, pindex, _, stored := c.layout.Parent(level, index); stored {
+		if _, err := c.getBlock(level+1, pindex); err != nil {
+			return err
+		}
+	}
+	blk, ok = c.mcache.Peek(home)
+	if !ok {
+		// The pre-ensure cascade evicted it — which wrote it back.
+		c.stats.ForcedWB++
+		return nil
+	}
+	// From here on no cache mutation can happen (the parent is resident,
+	// so writebackBlock's lookup hits), making the resident pointer
+	// stable for the duration.
+	if err := c.writebackBlock(blk); err != nil {
+		return err
+	}
+	if blk.Kind == metacache.KindCounter {
+		for i := range blk.UpdatesPerSlot {
+			blk.UpdatesPerSlot[i] = 0
+		}
+	}
+	c.mcache.CleanLine(home)
+	if slot := c.mcache.SlotOf(home); slot >= 0 && c.shadow != nil {
+		if err := c.shadow.Invalidate(slot); err != nil {
+			panic(fmt.Sprintf("memctrl: shadow invalidate: %v", err))
+		}
+	}
+	c.stats.ForcedWB++
+	return nil
+}
+
+// --- data-MAC lines ---------------------------------------------------------
+
+func (c *Controller) macLineAddr(lineIdx uint64) uint64 {
+	return c.layout.MACBase + lineIdx*nvm.LineSize
+}
+
+// getMACLine returns the cached packed-MAC line covering dataBlock,
+// fetching it from NVM on a miss. MAC lines sit outside the tree (the data
+// MAC itself is the authenticator), so no verification chain is needed.
+func (c *Controller) getMACLine(dataBlock uint64) (*metacache.Block, error) {
+	lineAddr, _ := c.layout.DataMACAddr(dataBlock)
+	lineIdx := (lineAddr - c.layout.MACBase) / nvm.LineSize
+	for tries := 0; tries < 64; tries++ {
+		if b, ok := c.mcache.Lookup(lineAddr); ok {
+			return b, nil
+		}
+		r := c.readNVM(lineAddr)
+		if r.Uncorrectable {
+			return nil, fmt.Errorf("%w: MAC line %d", ErrDataError, lineIdx)
+		}
+		if _, ok := c.mcache.Peek(lineAddr); ok {
+			continue // raced with a cascade; resident copy wins
+		}
+		c.insertBlock(lineAddr, metacache.Block{Kind: metacache.KindMAC, Index: lineIdx, Raw: r.Data}, false)
+	}
+	panic("memctrl: livelock fetching MAC line")
+}
+
+// dataMAC reads the stored MAC of a data block.
+func (c *Controller) dataMAC(dataBlock uint64) (uint64, error) {
+	b, err := c.getMACLine(dataBlock)
+	if err != nil {
+		return 0, err
+	}
+	_, off := c.layout.DataMACAddr(dataBlock)
+	return binary.LittleEndian.Uint64(b.Raw[off : off+8]), nil
+}
+
+// setDataMAC updates a data block's MAC: the cached line is modified and
+// written through immediately (MAC persists together with the ciphertext,
+// which is what makes Osiris recovery possible).
+func (c *Controller) setDataMAC(dataBlock uint64, mac uint64) error {
+	b, err := c.getMACLine(dataBlock)
+	if err != nil {
+		return err
+	}
+	_, off := c.layout.DataMACAddr(dataBlock)
+	binary.LittleEndian.PutUint64(b.Raw[off:off+8], mac)
+	lineAddr, _ := c.layout.DataMACAddr(dataBlock)
+	line := b.Raw
+	c.pushWrite(lineAddr, &line, WCDataMAC)
+	return nil
+}

@@ -1,0 +1,283 @@
+package memctrl
+
+import (
+	"fmt"
+	"sort"
+
+	"soteria/internal/core"
+	"soteria/internal/ctrenc"
+	"soteria/internal/itree"
+	"soteria/internal/metacache"
+	"soteria/internal/nvm"
+	"soteria/internal/osiris"
+	"soteria/internal/shadow"
+)
+
+// Crash models a sudden power loss: every volatile structure (the metadata
+// cache and the shadow table's in-memory mirror) vanishes. Writes already
+// accepted by the WPQ are durable (ADR), and the two on-chip roots survive
+// in their persistent registers. The controller refuses further data
+// operations until Recover is called.
+func (c *Controller) Crash() {
+	if c.mode == ModeNonSecure {
+		return // nothing volatile matters
+	}
+	c.mcache.DropAll()
+	c.shadowRoot = c.shadow.Root()
+	c.shadow = nil
+	c.crashed = true
+}
+
+// RecoveryReport summarizes what Recover reconstructed.
+type RecoveryReport struct {
+	// TrackedEntries is the number of valid shadow entries found.
+	TrackedEntries int
+	// RecoveredBlocks is how many metadata blocks were reconstructed
+	// and verified against their shadow MACs.
+	RecoveredBlocks int
+	// LostSlots lists shadow slots that could not be read at all.
+	LostSlots []uint64
+	// FailedBlocks lists tracked blocks whose reconstruction failed
+	// verification (unrecoverable updates), with the reasons in
+	// FailReasons (parallel slice).
+	FailedBlocks []uint64
+	FailReasons  []string
+	// HalfRepairs counts Soteria duplicated-entry repairs performed.
+	HalfRepairs uint64
+}
+
+// Recover rebuilds a consistent, verifiable memory image after Crash():
+//
+//  1. Reattach the shadow table using the persistent BMT root; read every
+//     entry, repairing half-dead entries from their Soteria duplicates.
+//  2. Top-down, reconstruct each tracked metadata block: the stale NVM copy
+//     (fetched through the Soteria fault handler, so clones absorb faults)
+//     plus the entry's 16-bit counter LSBs; leaf minors come back through
+//     Osiris trials against the persisted data MACs. Every reconstruction
+//     must match the MAC captured in its shadow entry.
+//  3. Reinstall the reconstructed blocks as dirty cache contents and flush,
+//     which replays the normal lazy write-back machinery (parent bumps,
+//     fresh MACs, clone writes) and leaves NVM self-consistent.
+func (c *Controller) Recover() (*RecoveryReport, error) {
+	if c.mode == ModeNonSecure {
+		return &RecoveryReport{}, nil
+	}
+	if !c.crashed {
+		return nil, fmt.Errorf("memctrl: Recover called without a crash")
+	}
+
+	tbl, err := shadow.Attach(c.eng, c.shadowStore(), c.layout.ShadowBase, c.layout.ShadowEntries,
+		c.layout.ShadowTreeBase, c.shadowRoot, shadow.Options{Duplicate: c.mode != ModeBaseline})
+	if err != nil {
+		return nil, err
+	}
+	slotEntries, lostSlots := tbl.LoadAllSlots()
+	rep := &RecoveryReport{TrackedEntries: len(slotEntries), LostSlots: lostSlots, HalfRepairs: tbl.Stats().HalfRepairs}
+	c.stats.RecoveryLost += uint64(len(lostSlots))
+
+	// Clear every occupied or unreadable slot now: the tracked blocks are
+	// about to be re-seeded into the cache at possibly *different* ways,
+	// and an orphaned entry left at an old slot would resurface at the
+	// next crash describing long-stale content.
+	c.bootstrap = true // wipe writes are recovery bookkeeping, not workload writes
+	for _, se := range slotEntries {
+		if err := tbl.Reset(se.Slot); err != nil {
+			c.bootstrap = false
+			return nil, err
+		}
+	}
+	for _, s := range lostSlots {
+		if err := tbl.Reset(s); err != nil {
+			c.bootstrap = false
+			return nil, err
+		}
+	}
+	c.bootstrap = false
+	entries := make([]shadow.Entry, len(slotEntries))
+	for i, se := range slotEntries {
+		entries[i] = se.Entry
+	}
+
+	// Sort top-down: parents must be reconstructed before their children
+	// so the children verify under the recovered parent counters.
+	type tracked struct {
+		e     shadow.Entry
+		level int
+		index uint64
+	}
+	var work []tracked
+	for _, e := range entries {
+		loc := c.layout.Locate(e.Addr)
+		if loc.Kind != itree.RegionMetadata {
+			rep.FailedBlocks = append(rep.FailedBlocks, e.Addr)
+			continue
+		}
+		work = append(work, tracked{e: e, level: loc.Level, index: loc.Index})
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].level > work[j].level })
+
+	recovered := make(map[uint64]metacache.Block)
+	for _, w := range work {
+		blk, err := c.recoverBlock(w.level, w.index, w.e, recovered)
+		if err != nil {
+			rep.FailedBlocks = append(rep.FailedBlocks, w.e.Addr)
+			rep.FailReasons = append(rep.FailReasons, err.Error())
+			c.stats.RecoveryLost++
+			continue
+		}
+		recovered[w.e.Addr] = blk
+		rep.RecoveredBlocks++
+		c.stats.RecoveredOK++
+	}
+
+	// Fresh volatile state: install the shadow table and seed the cache
+	// with the reconstructed blocks as dirty, then flush through the
+	// ordinary write-back path. The shadow table has one slot per cache
+	// way and the tracked blocks were simultaneously resident before the
+	// crash, so reinsertion cannot evict.
+	c.shadow = tbl
+	c.crashed = false
+	for addr, blk := range recovered {
+		c.insertBlock(addr, blk, true)
+	}
+	c.FlushAll(c.now)
+	return rep, nil
+}
+
+// recoveredCounterOf returns the counter protecting (level, index) during
+// recovery: from the recovered map when the parent was tracked, otherwise
+// from the (consistent) NVM copy fetched through the fault handler.
+func (c *Controller) recoveredCounterOf(level int, index uint64, recovered map[uint64]metacache.Block) (uint64, error) {
+	_, pindex, slot, stored := c.layout.Parent(level, index)
+	if !stored {
+		return c.root.Counters[slot], nil
+	}
+	pHome := c.layout.NodeAddr(level+1, pindex)
+	if pb, ok := recovered[pHome]; ok {
+		return pb.Node.Counters[slot], nil
+	}
+	pctr, err := c.recoveredCounterOf(level+1, pindex, recovered)
+	if err != nil {
+		return 0, err
+	}
+	line, out := c.fh.ReadVerified(level+1, pindex, c.verifierFor(level+1, pindex, pctr))
+	if out == core.OutcomeUnverifiable || out == core.OutcomeTamper {
+		return 0, fmt.Errorf("memctrl: recovery cannot verify parent L%d[%d]: %v", level+1, pindex, out)
+	}
+	n := itree.DeserializeNode(&line)
+	return n.Counters[slot], nil
+}
+
+// recoverBlock reconstructs one tracked metadata block.
+func (c *Controller) recoverBlock(level int, index uint64, e shadow.Entry, recovered map[uint64]metacache.Block) (metacache.Block, error) {
+	pctr, err := c.recoveredCounterOf(level, index, recovered)
+	if err != nil {
+		return metacache.Block{}, err
+	}
+	// The stale NVM copy still verifies under the current parent counter
+	// (the parent's slot only advances when this block writes back), and
+	// the fault handler lets clones absorb any NVM faults on the way.
+	line, out := c.fh.ReadVerified(level, index, c.verifierFor(level, index, pctr))
+	if out == core.OutcomeUnverifiable || out == core.OutcomeTamper {
+		return metacache.Block{}, fmt.Errorf("memctrl: stale copy of L%d[%d] unusable: %v", level, index, out)
+	}
+
+	var blk metacache.Block
+	if level == 1 {
+		stale := ctrenc.DeserializeCounterBlock(&line)
+		rec, err := c.recoverLeaf(index, stale, e.LSBs[0])
+		if err != nil {
+			return metacache.Block{}, err
+		}
+		blk = metacache.Block{
+			Kind: metacache.KindCounter, Level: 1, Index: index,
+			Counter:        rec,
+			UpdatesPerSlot: make([]uint32, ctrenc.CountersPerBlock),
+		}
+	} else {
+		stale := itree.DeserializeNode(&line)
+		rec := stale
+		for i := range rec.Counters {
+			rec.Counters[i] = osiris.RestoreLSB(stale.Counters[i], e.LSBs[i]) & itree.CounterMask
+		}
+		blk = metacache.Block{Kind: metacache.KindNode, Level: level, Index: index, Node: rec}
+	}
+
+	// The reconstruction must reproduce the exact content the shadow
+	// entry captured.
+	ser := serializeBlock(&blk)
+	if shadow.ContentMAC(c.eng, e.Addr, &ser) != e.MAC {
+		detail := ""
+		if level == 1 {
+			stale := ctrenc.DeserializeCounterBlock(&line)
+			detail = fmt.Sprintf(" (stale major=%d minors=%v; rec major=%d minors=%v; lsb=%#x)",
+				stale.Major, nonzero(stale.Minors[:]), blk.Counter.Major, nonzero(blk.Counter.Minors[:]), e.LSBs[0])
+		}
+		return metacache.Block{}, fmt.Errorf("memctrl: reconstructed L%d[%d] fails shadow MAC%s", level, index, detail)
+	}
+	return blk, nil
+}
+
+// nonzero renders the non-zero slots of a counter array for diagnostics.
+func nonzero(m []uint8) map[int]uint8 {
+	out := map[int]uint8{}
+	for i, v := range m {
+		if v != 0 {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// recoverLeaf rebuilds a split-counter block: the major counter from its
+// shadow LSBs, each minor via Osiris trials against the persisted per-block
+// data MACs.
+func (c *Controller) recoverLeaf(index uint64, stale ctrenc.CounterBlock, majorLSB uint16) (ctrenc.CounterBlock, error) {
+	var sc osiris.SplitCounters
+	sc.Major = stale.Major
+	copy(sc.Minors[:], stale.Minors[:])
+
+	firstBlock := index * uint64(ctrenc.CountersPerBlock)
+	verify := func(slot int, counter uint64) bool {
+		blockIdx := firstBlock + uint64(slot)
+		if blockIdx >= c.layout.DataBlocks {
+			// Slot beyond the data region: only the pristine zero
+			// counter is acceptable.
+			return counter&((1<<ctrenc.MinorBits)-1) == 0
+		}
+		addr := blockIdx * nvm.LineSize
+		if counter&((1<<ctrenc.MinorBits)-1) == 0 && !c.dev.Materialized(addr) {
+			// A never-written block: a zero minor is the pristine
+			// state under any major (page re-encryptions skip
+			// untouched blocks).
+			return true
+		}
+		r := c.dev.Read(addr)
+		if r.Uncorrectable {
+			return false
+		}
+		lineAddr, off := c.layout.DataMACAddr(blockIdx)
+		mr := c.dev.Read(lineAddr)
+		if mr.Uncorrectable {
+			return false
+		}
+		var want uint64
+		for i := 0; i < 8; i++ {
+			want |= uint64(mr.Data[off+i]) << uint(8*i)
+		}
+		ct := r.Data
+		return c.eng.DataMAC(addr, counter, &ct) == want
+	}
+
+	rec, failed, err := osiris.RecoverBlock(sc, majorLSB, c.osirisLimit, verify)
+	if err != nil {
+		return ctrenc.CounterBlock{}, err
+	}
+	if len(failed) > 0 {
+		return ctrenc.CounterBlock{}, fmt.Errorf("memctrl: Osiris could not recover %d minors of counter block %d", len(failed), index)
+	}
+	var out ctrenc.CounterBlock
+	out.Major = rec.Major
+	copy(out.Minors[:], rec.Minors[:])
+	return out, nil
+}

@@ -1,0 +1,155 @@
+// Package metacache wraps the generic cache with the security-metadata
+// payload types and the per-level eviction statistics that drive Figures 4
+// and 10c of the paper. The metadata cache is the volatile on-chip
+// structure (Table 3: 512 kB, 8-way) holding decoded counter blocks, ToC
+// nodes and packed data-MAC lines; everything in it is trusted (it is
+// inside the processor), and everything in it is lost at a crash.
+package metacache
+
+import (
+	"soteria/internal/cache"
+	"soteria/internal/config"
+	"soteria/internal/ctrenc"
+	"soteria/internal/itree"
+	"soteria/internal/nvm"
+	"soteria/internal/stats"
+)
+
+// Kind labels what a cached metadata block is.
+type Kind int
+
+// Metadata block kinds.
+const (
+	// KindCounter is a leaf split-counter block (tree level 1).
+	KindCounter Kind = iota + 1
+	// KindNode is an intermediate ToC node (tree level >= 2).
+	KindNode
+	// KindMAC is a packed line of eight data MACs. MAC lines are
+	// cacheable but sit outside the integrity tree (Synergy-style),
+	// so they are never cloned and never tracked by the shadow table.
+	KindMAC
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindNode:
+		return "node"
+	case KindMAC:
+		return "mac"
+	default:
+		return "?"
+	}
+}
+
+// Block is the decoded payload of one metadata cache line.
+type Block struct {
+	Kind  Kind
+	Level int    // 1 for counters, >=2 for nodes, 0 for MAC lines
+	Index uint64 // node index within its level, or MAC line index
+	// Counter holds the decoded split-counter block when Kind ==
+	// KindCounter.
+	Counter ctrenc.CounterBlock
+	// Node holds the decoded ToC node when Kind == KindNode.
+	Node itree.Node
+	// Raw holds the packed MAC line when Kind == KindMAC.
+	Raw nvm.Line
+	// UpdatesPerSlot counts in-cache minor-counter increments since the
+	// block was last written back; the Osiris bound forces a write-back
+	// when any slot reaches the recovery limit. Only used for
+	// KindCounter.
+	UpdatesPerSlot []uint32
+}
+
+// Stats aggregates metadata-cache behaviour for the evaluation figures.
+type Stats struct {
+	cache.Stats
+	// EvictionsByLevel histograms dirty tree evictions per level
+	// (bucket i = level i; bucket 0 = MAC lines), the data behind
+	// Fig 4.
+	EvictionsByLevel *stats.Histogram
+	// DirtyTreeEvictions counts dirty counter/node evictions only
+	// (the numerator of Fig 10c).
+	DirtyTreeEvictions uint64
+}
+
+// Cache is the metadata cache.
+type Cache struct {
+	c      *cache.Cache[Block]
+	levels int
+	st     Stats
+}
+
+// New constructs a metadata cache from its configuration; levels is the
+// number of stored tree levels (for the eviction histogram).
+func New(cfg config.CacheConfig, levels int) (*Cache, error) {
+	c, err := cache.New[Block](cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		c:      c,
+		levels: levels,
+		st:     Stats{EvictionsByLevel: stats.NewHistogram(levels + 1)},
+	}, nil
+}
+
+// Lookup probes for the block with the given home address.
+func (m *Cache) Lookup(homeAddr uint64) (*Block, bool) { return m.c.Lookup(homeAddr) }
+
+// Peek probes without LRU/statistics side effects.
+func (m *Cache) Peek(homeAddr uint64) (*Block, bool) { return m.c.Peek(homeAddr) }
+
+// MarkDirty marks a resident block dirty.
+func (m *Cache) MarkDirty(homeAddr uint64) bool { return m.c.MarkDirty(homeAddr) }
+
+// CleanLine clears a resident block's dirty bit after write-back.
+func (m *Cache) CleanLine(homeAddr uint64) { m.c.CleanLine(homeAddr) }
+
+// Insert fills the block, returning any evicted victim. Dirty tree
+// evictions are histogrammed by level.
+func (m *Cache) Insert(homeAddr uint64, b Block, dirty bool) (cache.Entry[Block], bool) {
+	ev, has := m.c.Insert(homeAddr, b, dirty)
+	if has && ev.Dirty && ev.Value.Kind != KindMAC {
+		m.st.EvictionsByLevel.Observe(ev.Value.Level)
+		m.st.DirtyTreeEvictions++
+	}
+	return ev, has
+}
+
+// Invalidate drops one line without write-back.
+func (m *Cache) Invalidate(homeAddr uint64) (cache.Entry[Block], bool) {
+	return m.c.Invalidate(homeAddr)
+}
+
+// DropAll models power loss: every line vanishes; the dirty ones are
+// returned so tests can reason about what recovery must reconstruct.
+func (m *Cache) DropAll() []cache.Entry[Block] { return m.c.DropAll() }
+
+// DirtyEntries lists resident dirty blocks.
+func (m *Cache) DirtyEntries() []cache.Entry[Block] { return m.c.DirtyEntries() }
+
+// SlotOf returns the shadow-table slot (set*ways + way) of a resident
+// block, or -1. The Anubis shadow table has exactly one entry per cache
+// way.
+func (m *Cache) SlotOf(homeAddr uint64) int {
+	w := m.c.WayOf(homeAddr)
+	if w < 0 {
+		return -1
+	}
+	return m.c.SetOf(homeAddr)*m.c.Ways() + w
+}
+
+// Slots returns the total number of (set, way) slots.
+func (m *Cache) Slots() int { return m.c.Sets() * m.c.Ways() }
+
+// Stats returns a snapshot of the metadata cache statistics.
+func (m *Cache) Stats() Stats {
+	s := m.st
+	s.Stats = m.c.Stats()
+	return s
+}
+
+// Len returns the number of resident blocks.
+func (m *Cache) Len() int { return m.c.Len() }

@@ -1,0 +1,126 @@
+package nvm
+
+import (
+	"testing"
+
+	"soteria/internal/ecc"
+)
+
+func stickOneBit(d *Device, addr uint64, byteIdx int, bit uint, val bool) {
+	var mask, v Line
+	mask[byteIdx] = 1 << bit
+	if val {
+		v[byteIdx] = 1 << bit
+	}
+	d.StickBits(addr, &mask, &v)
+}
+
+func TestECPRepairsStuckCell(t *testing.T) {
+	d, _ := NewDevice(1<<16, ecc.SECDED{})
+	d.EnableECP(6)
+	// A cell stuck at 1 in byte 10.
+	stickOneBit(d, 0, 10, 3, true)
+	var l Line // all zeroes: the stuck cell will disagree
+	d.Write(0, &l)
+	r := d.Read(0)
+	if r.Corrected || r.Uncorrectable {
+		t.Fatalf("ECP should hide the stuck cell from ECC entirely: %+v", r)
+	}
+	if r.Data != l {
+		t.Fatal("stuck cell visible despite ECP")
+	}
+	st := d.ECPStats()
+	if st.LinesRepaired != 1 || st.PointersUsed != 1 {
+		t.Fatalf("ECP stats %+v", st)
+	}
+}
+
+func TestECPHandlesMultipleCellsUpToBudget(t *testing.T) {
+	d, _ := NewDevice(1<<16, ecc.SECDED{})
+	d.EnableECP(6)
+	for i := 0; i < 6; i++ {
+		stickOneBit(d, 64, i*8, uint(i), true)
+	}
+	var l Line
+	d.Write(64, &l)
+	r := d.Read(64)
+	if r.Data != l || r.Uncorrectable {
+		t.Fatalf("6 stuck cells within ECP-6 budget not repaired: %+v", r)
+	}
+	if d.ECPStats().PointersUsed != 6 {
+		t.Fatalf("pointers = %d", d.ECPStats().PointersUsed)
+	}
+}
+
+func TestECPExhaustionFallsThroughToECC(t *testing.T) {
+	d, _ := NewDevice(1<<16, ecc.SECDED{})
+	d.EnableECP(2)
+	// Three stuck cells in three different words: exceeds ECP-2; SECDED
+	// then sees one bad bit per word and corrects each.
+	stickOneBit(d, 0, 0, 0, true)
+	stickOneBit(d, 0, 8, 1, true)
+	stickOneBit(d, 0, 16, 2, true)
+	var l Line
+	d.Write(0, &l)
+	if d.ECPStats().Exhausted != 1 {
+		t.Fatalf("exhaustion not counted: %+v", d.ECPStats())
+	}
+	r := d.Read(0)
+	if r.Uncorrectable {
+		t.Fatal("per-word single-bit damage should be ECC-correctable")
+	}
+	if !r.Corrected || r.Data != l {
+		t.Fatalf("ECC fallback failed: %+v", r)
+	}
+}
+
+func TestECPExhaustionBeyondECC(t *testing.T) {
+	d, _ := NewDevice(1<<16, ecc.SECDED{})
+	d.EnableECP(1)
+	// Two stuck cells in the SAME word: ECP-1 cannot hold them, SECDED
+	// cannot correct a double-bit word.
+	stickOneBit(d, 0, 0, 0, true)
+	stickOneBit(d, 0, 1, 1, true)
+	var l Line
+	d.Write(0, &l)
+	r := d.Read(0)
+	if !r.Uncorrectable {
+		t.Fatal("double stuck bits in one word must be uncorrectable past ECP-1")
+	}
+}
+
+func TestECPPointersRetiredOnHealthyWrite(t *testing.T) {
+	d, _ := NewDevice(1<<16, ecc.SECDED{})
+	d.EnableECP(6)
+	stickOneBit(d, 0, 5, 5, true)
+	var l Line
+	d.Write(0, &l)
+	if d.ECPStats().PointersUsed != 1 {
+		t.Fatal("pointer not allocated")
+	}
+	// Write a value the stuck cell happens to agree with: the pointer
+	// becomes unnecessary and is retired.
+	l[5] = 0x20
+	d.Write(0, &l)
+	if d.ECPStats().PointersUsed != 0 {
+		t.Fatalf("stale pointer kept: %+v", d.ECPStats())
+	}
+	if r := d.Read(0); r.Data != l || r.Corrected || r.Uncorrectable {
+		t.Fatalf("agreeing write broken: %+v", r)
+	}
+}
+
+func TestECPDisabledIsInert(t *testing.T) {
+	d, _ := NewDevice(1<<16, ecc.SECDED{})
+	stickOneBit(d, 0, 0, 0, true)
+	var l Line
+	d.Write(0, &l)
+	r := d.Read(0)
+	// Without ECP the single stuck bit reaches ECC (correctable).
+	if !r.Corrected {
+		t.Fatalf("expected ECC correction without ECP: %+v", r)
+	}
+	if d.ECPStats().PointersUsed != 0 {
+		t.Fatal("phantom ECP activity")
+	}
+}

@@ -1,0 +1,286 @@
+// Package nvm models a byte-accurate non-volatile main memory built from
+// 64-byte lines, each protected by a pluggable ECC codec. The device is the
+// persistence substrate for the whole reproduction: the secure memory
+// controller stores data, counters, tree nodes, MACs, the Anubis shadow
+// region and Soteria's clone regions in it, and the fault-injection API lets
+// tests and experiments plant correctable and uncorrectable errors anywhere.
+//
+// Storage is sparse: only lines that have been written (or faulted)
+// materialize, so a nominally 16 GB device costs memory proportional to its
+// touched footprint.
+package nvm
+
+import (
+	"fmt"
+
+	"soteria/internal/config"
+	"soteria/internal/ecc"
+)
+
+// LineSize is the NVM line size in bytes (one cache line).
+const LineSize = config.BlockSize
+
+// Line is one 64-byte memory line. It is an alias (not a distinct type) so
+// lines interconvert freely with the [64]byte buffers used by the crypto
+// and tree layers.
+type Line = [LineSize]byte
+
+// storedLine couples a line's raw cells with its stored ECC check bytes and
+// any stuck-at faults that re-assert themselves after every write.
+type storedLine struct {
+	data  Line
+	check []byte
+	// stuckMask/stuckVal describe permanently faulty cells: after any
+	// write, bits in stuckMask take the value in stuckVal.
+	stuckMask *Line
+	stuckVal  *Line
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Reads             uint64
+	Writes            uint64
+	CorrectedLines    uint64
+	UncorrectableHits uint64
+}
+
+// Device is the simulated NVM module.
+type Device struct {
+	capacity uint64 // bytes
+	codec    ecc.Codec
+	lines    map[uint64]*storedLine
+	stats    Stats
+	wear     map[uint64]uint64 // line index -> write count
+
+	// ECP state (EnableECP).
+	ecpBudget    int
+	ecp          map[uint64][]ecpEntry
+	ecpExhausted uint64
+}
+
+// NewDevice creates an NVM device of the given capacity protected by codec.
+// Capacity must be a positive multiple of the line size.
+func NewDevice(capacity uint64, codec ecc.Codec) (*Device, error) {
+	if capacity == 0 || capacity%LineSize != 0 {
+		return nil, fmt.Errorf("nvm: capacity %d must be a positive multiple of %d", capacity, LineSize)
+	}
+	if codec == nil {
+		codec = ecc.NoECC{}
+	}
+	return &Device{
+		capacity: capacity,
+		codec:    codec,
+		lines:    make(map[uint64]*storedLine),
+		wear:     make(map[uint64]uint64),
+	}, nil
+}
+
+// Capacity returns the device capacity in bytes.
+func (d *Device) Capacity() uint64 { return d.capacity }
+
+// Codec returns the ECC codec protecting the device.
+func (d *Device) Codec() ecc.Codec { return d.codec }
+
+// Lines returns the number of addressable lines.
+func (d *Device) Lines() uint64 { return d.capacity / LineSize }
+
+// Stats returns a copy of the accumulated device statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// WearOf returns the write count of the line containing addr.
+func (d *Device) WearOf(addr uint64) uint64 { return d.wear[addr/LineSize] }
+
+// TouchedLines returns how many lines have materialized storage.
+func (d *Device) TouchedLines() int { return len(d.lines) }
+
+// Materialized reports whether the line containing addr has ever been
+// written or faulted. The secure controller uses this for cold-read
+// semantics: a never-touched line reads as zeroes without verification.
+func (d *Device) Materialized(addr uint64) bool {
+	_, ok := d.lines[addr/LineSize]
+	return ok
+}
+
+// ForEachTouched visits every materialized line address in unspecified
+// order (test and verification walks only).
+func (d *Device) ForEachTouched(fn func(lineAddr uint64)) {
+	for idx := range d.lines {
+		fn(idx * LineSize)
+	}
+}
+
+func (d *Device) checkAddr(addr uint64) uint64 {
+	if addr%LineSize != 0 {
+		panic(fmt.Sprintf("nvm: unaligned line address %#x", addr))
+	}
+	if addr >= d.capacity {
+		panic(fmt.Sprintf("nvm: address %#x beyond capacity %#x", addr, d.capacity))
+	}
+	return addr / LineSize
+}
+
+// line returns the stored line, materializing a zero line when absent.
+func (d *Device) line(idx uint64) *storedLine {
+	l, ok := d.lines[idx]
+	if !ok {
+		l = &storedLine{}
+		l.check = d.codec.Encode(l.data[:])
+		d.lines[idx] = l
+	}
+	return l
+}
+
+// Write stores one line at the given (aligned) byte address, regenerating
+// its ECC check bytes. Stuck-at cells re-assert their faulty values after
+// the write, exactly like worn-out PCM cells.
+func (d *Device) Write(addr uint64, data *Line) {
+	idx := d.checkAddr(addr)
+	l := d.line(idx)
+	// The controller computes ECC over the data it sends; stuck cells
+	// then corrupt the stored copy, so the check bytes reflect the
+	// intended value while the array holds the faulty one.
+	l.check = d.codec.Encode(data[:])
+	l.data = *data
+	if l.stuckMask != nil {
+		for i := range l.data {
+			l.data[i] = (l.data[i] &^ l.stuckMask[i]) | (l.stuckVal[i] & l.stuckMask[i])
+		}
+		// Write-verify: ECP allocates pointers for the cells that did
+		// not take the new value.
+		d.ecpRepairAfterWrite(idx, data, l)
+	} else if d.ecpBudget > 0 {
+		delete(d.ecp, idx) // healthy write; retire stale pointers
+	}
+	d.stats.Writes++
+	d.wear[idx]++
+}
+
+// ReadResult describes one line read.
+type ReadResult struct {
+	// Data is the post-ECC line contents. When Uncorrectable is true the
+	// data is the raw (corrupt) cell contents and must not be trusted.
+	Data Line
+	// Corrected is true when ECC repaired at least one symbol.
+	Corrected bool
+	// Uncorrectable is true when the line holds a detected
+	// uncorrectable error.
+	Uncorrectable bool
+	// BadWords lists 8-byte words that failed to decode (per-codeword
+	// granularity used by Soteria's duplicated shadow entries).
+	BadWords []int
+}
+
+// Read fetches one line, running ECC decode. Reads of never-written lines
+// return zeroes.
+func (d *Device) Read(addr uint64) ReadResult {
+	idx := d.checkAddr(addr)
+	d.stats.Reads++
+	l, ok := d.lines[idx]
+	if !ok {
+		return ReadResult{}
+	}
+	buf := l.data
+	d.ecpApply(idx, &buf)
+	res := d.codec.Decode(buf[:], l.check)
+	if res.Corrected {
+		d.stats.CorrectedLines++
+		// A patrol-scrub style write-back of the corrected value keeps
+		// correctable faults from accumulating, mirroring real
+		// controllers (demand scrubbing).
+		l.data = buf
+		l.check = d.codec.Encode(buf[:])
+	}
+	if res.Uncorrectable {
+		d.stats.UncorrectableHits++
+	}
+	return ReadResult{
+		Data:          buf,
+		Corrected:     res.Corrected,
+		Uncorrectable: res.Uncorrectable,
+		BadWords:      res.BadWords,
+	}
+}
+
+// ReadRaw returns the raw cell contents without ECC decoding (used by
+// recovery paths that want to inspect a corrupt line's surviving words).
+func (d *Device) ReadRaw(addr uint64) Line {
+	idx := d.checkAddr(addr)
+	if l, ok := d.lines[idx]; ok {
+		return l.data
+	}
+	return Line{}
+}
+
+// --- Fault injection -------------------------------------------------------
+
+// FlipBit flips a single data bit: addr addresses the byte, bit the bit
+// within it. Under SECDED this is correctable; the next Read repairs it.
+func (d *Device) FlipBit(addr uint64, bit uint) {
+	idx := addr / LineSize
+	d.checkAddr(idx * LineSize)
+	l := d.line(idx)
+	l.data[addr%LineSize] ^= 1 << (bit % 8)
+}
+
+// FlipCheckBit flips one bit of the stored ECC check bytes of the line at
+// the given line-aligned address.
+func (d *Device) FlipCheckBit(addr uint64, byteIdx int, bit uint) {
+	idx := d.checkAddr(addr)
+	l := d.line(idx)
+	if len(l.check) == 0 {
+		return
+	}
+	l.check[byteIdx%len(l.check)] ^= 1 << (bit % 8)
+}
+
+// CorruptWord plants a detectably uncorrectable error in 8-byte word w of
+// the line at addr by flipping several bits across distinct symbol lanes.
+// Tests assert that both SECDED and Chipkill report it uncorrectable.
+func (d *Device) CorruptWord(addr uint64, w int) {
+	idx := d.checkAddr(addr)
+	l := d.line(idx)
+	w = w % 8
+	// Flip exactly two bits in two different byte lanes of the word:
+	// a double-bit error for SECDED (detected, not corrected) and a
+	// double-symbol error for Chipkill (ditto).
+	l.data[w*8+0] ^= 0x01
+	l.data[w*8+3] ^= 0x80
+}
+
+// CorruptLine plants an uncorrectable error in every word of the line —
+// the "node is gone" case of Fig 9 step 4.
+func (d *Device) CorruptLine(addr uint64) {
+	for w := 0; w < 8; w++ {
+		d.CorruptWord(addr, w)
+	}
+}
+
+// StickBits makes the masked bits of the line at addr permanently stuck at
+// the corresponding value bits: every subsequent write re-asserts them,
+// modelling worn-out PCM cells.
+func (d *Device) StickBits(addr uint64, mask, val *Line) {
+	idx := d.checkAddr(addr)
+	l := d.line(idx)
+	if l.stuckMask == nil {
+		l.stuckMask = &Line{}
+		l.stuckVal = &Line{}
+	}
+	for i := range mask {
+		l.stuckMask[i] |= mask[i]
+		l.stuckVal[i] = (l.stuckVal[i] &^ mask[i]) | (val[i] & mask[i])
+	}
+	// Assert immediately on current contents.
+	for i := range l.data {
+		l.data[i] = (l.data[i] &^ l.stuckMask[i]) | (l.stuckVal[i] & l.stuckMask[i])
+	}
+}
+
+// ClearFaults removes all injected faults and re-encodes every materialized
+// line's ECC from its current contents (a repair-everything escape hatch
+// for experiments).
+func (d *Device) ClearFaults() {
+	for _, l := range d.lines {
+		l.stuckMask, l.stuckVal = nil, nil
+		l.check = d.codec.Encode(l.data[:])
+	}
+}

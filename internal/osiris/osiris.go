@@ -1,0 +1,98 @@
+// Package osiris implements the counter-recovery scheme of Osiris (Ye et
+// al., MICRO 2018) as used by Soteria (Table 1: "for counter recovery, we
+// use the state-of-the-art scheme, Osiris").
+//
+// The idea: encryption counters cached on chip may be ahead of their stale
+// NVM copy when power fails. If the controller bounds the number of
+// in-cache increments between write-backs to N, recovery can try the stale
+// value plus 0..N increments and accept the candidate that passes an
+// independent check — here, the per-block data MAC that was persisted
+// together with every ciphertext write. Because each data block carries its
+// own MAC, every minor counter of a 64-ary split-counter block is
+// recoverable independently, and the major counter's low bits are restored
+// from the Anubis shadow entry.
+package osiris
+
+import "fmt"
+
+// DefaultLimit is the default bound on in-cache counter increments between
+// forced write-backs (Osiris uses a small constant; 8 keeps recovery trials
+// cheap while making forced write-backs rare).
+const DefaultLimit = 8
+
+// RecoverValue searches stale, stale+1, ..., stale+limit for the first
+// value accepted by verify. ok is false when no candidate passes — the
+// counter was updated more times than the bound allows (a controller bug)
+// or the verification target itself is corrupt.
+func RecoverValue(stale uint64, limit int, verify func(v uint64) bool) (uint64, bool) {
+	for d := 0; d <= limit; d++ {
+		if v := stale + uint64(d); verify(v) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// RestoreLSB returns the smallest value >= stale whose low 16 bits equal
+// lsb. This reconstructs a full counter from its stale memory copy plus the
+// 16-bit LSBs kept in a Soteria shadow entry; it is exact as long as the
+// counter advanced fewer than 2^16 times since its last write-back, which
+// the controller guarantees by forcing a write-back before the LSBs can
+// wrap (§3.2.1 of the paper argues 2^16 in-cache updates without eviction
+// is already "extremely rare").
+func RestoreLSB(stale uint64, lsb uint16) uint64 {
+	high := stale >> 16
+	cand := high<<16 | uint64(lsb)
+	if cand < stale {
+		cand += 1 << 16
+	}
+	return cand
+}
+
+// Verifier checks a candidate counter for one slot of a split-counter
+// block, typically by recomputing the data MAC of the covered block.
+type Verifier func(slot int, counter uint64) bool
+
+// SplitCounters is the minimal view of a split-counter block that recovery
+// manipulates (mirrors ctrenc.CounterBlock without importing it, keeping
+// this package dependency-free and independently testable).
+type SplitCounters struct {
+	Major  uint64
+	Minors [64]uint8
+}
+
+// Counter returns the combined counter of slot i (major<<6 | minor).
+func (s *SplitCounters) Counter(i int) uint64 { return s.Major<<6 | uint64(s.Minors[i]) }
+
+// RecoverBlock reconstructs the up-to-date state of a split-counter block:
+// the major counter from its shadow LSBs, then each minor independently by
+// bounded trials against verify. Slots whose verification never passes are
+// reported in failed (their covered data blocks are unrecoverable).
+func RecoverBlock(stale SplitCounters, majorLSB uint16, limit int, verify Verifier) (rec SplitCounters, failed []int, err error) {
+	if limit < 0 {
+		return rec, nil, fmt.Errorf("osiris: negative trial limit %d", limit)
+	}
+	rec = stale
+	rec.Major = RestoreLSB(stale.Major, majorLSB)
+	majorBumped := rec.Major != stale.Major
+	for slot := range rec.Minors {
+		start := uint64(stale.Minors[slot])
+		if majorBumped {
+			// A major bump re-encrypted the page and zeroed minors;
+			// the stale minors are meaningless, so search from 0.
+			start = 0
+		}
+		v, ok := RecoverValue(start, limit, func(m uint64) bool {
+			if m > 63 {
+				return false
+			}
+			return verify(slot, rec.Major<<6|m)
+		})
+		if !ok {
+			failed = append(failed, slot)
+			continue
+		}
+		rec.Minors[slot] = uint8(v)
+	}
+	return rec, failed, nil
+}

@@ -1,0 +1,121 @@
+package osiris
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecoverValueFindsTruth(t *testing.T) {
+	f := func(stale uint64, deltaRaw uint8) bool {
+		stale &= 1<<40 - 1 // keep additions far from overflow
+		delta := uint64(deltaRaw % (DefaultLimit + 1))
+		truth := stale + delta
+		v, ok := RecoverValue(stale, DefaultLimit, func(c uint64) bool { return c == truth })
+		return ok && v == truth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverValueFailsBeyondLimit(t *testing.T) {
+	truth := uint64(100)
+	_, ok := RecoverValue(90, 8, func(c uint64) bool { return c == truth })
+	if ok {
+		t.Fatal("recovered a counter 10 increments ahead with limit 8")
+	}
+}
+
+func TestRestoreLSB(t *testing.T) {
+	cases := []struct {
+		stale uint64
+		lsb   uint16
+		want  uint64
+	}{
+		{0x12345, 0x2345, 0x12345},                             // unchanged
+		{0x12345, 0x2350, 0x12350},                             // advanced, no carry
+		{0x1FFF0, 0x0005, 0x20005},                             // advanced across the 16-bit wrap
+		{0, 0, 0},                                              // zero
+		{0xFFFF, 0x0000, 0x10000},                              // exact wrap boundary
+		{0x2FFFF, 0xFFFF, 0x2FFFF},                             // max LSB unchanged
+		{1<<56 - 2, 0x0001, (1<<56 - 2) - 0xFFFE + 0xFFFF + 2}, // near top
+	}
+	for _, c := range cases {
+		if got := RestoreLSB(c.stale, c.lsb); got != c.want {
+			t.Errorf("RestoreLSB(%#x, %#x) = %#x, want %#x", c.stale, c.lsb, got, c.want)
+		}
+	}
+}
+
+func TestRestoreLSBProperty(t *testing.T) {
+	// For any stale value and any advance < 2^16, restoring from the
+	// advanced value's LSBs recovers it exactly.
+	f := func(staleRaw uint64, adv uint16) bool {
+		stale := staleRaw & (1<<48 - 1)
+		truth := stale + uint64(adv)
+		got := RestoreLSB(stale, uint16(truth&0xFFFF))
+		return got == truth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverBlockMinorsIndependently(t *testing.T) {
+	var truth SplitCounters
+	truth.Major = 7
+	stale := truth
+	// Advance a few minors by varying amounts within the limit.
+	truth.Minors[0] = 3
+	truth.Minors[13] = 8
+	truth.Minors[63] = 1
+	stale.Minors[13] = 5 // stale by 3
+	verify := func(slot int, counter uint64) bool { return counter == truth.Counter(slot) }
+	rec, failed, err := RecoverBlock(stale, uint16(truth.Major&0xFFFF), DefaultLimit, verify)
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("failed slots %v err %v", failed, err)
+	}
+	if rec != truth {
+		t.Fatalf("recovered %+v want %+v", rec, truth)
+	}
+}
+
+func TestRecoverBlockAfterMajorBump(t *testing.T) {
+	// The cached block did a major bump (page re-encryption) after the
+	// last write-back: stale minors are garbage; recovery must restart
+	// minors from zero under the new major.
+	var truth SplitCounters
+	truth.Major = 0x10001
+	truth.Minors[2] = 4
+	stale := SplitCounters{Major: 0x10000}
+	stale.Minors[2] = 60
+	stale.Minors[9] = 33
+	verify := func(slot int, counter uint64) bool { return counter == truth.Counter(slot) }
+	rec, failed, err := RecoverBlock(stale, uint16(truth.Major&0xFFFF), DefaultLimit, verify)
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("failed %v err %v", failed, err)
+	}
+	if rec != truth {
+		t.Fatalf("recovered major %#x minors[2]=%d", rec.Major, rec.Minors[2])
+	}
+}
+
+func TestRecoverBlockReportsFailedSlots(t *testing.T) {
+	var truth SplitCounters
+	stale := truth
+	truth.Minors[5] = DefaultLimit + 3 // beyond the trial bound
+	verify := func(slot int, counter uint64) bool { return counter == truth.Counter(slot) }
+	_, failed, err := RecoverBlock(stale, 0, DefaultLimit, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != 5 {
+		t.Fatalf("failed = %v, want [5]", failed)
+	}
+}
+
+func TestRecoverBlockRejectsNegativeLimit(t *testing.T) {
+	if _, _, err := RecoverBlock(SplitCounters{}, 0, -1, func(int, uint64) bool { return true }); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}

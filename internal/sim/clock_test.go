@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	d := 150 * time.Nanosecond
+	st := FromDuration(d)
+	if st.Picoseconds() != 150_000 {
+		t.Fatalf("150ns = %d ps", st.Picoseconds())
+	}
+	if st.Duration() != d {
+		t.Fatalf("round trip %v", st.Duration())
+	}
+	if st.String() != "150ns" {
+		t.Fatalf("String() = %q", st.String())
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	c.Advance(-50) // ignored
+	if c.Now() != 100 {
+		t.Fatalf("now = %v", c.Now())
+	}
+	c.AdvanceTo(50) // in the past; ignored
+	if c.Now() != 100 {
+		t.Fatal("clock moved backwards")
+	}
+	c.AdvanceTo(200)
+	if c.Now() != 200 {
+		t.Fatal("AdvanceTo failed")
+	}
+}
+
+func TestCyclesToTime(t *testing.T) {
+	// 2 cycles at 2 GHz = 1 ns = 1000 ps.
+	if got := CyclesToTime(2, 2e9); got != 1000 {
+		t.Fatalf("got %d ps", got)
+	}
+}
+
+func TestBanksSerializeSameBank(t *testing.T) {
+	b := NewBanks(4)
+	d1 := b.Schedule(0, 0, 100)
+	d2 := b.Schedule(0, 0, 100)
+	if d1 != 100 || d2 != 200 {
+		t.Fatalf("same-bank requests not serialized: %v %v", d1, d2)
+	}
+	// A different bank is independent.
+	if d := b.Schedule(1, 0, 100); d != 100 {
+		t.Fatalf("cross-bank request delayed: %v", d)
+	}
+}
+
+func TestBanksRespectEarliest(t *testing.T) {
+	b := NewBanks(2)
+	if d := b.Schedule(0, 500, 100); d != 600 {
+		t.Fatalf("start time ignored: %v", d)
+	}
+	if b.NextFree(0) != 600 {
+		t.Fatal("NextFree wrong")
+	}
+	b.Reset()
+	if b.NextFree(0) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestBankForStableAndInRange(t *testing.T) {
+	b := NewBanks(16)
+	f := func(line uint64) bool {
+		k := b.BankFor(line)
+		return k >= 0 && k < 16 && k == b.BankFor(line)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBanksZeroClampsToOne(t *testing.T) {
+	b := NewBanks(0)
+	if b.N() != 1 {
+		t.Fatalf("banks = %d", b.N())
+	}
+}
+
+// Property: completion times on one bank are non-decreasing regardless of
+// request order.
+func TestBankCompletionMonotone(t *testing.T) {
+	f := func(starts []uint16) bool {
+		b := NewBanks(1)
+		var prev Time
+		for _, s := range starts {
+			d := b.Schedule(0, Time(s), 10)
+			if d < prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package stats provides the lightweight metric-collection and table
+// rendering utilities used by every experiment harness in the repository.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a named bag of monotonically increasing uint64 counters.
+type Counters struct {
+	m     map[string]uint64
+	order []string
+}
+
+// NewCounters returns an empty counter bag.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]uint64)}
+}
+
+// Add increments the named counter by n, creating it at zero if needed.
+func (c *Counters) Add(name string, n uint64) {
+	if _, ok := c.m[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.m[name] += n
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the current value of the named counter (zero if absent).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns the counter names in insertion order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Ratio returns numerator/denominator as a float, or zero when the
+// denominator counter is zero.
+func (c *Counters) Ratio(num, den string) float64 {
+	d := c.m[den]
+	if d == 0 {
+		return 0
+	}
+	return float64(c.m[num]) / float64(d)
+}
+
+// WriteTo dumps the counters one per line in insertion order.
+func (c *Counters) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, name := range c.order {
+		n, err := fmt.Fprintf(w, "%-40s %12d\n", name, c.m[name])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Histogram is a fixed-bucket histogram over integer keys (for example
+// Merkle-tree levels). Keys outside the preallocated range are clamped.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram returns a histogram with buckets [0, n).
+func NewHistogram(n int) *Histogram {
+	return &Histogram{counts: make([]uint64, n)}
+}
+
+// Observe adds one sample at key k.
+func (h *Histogram) Observe(k int) {
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(h.counts) {
+		k = len(h.counts) - 1
+	}
+	h.counts[k]++
+	h.total++
+}
+
+// Count returns the number of samples in bucket k.
+func (h *Histogram) Count(k int) uint64 {
+	if k < 0 || k >= len(h.counts) {
+		return 0
+	}
+	return h.counts[k]
+}
+
+// Total returns the total number of samples observed.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Fraction returns the share of samples in bucket k (0 when empty).
+func (h *Histogram) Fraction(k int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(k)) / float64(h.total)
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// GeoMean returns the geometric mean of the inputs, ignoring non-positive
+// values (which would otherwise collapse the product to zero). It returns
+// zero when no positive values exist.
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table accumulates rows and renders them as GitHub-flavoured markdown or
+// CSV; every experiment binary reports through it so figures and tables have
+// a uniform, diffable format.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// SortByColumn sorts rows lexicographically by the given column index.
+func (t *Table) SortByColumn(col int) {
+	sort.SliceStable(t.rows, func(i, j int) bool { return t.rows[i][col] < t.rows[j][col] })
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteMarkdown renders the table as GitHub-flavoured markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "\n### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	pad := func(s string, n int) string { return s + strings.Repeat(" ", n-len(s)) }
+	cells := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		cells[i] = pad(h, widths[i])
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+		return err
+	}
+	for i := range cells {
+		cells[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = pad(row[i], widths[i])
+			} else {
+				cells[i] = pad("", widths[i])
+			}
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV (no quoting: experiment values never
+// contain commas).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatFloat renders a float compactly: scientific notation for very small
+// or very large magnitudes, fixed point otherwise.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) < 1e-3 || math.Abs(v) >= 1e7:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) < 1:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// FormatBytes renders a byte count with a binary-unit suffix.
+func FormatBytes(b float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB", "PiB"}
+	i := 0
+	for math.Abs(b) >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	if i == 0 {
+		return fmt.Sprintf("%.0f%s", b, units[i])
+	}
+	return fmt.Sprintf("%.2f%s", b, units[i])
+}

@@ -1,0 +1,104 @@
+// Package trace defines the memory-reference trace format that connects
+// workload generators to the trace-driven CPU model. A trace is a stream of
+// records, each carrying the memory operation, its byte address, and the
+// number of non-memory instructions the core executed since the previous
+// record.
+package trace
+
+// Op is the kind of one trace record.
+type Op uint8
+
+// Trace operations.
+const (
+	// OpRead is a load.
+	OpRead Op = iota
+	// OpWrite is a store kept in the volatile cache hierarchy until
+	// eviction (ordinary, non-persistent data).
+	OpWrite
+	// OpWritePersist is a store followed by a cache-line write-back
+	// (clwb + fence), the idiom persistent-memory applications use; it
+	// reaches the memory controller immediately. Whisper-style
+	// workloads are built from these.
+	OpWritePersist
+	// OpBarrier drains the controller's write pending queue (sfence /
+	// durability point).
+	OpBarrier
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpWritePersist:
+		return "persist-write"
+	case OpBarrier:
+		return "barrier"
+	default:
+		return "?"
+	}
+}
+
+// Record is one trace event.
+type Record struct {
+	Op   Op
+	Addr uint64 // byte address; the CPU model aligns it to a line
+	Gap  uint32 // non-memory instructions preceding this operation
+}
+
+// Generator produces a trace record stream. Generators are deterministic
+// for a given seed so experiments are reproducible.
+type Generator interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Next fills r with the next record, returning false at
+	// end-of-trace. Generators used by the figures are effectively
+	// unbounded; the CPU model imposes the instruction budget.
+	Next(r *Record) bool
+}
+
+// Slice replays a fixed record slice (tests and golden traces).
+type Slice struct {
+	name string
+	recs []Record
+	pos  int
+}
+
+// NewSlice wraps records in a Generator.
+func NewSlice(name string, recs []Record) *Slice {
+	return &Slice{name: name, recs: recs}
+}
+
+// Name implements Generator.
+func (s *Slice) Name() string { return s.name }
+
+// Next implements Generator.
+func (s *Slice) Next(r *Record) bool {
+	if s.pos >= len(s.recs) {
+		return false
+	}
+	*r = s.recs[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the slice for another replay.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Func adapts a closure to the Generator interface.
+type Func struct {
+	name string
+	fn   func(r *Record) bool
+}
+
+// NewFunc wraps fn as a named Generator.
+func NewFunc(name string, fn func(r *Record) bool) *Func {
+	return &Func{name: name, fn: fn}
+}
+
+// Name implements Generator.
+func (f *Func) Name() string { return f.name }
+
+// Next implements Generator.
+func (f *Func) Next(r *Record) bool { return f.fn(r) }

@@ -1,0 +1,68 @@
+package trace
+
+import "testing"
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		OpRead:         "read",
+		OpWrite:        "write",
+		OpWritePersist: "persist-write",
+		OpBarrier:      "barrier",
+		Op(99):         "?",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestSliceReplay(t *testing.T) {
+	recs := []Record{
+		{Op: OpRead, Addr: 64, Gap: 3},
+		{Op: OpWrite, Addr: 128, Gap: 1},
+	}
+	s := NewSlice("demo", recs)
+	if s.Name() != "demo" {
+		t.Fatal("name")
+	}
+	var r Record
+	for i := range recs {
+		if !s.Next(&r) {
+			t.Fatalf("ended early at %d", i)
+		}
+		if r != recs[i] {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if s.Next(&r) {
+		t.Fatal("slice did not end")
+	}
+	s.Reset()
+	if !s.Next(&r) || r != recs[0] {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestFuncGenerator(t *testing.T) {
+	n := 0
+	g := NewFunc("counter", func(r *Record) bool {
+		if n >= 3 {
+			return false
+		}
+		r.Addr = uint64(n)
+		n++
+		return true
+	})
+	if g.Name() != "counter" {
+		t.Fatal("name")
+	}
+	var r Record
+	count := 0
+	for g.Next(&r) {
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("produced %d records", count)
+	}
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"soteria/internal/trace"
+)
+
+func drain(g trace.Generator, n int) []trace.Record {
+	out := make([]trace.Record, 0, n)
+	var r trace.Record
+	for i := 0; i < n && g.Next(&r); i++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestSuiteCompleteAndNamed(t *testing.T) {
+	ws := All()
+	if len(ws) < 15 {
+		t.Fatalf("suite has only %d workloads", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if w.Name == "" || w.New == nil {
+			t.Fatalf("malformed workload %+v", w)
+		}
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+	// The paper's suite members must all be present.
+	for _, name := range []string{"uBENCH16", "uBENCH64", "uBENCH128", "uBENCH256",
+		"hashmap", "btree", "rbtree", "queue", "tpcc", "ycsb", "pmemkv", "mcf", "lbm", "libquantum"} {
+		if !seen[name] {
+			t.Fatalf("missing workload %q", name)
+		}
+	}
+	if len(Names()) != len(ws) {
+		t.Fatal("Names() length mismatch")
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("mcf")
+	if err != nil || w.Name != "mcf" || w.Class != ClassSPEC {
+		t.Fatalf("ByName: %+v %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ByNameMust should panic on unknown name")
+		}
+	}()
+	ByNameMust("nope")
+}
+
+func TestUBenchSemantics(t *testing.T) {
+	// "accesses one byte after every X bytes in sequential manner with
+	// read/write ratio of 1".
+	g := UBench(128).New(1<<20, 1)
+	recs := drain(g, 400)
+	reads, writes := 0, 0
+	var lastWrite uint64
+	first := true
+	for _, r := range recs {
+		switch r.Op {
+		case trace.OpRead:
+			reads++
+		case trace.OpWritePersist:
+			writes++
+			if !first && r.Addr != (lastWrite+128)%(1<<20) {
+				t.Fatalf("stride broken: %d after %d", r.Addr, lastWrite)
+			}
+			lastWrite = r.Addr
+			first = false
+		default:
+			t.Fatalf("unexpected op %v", r.Op)
+		}
+	}
+	if reads != writes {
+		t.Fatalf("read/write ratio %d:%d, want 1:1", reads, writes)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	for _, w := range All() {
+		a := drain(w.New(1<<20, 7), 200)
+		b := drain(w.New(1<<20, 7), 200)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s not deterministic at record %d", w.Name, i)
+			}
+		}
+		c := drain(w.New(1<<20, 8), 200)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same && w.Class != ClassMicro && w.Name != "queue" {
+			t.Fatalf("%s ignores its seed", w.Name)
+		}
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	const fp = 1 << 20
+	for _, w := range All() {
+		for _, r := range drain(w.New(fp, 3), 2000) {
+			if r.Op == trace.OpBarrier {
+				continue
+			}
+			if r.Addr >= fp {
+				t.Fatalf("%s generated %#x beyond footprint %#x", w.Name, r.Addr, uint64(fp))
+			}
+		}
+	}
+}
+
+func TestPersistentWorkloadsPersist(t *testing.T) {
+	for _, w := range All() {
+		if w.Class != ClassPersistent {
+			continue
+		}
+		persist, barrier := 0, 0
+		for _, r := range drain(w.New(1<<20, 3), 3000) {
+			switch r.Op {
+			case trace.OpWritePersist:
+				persist++
+			case trace.OpBarrier:
+				barrier++
+			case trace.OpWrite:
+				t.Fatalf("%s issued a non-persistent store", w.Name)
+			}
+		}
+		if persist == 0 || barrier == 0 {
+			t.Fatalf("%s: persist=%d barrier=%d", w.Name, persist, barrier)
+		}
+	}
+}
+
+func TestSPECWorkloadsDoNotPersist(t *testing.T) {
+	for _, w := range All() {
+		if w.Class != ClassSPEC {
+			continue
+		}
+		for _, r := range drain(w.New(1<<20, 3), 1000) {
+			if r.Op == trace.OpWritePersist || r.Op == trace.OpBarrier {
+				t.Fatalf("%s issued persistent op %v", w.Name, r.Op)
+			}
+		}
+	}
+}
+
+func TestZipfWorkloadsAreSkewed(t *testing.T) {
+	// ycsb's hot lines must be dramatically more popular than uniform.
+	g := ByNameMust("ycsb").New(1<<20, 5)
+	counts := map[uint64]int{}
+	for _, r := range drain(g, 20000) {
+		if r.Op == trace.OpRead {
+			counts[r.Addr/64]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Fatalf("hottest line hit only %d times; zipf skew missing", max)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassMicro.String() != "micro" || ClassPersistent.String() != "persistent" ||
+		ClassSPEC.String() != "spec" || Class(9).String() != "?" {
+		t.Fatal("class strings wrong")
+	}
+}

@@ -1,0 +1,194 @@
+// Package wpq models the memory controller's Write Pending Queue. The WPQ
+// sits inside the Asynchronous DRAM Refresh (ADR) domain: once a write is
+// accepted into the queue it is guaranteed to reach the NVM even across a
+// power failure, so functionally every accepted write is durable
+// immediately. What the WPQ adds on top of the device is *timing* — bounded
+// occupancy, bank-aware drain scheduling, and stalls when producers outrun
+// the NVM's write bandwidth — plus the atomic-commit capacity constraint
+// that caps Soteria's clone depth at five copies (§3.2.1).
+package wpq
+
+import (
+	"fmt"
+
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// Stats aggregates WPQ activity.
+type Stats struct {
+	Inserts    uint64
+	Coalesced  uint64
+	Stalls     uint64
+	StallTime  sim.Time
+	MaxDepth   int
+	AtomicSets uint64
+}
+
+type entry struct {
+	addr       uint64
+	completion sim.Time
+}
+
+// Queue is the write pending queue draining into one NVM device.
+type Queue struct {
+	dev      *nvm.Device
+	banks    *sim.Banks
+	writeLat sim.Time
+	capacity int
+	pending  []entry
+	inQueue  map[uint64]int // line addr -> count of pending entries
+	stats    Stats
+}
+
+// New builds a WPQ of the given capacity in front of dev, draining into the
+// shared bank model with the given per-write service latency.
+func New(dev *nvm.Device, banks *sim.Banks, capacity int, writeLat sim.Time) (*Queue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("wpq: capacity must be positive, got %d", capacity)
+	}
+	return &Queue{
+		dev:      dev,
+		banks:    banks,
+		writeLat: writeLat,
+		capacity: capacity,
+		inQueue:  make(map[uint64]int),
+	}, nil
+}
+
+// Capacity returns the queue capacity in entries.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Depth returns the current occupancy at the given time.
+func (q *Queue) Depth(now sim.Time) int {
+	q.drain(now)
+	return len(q.pending)
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Pending reports whether a write to the given line is still queued at
+// `now` — the controller forwards reads from the WPQ in that case.
+func (q *Queue) Pending(now sim.Time, lineAddr uint64) bool {
+	q.drain(now)
+	return q.inQueue[lineAddr] > 0
+}
+
+// drain retires every entry whose NVM write completed by now. Completions
+// are not FIFO — banks finish independently — so the whole queue is
+// filtered, not just a prefix.
+func (q *Queue) drain(now sim.Time) {
+	kept := q.pending[:0]
+	for _, e := range q.pending {
+		if e.completion > now {
+			kept = append(kept, e)
+			continue
+		}
+		if q.inQueue[e.addr] == 1 {
+			delete(q.inQueue, e.addr)
+		} else {
+			q.inQueue[e.addr]--
+		}
+	}
+	q.pending = kept
+}
+
+// Push accepts one line write. The data is applied to the device
+// immediately (ADR durability); the returned time reflects any stall the
+// producer suffered waiting for a free entry. Completion of the drain is
+// scheduled on the line's bank.
+//
+// Writes coalesce: a push to a line that is still queued overwrites the
+// pending entry in place (standard write-combining), consuming no extra
+// entry and no extra bank time. This is what makes the eagerly rewritten
+// shadow-tree lines nearly free in steady state.
+func (q *Queue) Push(now sim.Time, addr uint64, data *nvm.Line) sim.Time {
+	q.drain(now)
+	if q.inQueue[addr] > 0 {
+		q.dev.Write(addr, data)
+		q.stats.Coalesced++
+		return now
+	}
+	if len(q.pending) >= q.capacity {
+		// Stall until the oldest entry drains. Entries complete in
+		// the order their banks free up, so the head is not
+		// necessarily the earliest; find the minimum.
+		earliest := q.pending[0].completion
+		for _, e := range q.pending[1:] {
+			if e.completion < earliest {
+				earliest = e.completion
+			}
+		}
+		q.stats.Stalls++
+		q.stats.StallTime += earliest - now
+		now = earliest
+		q.drain(now)
+	}
+	bank := q.banks.BankFor(addr / nvm.LineSize)
+	done := q.banks.Schedule(bank, now, q.writeLat)
+	q.pending = append(q.pending, entry{addr: addr, completion: done})
+	q.inQueue[addr]++
+	q.dev.Write(addr, data)
+	q.stats.Inserts++
+	if len(q.pending) > q.stats.MaxDepth {
+		q.stats.MaxDepth = len(q.pending)
+	}
+	return now
+}
+
+// PushAtomic accepts a group of writes that must commit together (for
+// example a node and all of its clones). The paper's constraint is that an
+// atomic group can never exceed the WPQ capacity; a violation is a design
+// error, so it panics. The group stalls as one unit until enough entries
+// are free, then enqueues back to back.
+func (q *Queue) PushAtomic(now sim.Time, writes []Write) sim.Time {
+	if len(writes) > q.capacity {
+		panic(fmt.Sprintf("wpq: atomic group of %d exceeds WPQ capacity %d", len(writes), q.capacity))
+	}
+	q.drain(now)
+	for len(q.pending)+len(writes) > q.capacity {
+		earliest := q.pending[0].completion
+		for _, e := range q.pending[1:] {
+			if e.completion < earliest {
+				earliest = e.completion
+			}
+		}
+		q.stats.Stalls++
+		q.stats.StallTime += earliest - now
+		now = earliest
+		q.drain(now)
+	}
+	for i := range writes {
+		bank := q.banks.BankFor(writes[i].Addr / nvm.LineSize)
+		done := q.banks.Schedule(bank, now, q.writeLat)
+		q.pending = append(q.pending, entry{addr: writes[i].Addr, completion: done})
+		q.inQueue[writes[i].Addr]++
+		q.dev.Write(writes[i].Addr, &writes[i].Data)
+		q.stats.Inserts++
+	}
+	if len(q.pending) > q.stats.MaxDepth {
+		q.stats.MaxDepth = len(q.pending)
+	}
+	q.stats.AtomicSets++
+	return now
+}
+
+// Write is one element of an atomic group.
+type Write struct {
+	Addr uint64
+	Data nvm.Line
+}
+
+// FlushTime returns the instant at which every currently queued write has
+// drained (used by persist barriers in workloads and by orderly shutdown).
+func (q *Queue) FlushTime(now sim.Time) sim.Time {
+	q.drain(now)
+	t := now
+	for _, e := range q.pending {
+		if e.completion > t {
+			t = e.completion
+		}
+	}
+	return t
+}
