@@ -1,0 +1,198 @@
+// Command chaos drives the deterministic chaos harness against the memory
+// controller: single scripted crash/fault scenarios, exhaustive crash-point
+// sweeps ("crash at write k, recover, verify, for all k"), nested
+// crash-during-recovery sweeps, and randomized fault campaigns. Every
+// failure prints a one-line repro command; the same seed always replays the
+// same scenario.
+//
+// Typical invocations:
+//
+//	go run ./cmd/chaos -seed 1 -writes 200 -sweep
+//	go run ./cmd/chaos -seed 1 -quick -sweep -nested
+//	go run ./cmd/chaos -seed 7 -campaign fault -trials 20
+//	go run ./cmd/chaos -seed 7 -campaign shadow -break-half-repair
+//	go run ./cmd/chaos -seed 3 -writes 60 -mode src -crash-at 30 -crash-at2 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"soteria/internal/chaos"
+)
+
+func main() {
+	var (
+		seed         = flag.Int64("seed", 1, "master seed for workload, fault schedule and crash points")
+		writes       = flag.Int("writes", 200, "workload length in data operations")
+		modeName     = flag.String("mode", "src", "controller mode: nonsecure|baseline|src|sac")
+		sweep        = flag.Bool("sweep", false, "crash at every stride-th workload boundary")
+		nested       = flag.Bool("nested", false, "sweep a second crash over the recovery's own boundaries")
+		stride       = flag.Int("stride", 1, "boundary step for -sweep and -nested")
+		crashAt      = flag.Int("crash-at", -1, "crash at this workload boundary (single run, or first crash for -nested)")
+		crashAt2     = flag.Int("crash-at2", -1, "crash at this boundary of the recovery (needs -crash-at)")
+		campaign     = flag.String("campaign", "", "randomized campaign: fault|shadow")
+		trials       = flag.Int("trials", 20, "trials per campaign")
+		faultRate    = flag.Float64("fault-rate", 0.01, "per-boundary device fault probability (single runs only when set explicitly)")
+		shadowFaults = flag.Int("shadow-faults", 2, "shadow entry halves to corrupt before recovery (single runs only when set explicitly)")
+		breakRepair  = flag.Bool("break-half-repair", false, "disable Soteria half repair; the harness must catch the resulting loss")
+		quick        = flag.Bool("quick", false, "smoke-test sizes: writes 60, stride 5, trials 5 (unless set explicitly)")
+		verbose      = flag.Bool("v", false, "per-run progress output")
+	)
+	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *quick {
+		if !set["writes"] {
+			*writes = 60
+		}
+		if !set["stride"] {
+			*stride = 5
+		}
+		if !set["trials"] {
+			*trials = 5
+		}
+	}
+
+	mode, err := chaos.ParseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	base := chaos.Config{
+		Seed:            *seed,
+		Writes:          *writes,
+		Mode:            mode,
+		CrashAt:         *crashAt,
+		NestedCrashAt:   *crashAt2,
+		BreakHalfRepair: *breakRepair,
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+		base.Logf = logf
+	}
+
+	switch {
+	case *campaign == "fault":
+		base.FaultRate = *faultRate
+		base.CrashAt, base.NestedCrashAt = -1, -1
+		res, err := chaos.FaultCampaign(base, *trials, logf)
+		report("fault campaign", res, err, *breakRepair)
+
+	case *campaign == "shadow" || (*breakRepair && *campaign == "" && !set["crash-at"]):
+		// -break-half-repair on its own means "prove the harness catches a
+		// sabotaged recovery": run the shadow campaign against it. With an
+		// explicit -crash-at (a printed repro line) the single-run path
+		// below replays the exact scenario instead.
+		base.ShadowFaults = *shadowFaults
+		base.CrashAt, base.NestedCrashAt = -1, -1
+		res, err := chaos.ShadowCampaign(base, *trials, logf)
+		report("shadow campaign", res, err, *breakRepair)
+
+	case *campaign != "":
+		fatal(fmt.Errorf("unknown -campaign %q (want fault|shadow)", *campaign))
+
+	case *nested:
+		if set["fault-rate"] {
+			base.FaultRate = *faultRate
+		}
+		if base.CrashAt < 0 {
+			// No first crash point given: probe the workload and crash in
+			// the middle of it.
+			probe := base
+			probe.CrashAt, probe.NestedCrashAt = -1, -1
+			pres, err := chaos.Run(probe)
+			if err != nil {
+				fatal(err)
+			}
+			base.CrashAt = pres.Boundaries / 2
+		}
+		base.NestedCrashAt = -1
+		res, err := chaos.NestedSweep(base, *stride, logf)
+		report("nested sweep", res, err, *breakRepair)
+
+	case *sweep:
+		if set["fault-rate"] {
+			base.FaultRate = *faultRate
+		}
+		res, err := chaos.CrashSweep(base, *stride, logf)
+		report("crash sweep", res, err, *breakRepair)
+
+	default:
+		// Single scripted run: exactly what a printed repro line replays.
+		if base.NestedCrashAt >= 0 && base.CrashAt < 0 {
+			fmt.Println("note: -crash-at2 has no effect without -crash-at (no first crash to recover from)")
+		}
+		if set["fault-rate"] {
+			base.FaultRate = *faultRate
+		}
+		if set["shadow-faults"] {
+			base.ShadowFaults = *shadowFaults
+		}
+		res, err := chaos.Run(base)
+		if err != nil {
+			fatal(err)
+		}
+		out := &chaos.CampaignResult{Runs: 1, Boundaries: res.Boundaries}
+		if len(res.Violations) > 0 {
+			out.Failures = []chaos.Failure{{Repro: chaos.Repro(base), Violations: res.Violations}}
+		}
+		if res.Crashed {
+			fmt.Printf("run: %d boundaries, crashed at %d", res.Boundaries, res.CrashBoundary)
+			if res.NestedCrashed {
+				fmt.Printf(" (nested crash during recovery)")
+			}
+			if res.Report != nil {
+				fmt.Printf(", recovered %d/%d tracked blocks", res.Report.RecoveredBlocks, res.Report.TrackedEntries)
+			}
+			fmt.Println()
+		} else {
+			fmt.Printf("run: %d boundaries, no crash\n", res.Boundaries)
+		}
+		if len(res.Faults) > 0 {
+			fmt.Printf("injected %d device faults\n", len(res.Faults))
+		}
+		report("run", out, nil, *breakRepair)
+	}
+}
+
+// report prints failures with their repro lines and exits. With inverted
+// expectations (-break-half-repair) finding violations is the success case:
+// the harness proved it catches a sabotaged recovery.
+func report(what string, res *chaos.CampaignResult, err error, invert bool) {
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range res.Failures {
+		for _, v := range f.Violations {
+			fmt.Printf("VIOLATION: %s\n", v)
+		}
+		fmt.Printf("REPRO: %s\n", f.Repro)
+	}
+	if invert {
+		if len(res.Failures) == 0 {
+			fmt.Printf("%s: %d runs and the sabotaged recovery was NOT caught\n", what, res.Runs)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: sabotaged recovery caught in %d of %d runs (%d violations) — harness works\n",
+			what, len(res.Failures), res.Runs, res.ViolationCount())
+		return
+	}
+	if len(res.Failures) > 0 {
+		fmt.Printf("%s: %d of %d runs FAILED (%d violations)\n", what, len(res.Failures), res.Runs, res.ViolationCount())
+		os.Exit(1)
+	}
+	if res.Boundaries > 0 {
+		fmt.Printf("%s: %d runs, %d boundaries, no violations\n", what, res.Runs, res.Boundaries)
+	} else {
+		fmt.Printf("%s: %d runs, no violations\n", what, res.Runs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "chaos: %v\n", strings.TrimPrefix(err.Error(), "chaos: "))
+	os.Exit(1)
+}

@@ -52,7 +52,9 @@ func main() {
 
 	// Phase 2: power loss. Volatile metadata cache and shadow mirror are
 	// gone; the ADR domain (WPQ, root registers) survives.
-	ctrl.Crash()
+	if err := ctrl.Crash(); err != nil {
+		log.Fatalf("crash: %v", err)
+	}
 	fmt.Println("power lost: metadata cache dropped with dirty counters on chip")
 
 	// Phase 3: recovery. The shadow table identifies every tracked

@@ -55,7 +55,9 @@ func populate(ctrl *memctrl.Controller, n int) sim.Time {
 	}
 	now = ctrl.FlushAll(now)
 	// Drop cached (trusted) copies so subsequent reads must verify NVM.
-	ctrl.Crash()
+	if err := ctrl.Crash(); err != nil {
+		log.Fatalf("crash: %v", err)
+	}
 	if _, err := ctrl.Recover(); err != nil {
 		log.Fatal(err)
 	}
@@ -124,7 +126,9 @@ func demoShadowRepair() {
 		log.Fatal(err)
 	}
 	_ = now
-	ctrl.Crash()
+	if err := ctrl.Crash(); err != nil {
+		log.Fatalf("crash: %v", err)
+	}
 	// Kill one ECC codeword in every occupied shadow entry; the Soteria
 	// duplicate half (Fig 8b) restores each one.
 	lay := ctrl.Layout()

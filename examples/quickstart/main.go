@@ -53,7 +53,9 @@ func main() {
 
 	// Power loss: all volatile state (metadata cache, shadow mirror)
 	// vanishes. The WPQ contents and two on-chip root registers survive.
-	ctrl.Crash()
+	if err := ctrl.Crash(); err != nil {
+		log.Fatalf("crash: %v", err)
+	}
 	rep, err := ctrl.Recover()
 	if err != nil {
 		log.Fatal(err)

@@ -132,7 +132,9 @@ func main() {
 	fmt.Printf("stored %d records (encrypted + integrity-protected at rest)\n", len(users))
 
 	// Power loss mid-run; the store needs no recovery logic of its own.
-	ctrl.Crash()
+	if err := ctrl.Crash(); err != nil {
+		log.Fatalf("crash: %v", err)
+	}
 	if _, err := ctrl.Recover(); err != nil {
 		log.Fatal(err)
 	}
@@ -149,7 +151,9 @@ func main() {
 	// NVM faults land in every written counter block's home copy while
 	// the machine is off; SAC's clones absorb them transparently on
 	// reboot.
-	ctrl.Crash()
+	if err := ctrl.Crash(); err != nil {
+		log.Fatalf("crash: %v", err)
+	}
 	lay := ctrl.Layout()
 	for i := uint64(0); i < lay.Levels[0].Nodes; i++ {
 		if ctrl.Device().Materialized(lay.NodeAddr(1, i)) {

@@ -96,7 +96,9 @@ func main() {
 // dropVolatile empties the metadata cache so the next access re-reads NVM
 // (models an attacker waiting for cold state).
 func dropVolatile(ctrl *memctrl.Controller) {
-	ctrl.Crash()
+	if err := ctrl.Crash(); err != nil {
+		log.Fatalf("crash: %v", err)
+	}
 	if _, err := ctrl.Recover(); err != nil {
 		log.Fatal(err)
 	}

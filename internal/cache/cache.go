@@ -210,6 +210,52 @@ func (c *Cache[V]) Insert(addr uint64, value V, dirty bool) (evicted Entry[V], h
 	return evicted, hasEvict
 }
 
+// Victim predicts what Insert(addr, ...) would evict right now, without
+// changing any state: nothing when addr is already resident or its set has
+// a free way, otherwise the set's LRU line. The secure controller uses
+// this to write back a dirty victim *before* the insertion so the victim's
+// shadow-table entry stays valid until its contents are durable.
+func (c *Cache[V]) Victim(addr uint64) (Entry[V], bool) {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			return Entry[V]{}, false
+		}
+	}
+	for i := range ws {
+		if !ws[i].valid {
+			return Entry[V]{}, false
+		}
+	}
+	victim := 0
+	for i := 1; i < len(ws); i++ {
+		if ws[i].lru < ws[victim].lru {
+			victim = i
+		}
+	}
+	return Entry[V]{
+		Addr:  c.addrOf(set, ws[victim].tag),
+		Dirty: ws[victim].dirty,
+		Value: ws[victim].value,
+	}, true
+}
+
+// Touch refreshes the LRU state of a resident line without counting a hit.
+// The controller uses it to steer victim selection away from a line whose
+// write-back is already in progress.
+func (c *Cache[V]) Touch(addr uint64) {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			c.tick++
+			ws[i].lru = c.tick
+			return
+		}
+	}
+}
+
 func (c *Cache[V]) addrOf(set, tag uint64) uint64 {
 	line := tag<<uint(popcount(c.setMask)) | set
 	return line << c.lineBits

@@ -1,0 +1,454 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"soteria/internal/config"
+	"soteria/internal/inject"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// Config fully determines one chaos scenario: same Config, same outcome.
+type Config struct {
+	Seed   int64
+	Writes int // workload operations (roughly 3/4 writes, 1/4 reads)
+	Mode   memctrl.Mode
+	// CrashAt cuts power at this workload write boundary; negative never.
+	CrashAt int
+	// NestedCrashAt cuts power again at this boundary of the recovery
+	// that follows the first crash; negative never.
+	NestedCrashAt int
+	// FaultRate is the per-boundary probability of one random device
+	// fault (bit flip, dead word, dead line) on a previously-written line.
+	FaultRate float64
+	// ShadowFaults kills one word of one half of this many in-use shadow
+	// entries at crash time. A single-half fault is absorbable by
+	// construction (Soteria duplicates each entry), so recovery must
+	// still lose nothing — unless BreakHalfRepair is set.
+	ShadowFaults int
+	// BreakHalfRepair disables the duplicated-entry repair, deliberately
+	// breaking recovery; the harness is expected to catch the loss.
+	BreakHalfRepair bool
+	// Logf, when non-nil, receives per-phase progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Result is what one scenario observed.
+type Result struct {
+	// Boundaries counts workload write boundaries (up to the crash, or
+	// the whole workload when no crash fired).
+	Boundaries int
+	// RecoveryBoundaries counts write boundaries inside Recover (only
+	// meaningful when the scenario crashed and NestedCrashAt < 0).
+	RecoveryBoundaries int
+	Crashed            bool
+	CrashBoundary      int
+	NestedCrashed      bool
+	Report             *memctrl.RecoveryReport
+	Faults             []AppliedFault
+	ShadowFaultNotes   []string
+	// OpErrors counts workload operations that returned a typed error
+	// (legal under fault injection; a violation without it).
+	OpErrors int
+	// Violations lists every invariant breach. Empty means the scenario
+	// upheld the paper's guarantees.
+	Violations []string
+}
+
+func (r *Result) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+type opKind int
+
+const (
+	opWrite opKind = iota
+	opRead
+)
+
+func (k opKind) String() string {
+	if k == opWrite {
+		return "write"
+	}
+	return "read"
+}
+
+type wop struct {
+	kind opKind
+	addr uint64
+}
+
+// lineFor is the deterministic content of the i-th workload write; the
+// oracle recomputes it instead of remembering it (splitmix64 over seed+i).
+func lineFor(seed int64, i int) nvm.Line {
+	var l nvm.Line
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
+	for off := 0; off < nvm.LineSize; off += 8 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		for k := 0; k < 8; k++ {
+			l[off+k] = byte(x >> (8 * uint(k)))
+		}
+	}
+	return l
+}
+
+// guard runs f, converting an inject.PowerLoss panic into a return value.
+// Any other panic is returned as panicked: a simulated power cut must
+// never surface as anything but PowerLoss.
+func guard(f func()) (pl *inject.PowerLoss, panicked any) {
+	defer func() {
+		if r := recover(); r != nil {
+			if p, ok := r.(inject.PowerLoss); ok {
+				pl = &p
+				return
+			}
+			panicked = r
+		}
+	}()
+	f()
+	return pl, panicked
+}
+
+// Run executes one scenario end to end: workload (with optional crash and
+// fault schedule), recovery (with optional nested crash), then the
+// invariant oracle — post-recovery read-back with an old-or-new exemption
+// for the one in-flight operation, replay of the interrupted tail,
+// FlushAll + VerifyAll, a second clean crash/recover round-trip, and a
+// final strict read-back.
+func Run(cfg Config) (*Result, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &Result{CrashBoundary: -1}
+
+	ctrl, err := memctrl.New(config.TestSystem(), cfg.Mode, []byte("chaos-harness-key"),
+		memctrl.Options{DisableShadowHalfRepair: cfg.BreakHalfRepair})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic workload: a working set big enough to thrash the
+	// TestSystem metadata cache (128 slots), ops drawn from it.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var dataLines, faultCeil uint64
+	if l := ctrl.Layout(); l != nil {
+		dataLines = l.DataBlocks
+		faultCeil = l.ShadowTreeBase
+	} else {
+		dataLines = ctrl.Device().Capacity() / nvm.LineSize
+	}
+	wsSize := cfg.Writes/2 + 1
+	if wsSize > 96 {
+		wsSize = 96
+	}
+	seen := make(map[uint64]bool, wsSize)
+	ws := make([]uint64, 0, wsSize)
+	for len(ws) < wsSize {
+		blk := uint64(rng.Int63n(int64(dataLines)))
+		if !seen[blk] {
+			seen[blk] = true
+			ws = append(ws, blk*nvm.LineSize)
+		}
+	}
+	ops := make([]wop, cfg.Writes)
+	for i := range ops {
+		k := opWrite
+		if i > 0 && rng.Float64() < 0.25 {
+			k = opRead
+		}
+		ops[i] = wop{kind: k, addr: ws[rng.Intn(len(ws))]}
+	}
+
+	inj := NewInjector(ctrl.Device(), rand.New(rand.NewSource(cfg.Seed^0x5eedfa11)), cfg.FaultRate, faultCeil)
+	inj.CrashAt = cfg.CrashAt
+	ctrl.SetHook(inj)
+
+	// With random device faults (or deliberately broken recovery) reads
+	// and ops may legitimately fail with a typed error; what is never
+	// legitimate is wrong data without an error, or a panic.
+	errTolerant := cfg.FaultRate > 0 || cfg.BreakHalfRepair
+
+	committed := make(map[uint64]int) // addr -> op index of last durable write
+	var now sim.Time
+	inFlight := -1 // op index interrupted by the crash, when it was a write
+	var inFlightAddr uint64
+	crashOp := -1
+
+	runOp := func(i int) (opErr error, pl *inject.PowerLoss, pan any) {
+		o := ops[i]
+		pl, pan = guard(func() {
+			if o.kind == opWrite {
+				line := lineFor(cfg.Seed, i)
+				now, opErr = ctrl.WriteBlock(now, o.addr, &line)
+			} else {
+				_, now, opErr = ctrl.ReadBlock(now, o.addr)
+			}
+		})
+		return opErr, pl, pan
+	}
+
+	for i := 0; i < len(ops); i++ {
+		opErr, pl, pan := runOp(i)
+		if pan != nil {
+			res.violate("op %d (%v %#x): unexpected panic: %v", i, ops[i].kind, ops[i].addr, pan)
+			res.Faults = inj.Applied
+			return res, nil
+		}
+		if pl != nil {
+			res.Crashed = true
+			res.CrashBoundary = pl.Boundary
+			crashOp = i
+			if ops[i].kind == opWrite {
+				inFlight = i
+				inFlightAddr = ops[i].addr
+			}
+			break
+		}
+		if opErr != nil {
+			res.OpErrors++
+			if !errTolerant {
+				res.violate("op %d (%v %#x): unexpected error: %v", i, ops[i].kind, ops[i].addr, opErr)
+			}
+			continue
+		}
+		if ops[i].kind == opWrite {
+			committed[ops[i].addr] = i
+		}
+	}
+	res.Boundaries = inj.Boundary
+	res.Faults = inj.Applied
+
+	if res.Crashed {
+		logf("power loss at boundary %d (op %d)", res.CrashBoundary, crashOp)
+		// Tracked slots must be read before Crash wipes the volatile
+		// table handle.
+		tracked := ctrl.TrackedSlots()
+		if err := ctrl.Crash(); err != nil {
+			res.violate("Crash() after power loss: %v", err)
+			return res, nil
+		}
+		inj.StopFaults()
+
+		if cfg.ShadowFaults > 0 && ctrl.Layout() != nil {
+			applyShadowFaults(cfg, res, ctrl, tracked)
+		}
+
+		// Recovery, possibly cut by a second power loss.
+		inj.Rearm(cfg.NestedCrashAt)
+		var rep *memctrl.RecoveryReport
+		var rerr error
+		pl, pan := guard(func() { rep, rerr = ctrl.Recover() })
+		if pan != nil {
+			res.violate("Recover: unexpected panic: %v", pan)
+			return res, nil
+		}
+		if pl != nil {
+			res.NestedCrashed = true
+			logf("nested power loss at recovery boundary %d", pl.Boundary)
+			if err := ctrl.Crash(); err != nil {
+				res.violate("Crash() during interrupted recovery: %v", err)
+				return res, nil
+			}
+			inj.Disarm()
+			pl2, pan2 := guard(func() { rep, rerr = ctrl.Recover() })
+			if pan2 != nil {
+				res.violate("second Recover: unexpected panic: %v", pan2)
+				return res, nil
+			}
+			if pl2 != nil {
+				res.violate("second Recover: power loss fired while disarmed")
+				return res, nil
+			}
+		}
+		res.RecoveryBoundaries = inj.Boundary
+		inj.Disarm()
+		if rerr != nil {
+			res.violate("Recover failed: %v", rerr)
+			return res, nil
+		}
+		res.Report = rep
+		checkReport(cfg, res, rep)
+	} else {
+		inj.Disarm()
+	}
+
+	readCheck := func(phase string, inFlightExempt bool) {
+		addrs := make([]uint64, 0, len(committed))
+		for a := range committed {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			var got nvm.Line
+			var rdErr error
+			pl, pan := guard(func() { got, now, rdErr = ctrl.ReadBlock(now, a) })
+			if pan != nil {
+				res.violate("%s: read %#x: unexpected panic: %v", phase, a, pan)
+				return
+			}
+			if pl != nil {
+				res.violate("%s: read %#x: power loss fired while disarmed", phase, a)
+				return
+			}
+			if rdErr != nil {
+				if !errTolerant {
+					res.violate("%s: read %#x (committed op %d) failed: %v", phase, a, committed[a], rdErr)
+				}
+				continue
+			}
+			want := lineFor(cfg.Seed, committed[a])
+			if inFlightExempt && inFlight >= 0 && a == inFlightAddr {
+				if got != want && got != lineFor(cfg.Seed, inFlight) {
+					res.violate("%s: in-flight block %#x holds neither the old value (op %d) nor the new (op %d)",
+						phase, a, committed[a], inFlight)
+				}
+				continue
+			}
+			if got != want {
+				res.violate("%s: silent corruption at %#x: committed op %d does not read back", phase, a, committed[a])
+			}
+		}
+		// An in-flight write to a never-before-written block must read
+		// back as either the new value or pristine zeros.
+		if inFlightExempt && inFlight >= 0 {
+			if _, ok := committed[inFlightAddr]; !ok {
+				var got nvm.Line
+				var rdErr error
+				pl, pan := guard(func() { got, now, rdErr = ctrl.ReadBlock(now, inFlightAddr) })
+				switch {
+				case pan != nil:
+					res.violate("%s: read in-flight %#x: unexpected panic: %v", phase, inFlightAddr, pan)
+				case pl != nil:
+					res.violate("%s: read in-flight %#x: power loss fired while disarmed", phase, inFlightAddr)
+				case rdErr != nil:
+					if !errTolerant {
+						res.violate("%s: read in-flight %#x failed: %v", phase, inFlightAddr, rdErr)
+					}
+				case got != (nvm.Line{}) && got != lineFor(cfg.Seed, inFlight):
+					res.violate("%s: in-flight cold block %#x is neither zero nor the new value", phase, inFlightAddr)
+				}
+			}
+		}
+	}
+
+	if res.Crashed {
+		readCheck("post-recovery", true)
+		// Replay the interrupted operation and the rest of the workload
+		// with injection disarmed.
+		for i := crashOp; i >= 0 && i < len(ops); i++ {
+			opErr, pl, pan := runOp(i)
+			if pan != nil {
+				res.violate("replay op %d: unexpected panic: %v", i, pan)
+				return res, nil
+			}
+			if pl != nil {
+				res.violate("replay op %d: power loss fired while disarmed", i)
+				return res, nil
+			}
+			if opErr != nil {
+				res.OpErrors++
+				if !errTolerant {
+					res.violate("replay op %d (%v %#x): unexpected error: %v", i, ops[i].kind, ops[i].addr, opErr)
+				}
+				continue
+			}
+			if ops[i].kind == opWrite {
+				committed[ops[i].addr] = i
+			}
+		}
+	} else {
+		readCheck("post-workload", false)
+	}
+
+	// Settle and verify the whole image.
+	pl, pan := guard(func() { now = ctrl.FlushAll(now) })
+	if pan != nil {
+		res.violate("FlushAll: unexpected panic: %v", pan)
+		return res, nil
+	}
+	if pl != nil {
+		res.violate("FlushAll: power loss fired while disarmed")
+		return res, nil
+	}
+	if err := ctrl.VerifyAll(); err != nil && !errTolerant {
+		res.violate("VerifyAll after replay: %v", err)
+	}
+
+	// A clean crash/recover round-trip on the flushed image must be
+	// lossless regardless of what came before (faults excepted).
+	if err := ctrl.Crash(); err != nil {
+		res.violate("clean-round Crash: %v", err)
+	} else {
+		rep, err := ctrl.Recover()
+		switch {
+		case err != nil:
+			res.violate("clean-round Recover: %v", err)
+		case cfg.FaultRate == 0 && (len(rep.FailedBlocks) > 0 || len(rep.LostSlots) > 0):
+			res.violate("clean-round recovery lost blocks: %d failed, %d lost slots", len(rep.FailedBlocks), len(rep.LostSlots))
+		}
+	}
+	readCheck("final", false)
+	return res, nil
+}
+
+// applyShadowFaults kills one word of one half of cfg.ShadowFaults shadow
+// entries, preferring slots that were actually tracking blocks at crash
+// time so the fault hits an entry recovery needs.
+func applyShadowFaults(cfg Config, res *Result, ctrl *memctrl.Controller, tracked []uint64) {
+	frng := rand.New(rand.NewSource(cfg.Seed ^ 0x0fa111))
+	slots := tracked
+	if len(slots) == 0 {
+		for s := uint64(0); s < ctrl.Layout().ShadowEntries; s++ {
+			slots = append(slots, s)
+		}
+	}
+	frng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	n := cfg.ShadowFaults
+	if n > len(slots) {
+		n = len(slots)
+	}
+	for j := 0; j < n; j++ {
+		slot := slots[j]
+		word := 4*frng.Intn(2) + frng.Intn(4) // one word of one 32-byte half
+		addr := ctrl.Layout().ShadowBase + slot*nvm.LineSize
+		ctrl.Device().CorruptWord(addr, word)
+		res.ShadowFaultNotes = append(res.ShadowFaultNotes,
+			fmt.Sprintf("slot %d word %d (line %#x)", slot, word, addr))
+	}
+}
+
+// checkReport enforces the accounting invariants on a recovery report.
+func checkReport(cfg Config, res *Result, rep *memctrl.RecoveryReport) {
+	if rep == nil {
+		return
+	}
+	if rep.RecoveredBlocks+len(rep.FailedBlocks) > rep.TrackedEntries {
+		res.violate("recovery report accounting: %d recovered + %d failed > %d tracked",
+			rep.RecoveredBlocks, len(rep.FailedBlocks), rep.TrackedEntries)
+	}
+	if cfg.FaultRate == 0 {
+		// Without random device faults every tracked block must come
+		// back: crash-only sweeps always, and single-half shadow faults
+		// because Soteria duplicates each entry. When BreakHalfRepair is
+		// set these violations firing is the harness catching the broken
+		// recovery — exactly what that knob is for.
+		for _, fb := range rep.FailedBlocks {
+			res.violate("recovery lost tracked block %#x: %s", fb.Addr, fb.Reason)
+		}
+		for _, s := range rep.LostSlots {
+			res.violate("recovery lost shadow slot %d entirely", s)
+		}
+	}
+	if cfg.ShadowFaults > 0 && !cfg.BreakHalfRepair && len(res.ShadowFaultNotes) > 0 && rep.HalfRepairs == 0 {
+		res.violate("shadow faults injected (%v) but recovery performed no half repairs", res.ShadowFaultNotes)
+	}
+}

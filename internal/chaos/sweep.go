@@ -1,0 +1,253 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soteria/internal/memctrl"
+)
+
+// ModeFlag renders a mode as the cmd/chaos -mode flag value.
+func ModeFlag(m memctrl.Mode) string {
+	switch m {
+	case memctrl.ModeNonSecure:
+		return "nonsecure"
+	case memctrl.ModeBaseline:
+		return "baseline"
+	case memctrl.ModeSAC:
+		return "sac"
+	default:
+		return "src"
+	}
+}
+
+// ParseMode is the inverse of ModeFlag.
+func ParseMode(s string) (memctrl.Mode, error) {
+	switch s {
+	case "nonsecure":
+		return memctrl.ModeNonSecure, nil
+	case "baseline":
+		return memctrl.ModeBaseline, nil
+	case "src":
+		return memctrl.ModeSRC, nil
+	case "sac":
+		return memctrl.ModeSAC, nil
+	default:
+		return 0, fmt.Errorf("chaos: unknown mode %q (want nonsecure|baseline|src|sac)", s)
+	}
+}
+
+// Repro renders the cmd/chaos invocation that replays cfg exactly. Every
+// parameter that shapes the scenario (seed, crash points, fault schedule)
+// is on the line, so a reported failure is a one-command repro.
+func Repro(cfg Config) string {
+	s := fmt.Sprintf("go run ./cmd/chaos -seed %d -writes %d -mode %s", cfg.Seed, cfg.Writes, ModeFlag(cfg.Mode))
+	if cfg.CrashAt >= 0 {
+		s += fmt.Sprintf(" -crash-at %d", cfg.CrashAt)
+	}
+	if cfg.NestedCrashAt >= 0 {
+		s += fmt.Sprintf(" -crash-at2 %d", cfg.NestedCrashAt)
+	}
+	if cfg.FaultRate > 0 {
+		s += fmt.Sprintf(" -fault-rate %v", cfg.FaultRate)
+	}
+	if cfg.ShadowFaults > 0 {
+		s += fmt.Sprintf(" -shadow-faults %d", cfg.ShadowFaults)
+	}
+	if cfg.BreakHalfRepair {
+		s += " -break-half-repair"
+	}
+	return s
+}
+
+// Failure couples one failing scenario's violations with its repro command.
+type Failure struct {
+	Repro      string
+	Violations []string
+}
+
+// CampaignResult aggregates a sweep or campaign.
+type CampaignResult struct {
+	// Runs is the number of scenarios executed (probe runs included).
+	Runs int
+	// Boundaries is the phase length the probe run discovered (workload
+	// boundaries for CrashSweep, recovery boundaries for NestedSweep).
+	Boundaries int
+	Failures   []Failure
+}
+
+// ViolationCount sums violations across all failing scenarios.
+func (c *CampaignResult) ViolationCount() int {
+	n := 0
+	for _, f := range c.Failures {
+		n += len(f.Violations)
+	}
+	return n
+}
+
+func (c *CampaignResult) collect(cfg Config, res *Result) {
+	c.Runs++
+	if len(res.Violations) > 0 {
+		c.Failures = append(c.Failures, Failure{Repro: Repro(cfg), Violations: res.Violations})
+	}
+}
+
+// CrashSweep first probes the workload to count its write boundaries, then
+// replays it crashing at every stride-th boundary: "crash at write k,
+// recover, verify, for all k".
+func CrashSweep(base Config, stride int, logf func(string, ...any)) (*CampaignResult, error) {
+	if stride <= 0 {
+		stride = 1
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	probe := base
+	probe.CrashAt, probe.NestedCrashAt = -1, -1
+	pres, err := Run(probe)
+	if err != nil {
+		return nil, err
+	}
+	out := &CampaignResult{Boundaries: pres.Boundaries}
+	out.collect(probe, pres)
+	logf("crash sweep: %d workload boundaries, stride %d", pres.Boundaries, stride)
+	for k := 0; k < pres.Boundaries; k += stride {
+		cfg := base
+		cfg.CrashAt, cfg.NestedCrashAt = k, -1
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Crashed {
+			logf("note: crash-at %d never fired (run saw %d boundaries)", k, res.Boundaries)
+		}
+		out.collect(cfg, res)
+	}
+	return out, nil
+}
+
+// NestedSweep crashes the workload at base.CrashAt, then sweeps a second
+// power loss over every stride-th boundary of the recovery itself —
+// "crash during Recover, recover again".
+func NestedSweep(base Config, stride int, logf func(string, ...any)) (*CampaignResult, error) {
+	if stride <= 0 {
+		stride = 1
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if base.CrashAt < 0 {
+		return nil, fmt.Errorf("chaos: nested sweep needs a first crash point (CrashAt >= 0)")
+	}
+	probe := base
+	probe.NestedCrashAt = -1
+	pres, err := Run(probe)
+	if err != nil {
+		return nil, err
+	}
+	if !pres.Crashed {
+		return nil, fmt.Errorf("chaos: crash-at %d never fired (workload has %d boundaries)", base.CrashAt, pres.Boundaries)
+	}
+	out := &CampaignResult{Boundaries: pres.RecoveryBoundaries}
+	out.collect(probe, pres)
+	logf("nested sweep: first crash at %d, %d recovery boundaries, stride %d",
+		base.CrashAt, pres.RecoveryBoundaries, stride)
+	for k := 0; k < pres.RecoveryBoundaries; k += stride {
+		cfg := base
+		cfg.NestedCrashAt = k
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.collect(cfg, res)
+	}
+	return out, nil
+}
+
+// crashPointFor derives a trial's crash boundary from its seed alone, so a
+// campaign trial is reproducible as a plain single run with -crash-at.
+func crashPointFor(seed int64, boundaries int) int {
+	return int(rand.New(rand.NewSource(seed ^ 0xc4a5b0)).Int63n(int64(boundaries)))
+}
+
+// FaultCampaign layers a seeded probabilistic device-fault schedule on
+// randomized crash points: each trial probes the faulted workload for its
+// boundary count, then crashes at a seed-derived boundary. Reported data
+// loss is legal under faults; silent corruption or a non-PowerLoss panic
+// is a violation.
+func FaultCampaign(base Config, trials int, logf func(string, ...any)) (*CampaignResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if base.FaultRate <= 0 {
+		return nil, fmt.Errorf("chaos: fault campaign needs FaultRate > 0")
+	}
+	out := &CampaignResult{}
+	for t := 0; t < trials; t++ {
+		cfg := base
+		cfg.Seed = base.Seed + int64(t)
+		probe := cfg
+		probe.CrashAt, probe.NestedCrashAt = -1, -1
+		pres, err := Run(probe)
+		if err != nil {
+			return nil, err
+		}
+		out.collect(probe, pres)
+		if pres.Boundaries == 0 {
+			continue
+		}
+		cfg.CrashAt = crashPointFor(cfg.Seed, pres.Boundaries)
+		cfg.NestedCrashAt = -1
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.collect(cfg, res)
+		logf("fault trial %d: seed %d, crash-at %d/%d, %d faults, %d op errors, %d violations",
+			t, cfg.Seed, cfg.CrashAt, pres.Boundaries, len(res.Faults), res.OpErrors, len(res.Violations))
+	}
+	return out, nil
+}
+
+// ShadowCampaign crashes at a seed-derived boundary and kills one half of
+// several in-use shadow entries before recovery. With half repair enabled
+// recovery must lose nothing (the duplicate absorbs the fault); with
+// BreakHalfRepair set the harness must catch the resulting loss.
+func ShadowCampaign(base Config, trials int, logf func(string, ...any)) (*CampaignResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if base.ShadowFaults <= 0 {
+		base.ShadowFaults = 2
+	}
+	out := &CampaignResult{}
+	for t := 0; t < trials; t++ {
+		cfg := base
+		cfg.Seed = base.Seed + int64(t)
+		probe := cfg
+		probe.CrashAt, probe.NestedCrashAt = -1, -1
+		probe.ShadowFaults = 0
+		pres, err := Run(probe)
+		if err != nil {
+			return nil, err
+		}
+		out.collect(probe, pres)
+		if pres.Boundaries == 0 {
+			continue
+		}
+		cfg.CrashAt = crashPointFor(cfg.Seed, pres.Boundaries)
+		cfg.NestedCrashAt = -1
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.collect(cfg, res)
+		half := uint64(0)
+		if res.Report != nil {
+			half = res.Report.HalfRepairs
+		}
+		logf("shadow trial %d: seed %d, crash-at %d/%d, faults [%v], %d half repairs, %d violations",
+			t, cfg.Seed, cfg.CrashAt, pres.Boundaries, res.ShadowFaultNotes, half, len(res.Violations))
+	}
+	return out, nil
+}

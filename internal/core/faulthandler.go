@@ -61,6 +61,11 @@ type LossEvent struct {
 	Bytes uint64 // data bytes rendered unverifiable
 }
 
+// DefaultEventLimit bounds the per-incident Events log. Aggregate counters
+// keep counting past the cap; only the detailed log stops growing, which
+// keeps million-trial Monte Carlo campaigns from blowing up memory.
+const DefaultEventLimit = 4096
+
 // Stats aggregates fault-handler activity.
 type Stats struct {
 	Reads             uint64
@@ -69,7 +74,10 @@ type Stats struct {
 	TamperDetections  uint64
 	UnverifiableNodes uint64
 	UnverifiableBytes uint64
-	Events            []LossEvent
+	// Events holds up to the configured event limit of detailed
+	// unverifiable-node records; EventsDropped counts the overflow.
+	Events        []LossEvent
+	EventsDropped uint64
 }
 
 // UDR returns the Unverifiable Data Ratio accumulated so far against the
@@ -86,15 +94,21 @@ func (s Stats) UDR(totalBytes uint64) float64 {
 // clones, adopts the first copy that passes integrity verification, and
 // purifies every copy from it.
 type FaultHandler struct {
-	mem    Mem
-	layout *itree.Layout
-	stats  Stats
+	mem        Mem
+	layout     *itree.Layout
+	stats      Stats
+	eventLimit int
 }
 
 // NewFaultHandler builds a handler over the given memory and layout.
 func NewFaultHandler(mem Mem, layout *itree.Layout) *FaultHandler {
-	return &FaultHandler{mem: mem, layout: layout}
+	return &FaultHandler{mem: mem, layout: layout, eventLimit: DefaultEventLimit}
 }
+
+// SetEventLimit adjusts how many detailed LossEvents are retained. Zero
+// disables the detailed log entirely (counters still accumulate); negative
+// removes the bound.
+func (h *FaultHandler) SetEventLimit(n int) { h.eventLimit = n }
 
 // Stats returns a copy of the accumulated statistics.
 func (h *FaultHandler) Stats() Stats { return h.stats }
@@ -143,7 +157,11 @@ func (h *FaultHandler) ReadVerified(level int, index uint64, verify func(line *n
 	start, end := h.layout.CoverageOf(level, index)
 	h.stats.UnverifiableNodes++
 	h.stats.UnverifiableBytes += end - start
-	h.stats.Events = append(h.stats.Events, LossEvent{Level: level, Index: index, Bytes: end - start})
+	if h.eventLimit < 0 || len(h.stats.Events) < h.eventLimit {
+		h.stats.Events = append(h.stats.Events, LossEvent{Level: level, Index: index, Bytes: end - start})
+	} else {
+		h.stats.EventsDropped++
+	}
 	return line, OutcomeUnverifiable
 }
 

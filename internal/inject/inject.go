@@ -1,0 +1,99 @@
+// Package inject defines the chaos-injection hook threaded through the
+// storage stack (nvm.Device, wpq.Queue, memctrl.Controller). A hook
+// observes every persistent write boundary plus the structural events
+// around it (atomic clone groups, crash-atomic sealed sections) and may
+// react by mutating device state (fault injection) or by aborting the
+// in-flight operation with a simulated power loss.
+//
+// The event stream defines the write-boundary numbering used by the chaos
+// harness: a scenario that "crashes at boundary k" panics with PowerLoss
+// from the hook before the k-th boundary's write is applied, so exactly
+// the writes before boundary k are durable. Which events count as
+// boundaries is the hook's policy; the conventions used by internal/chaos
+// are:
+//
+//   - every DeviceWrite outside a sealed section is one boundary;
+//   - SealBegin is one boundary (the whole sealed transaction either
+//     happens after the boundary or not at all);
+//   - DeviceWrites inside a sealed section are not boundaries — sealed
+//     sections model transactions the memory controller commits
+//     atomically from the ADR persistence domain (the <=3-write data
+//     commit of the paper, shadow-table entry+BMT updates, page
+//     re-encryption);
+//   - GroupBegin/GroupEnd are informational: writes inside an atomic
+//     clone group remain individual boundaries, because Soteria's
+//     recovery is explicitly designed to tolerate torn clone sets.
+package inject
+
+import "fmt"
+
+// Kind classifies a hook event.
+type Kind int
+
+// Event kinds.
+const (
+	// DeviceWrite fires immediately before a line write is applied to
+	// the NVM array. Addr is the line address.
+	DeviceWrite Kind = iota
+	// GroupBegin / GroupEnd bracket an atomic clone-set push through the
+	// WPQ. The writes in between are individually tearable.
+	GroupBegin
+	GroupEnd
+	// SealBegin / SealEnd bracket a crash-atomic controller transaction;
+	// device writes in between must not be torn.
+	SealBegin
+	SealEnd
+	// Note is a free-form marker emitted by the controller (e.g.
+	// "recover-begin") so scenarios can target specific phases.
+	Note
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DeviceWrite:
+		return "write"
+	case GroupBegin:
+		return "group-begin"
+	case GroupEnd:
+		return "group-end"
+	case SealBegin:
+		return "seal-begin"
+	case SealEnd:
+		return "seal-end"
+	case Note:
+		return "note"
+	default:
+		return "?"
+	}
+}
+
+// Event is one observation delivered to a Hook.
+type Event struct {
+	Kind Kind
+	// Addr is the target line address for DeviceWrite events.
+	Addr uint64
+	// Label names the transaction or marker for SealBegin/SealEnd/Note
+	// and GroupBegin/GroupEnd events.
+	Label string
+}
+
+// Hook receives the event stream. Implementations may panic with
+// PowerLoss to simulate a crash at the current boundary; they must not
+// panic with anything else.
+type Hook interface {
+	Event(Event)
+}
+
+// PowerLoss is the panic value a hook throws to cut power at a write
+// boundary. The layer that started the operation (the chaos harness)
+// recovers it; nothing between the hook and that layer runs, which is
+// exactly the semantics of losing power before the write is applied.
+type PowerLoss struct {
+	// Boundary is the global write-boundary index at which power was
+	// cut, for repro output.
+	Boundary int
+}
+
+func (p PowerLoss) Error() string {
+	return fmt.Sprintf("inject: simulated power loss at write boundary %d", p.Boundary)
+}

@@ -23,6 +23,7 @@ import (
 	"soteria/internal/core"
 	"soteria/internal/ctrenc"
 	"soteria/internal/ecc"
+	"soteria/internal/inject"
 	"soteria/internal/itree"
 	"soteria/internal/metacache"
 	"soteria/internal/nvm"
@@ -133,6 +134,8 @@ var (
 	ErrMACMismatch = errors.New("memctrl: data MAC mismatch")
 	// ErrCrashed: the controller needs Recover() before use.
 	ErrCrashed = errors.New("memctrl: controller crashed; call Recover")
+	// ErrNotCrashed: Recover was called on a live controller.
+	ErrNotCrashed = errors.New("memctrl: Recover called without a crash")
 )
 
 // Options tune non-default controller behaviour.
@@ -148,6 +151,10 @@ type Options struct {
 	// slowdown" the paper cites as the reason to go lazy. Exposed for
 	// the ablation experiment.
 	EagerTreeUpdate bool
+	// DisableShadowHalfRepair plumbs shadow.Options.DisableHalfRepair
+	// through: recovery skips the duplicated-half repair, deliberately
+	// breaking Soteria's shadow resilience. Debug/chaos-harness only.
+	DisableShadowHalfRepair bool
 }
 
 // Controller is the secure memory controller front-end. It is not
@@ -175,11 +182,29 @@ type Controller struct {
 	osirisLimit       int
 	eager             bool
 
-	now       sim.Time
-	crashed   bool
-	bootstrap bool
-	stats     Stats
-	cascade   int
+	now        sim.Time
+	crashed    bool
+	recovering bool
+	bootstrap  bool
+	stats      Stats
+	cascade    int
+	opt        Options
+
+	// hook observes seal/note events (chaos injection); sealDepth tracks
+	// nesting so helpers stay balanced across early returns.
+	hook      inject.Hook
+	sealDepth int
+
+	// forcing marks home addresses whose forced write-back is already on
+	// the stack, so a nested insertion steers victim selection away from
+	// them instead of recursing into the same write-back.
+	forcing map[uint64]bool
+
+	// pinned marks home addresses held by an in-progress data write: the
+	// leaf counter advances in cache before the sealed data commit, and an
+	// eviction in that window would make the increment durable ahead of
+	// the ciphertext. Victim selection steers around pinned blocks.
+	pinned map[uint64]bool
 
 	// inflight holds metadata blocks currently being written back,
 	// keyed by home address. While a block is in flight, getBlock serves
@@ -220,7 +245,10 @@ func newController(cfg config.SystemConfig, mode Mode, policy core.ClonePolicy, 
 		fwdLat:      sim.FromDuration(cfg.NVM.ReadLatency) / 10,
 		osirisLimit: opt.OsirisLimit,
 		eager:       opt.EagerTreeUpdate,
+		opt:         opt,
 		inflight:    make(map[uint64]*metacache.Block),
+		forcing:     make(map[uint64]bool),
+		pinned:      make(map[uint64]bool),
 	}
 	if c.osirisLimit <= 0 {
 		c.osirisLimit = defaultOsirisLimit
@@ -296,7 +324,7 @@ func newController(cfg config.SystemConfig, mode Mode, policy core.ClonePolicy, 
 	// timing charges or statistics.
 	c.bootstrap = true
 	tbl, err := shadow.NewTable(eng, c.shadowStore(), layout.ShadowBase, layout.ShadowEntries,
-		layout.ShadowTreeBase, shadow.Options{Duplicate: mode != ModeBaseline})
+		layout.ShadowTreeBase, c.shadowOptions())
 	c.bootstrap = false
 	if err != nil {
 		return nil, err
@@ -312,8 +340,60 @@ const defaultOsirisLimit = 8
 
 func roundUp(v, m uint64) uint64 { return (v + m - 1) / m * m }
 
+// shadowOptions derives the shadow-table options from the mode and the
+// debug knobs.
+func (c *Controller) shadowOptions() shadow.Options {
+	return shadow.Options{
+		Duplicate:         c.mode != ModeBaseline,
+		DisableHalfRepair: c.opt.DisableShadowHalfRepair,
+	}
+}
+
+// SetHook installs the chaos-injection hook on the controller and on every
+// layer below it (WPQ, device). Passing nil removes it everywhere.
+func (c *Controller) SetHook(h inject.Hook) {
+	c.hook = h
+	c.q.SetHook(h)
+	c.dev.SetWriteHook(h)
+}
+
+// seal begins a crash-atomic transaction: device writes until the matching
+// unseal are committed from the ADR domain as one unit and must not be
+// torn by the injection hook.
+func (c *Controller) seal(label string) {
+	c.sealDepth++
+	if c.hook != nil {
+		c.hook.Event(inject.Event{Kind: inject.SealBegin, Label: label})
+	}
+}
+
+func (c *Controller) unseal(label string) {
+	c.sealDepth--
+	if c.hook != nil {
+		c.hook.Event(inject.Event{Kind: inject.SealEnd, Label: label})
+	}
+}
+
+// note emits a free-form phase marker to the hook.
+func (c *Controller) note(label string) {
+	if c.hook != nil {
+		c.hook.Event(inject.Event{Kind: inject.Note, Label: label})
+	}
+}
+
 // Mode returns the controller's protection mode.
 func (c *Controller) Mode() Mode { return c.mode }
+
+// TrackedSlots lists the shadow slots currently holding valid entries —
+// the blocks Anubis is tracking right now. Empty in non-secure mode and
+// after a crash (the table handle is volatile). The chaos harness uses it
+// to aim shadow-entry faults at entries that actually matter.
+func (c *Controller) TrackedSlots() []uint64 {
+	if c.shadow == nil {
+		return nil
+	}
+	return c.shadow.ValidSlots()
+}
 
 // Layout exposes the NVM address map (nil in non-secure mode).
 func (c *Controller) Layout() *itree.Layout { return c.layout }

@@ -95,6 +95,16 @@ func (c *Controller) WriteBlock(now sim.Time, addr uint64, data *[nvm.LineSize]b
 	if err != nil {
 		return c.now, err
 	}
+	home := c.layout.NodeAddr(1, leafIdx)
+	// Pin the leaf for the duration of this write. Its counter is about to
+	// advance in cache; if an eviction cascade (the MAC-line miss below,
+	// or a re-encryption fetch) wrote the bumped counter and its shadow
+	// entry back before the sealed data commit lands, a crash in between
+	// would recover the new counter with the old ciphertext still in NVM —
+	// the block would decrypt under neither value. Hardware pins the MSHR
+	// entry of an in-progress write the same way.
+	c.pinned[home] = true
+	defer delete(c.pinned, home)
 	if cb.Counter.Increment(slot) {
 		// Minor overflow: re-encrypt the whole covered page under an
 		// incremented major counter, then retry the bump.
@@ -110,15 +120,32 @@ func (c *Controller) WriteBlock(now sim.Time, addr uint64, data *[nvm.LineSize]b
 		}
 	}
 	counter := cb.Counter.Counter(slot)
-	home := c.layout.NodeAddr(1, leafIdx)
 	cb.UpdatesPerSlot[slot]++
 	needForce := !c.eager && cb.UpdatesPerSlot[slot] >= uint32(c.osirisLimit)
 	c.mcache.MarkDirty(home)
-	c.shadowUpdate(home)
 
+	// Pre-ensure the MAC line is resident: its miss path can trigger
+	// eviction cascades, which must not run inside the sealed commit
+	// below. The pin above keeps those cascades away from the leaf, whose
+	// incremented counter must stay volatile until the commit.
+	if _, err := c.getMACLine(blockIdx); err != nil {
+		return c.now, err
+	}
+
+	// The paper's "maximum of three writes (cipher, data MAC and Shadow
+	// log) per write" commit atomically from the ADR domain: ciphertext,
+	// MAC line and shadow entry are one sealed transaction. Tearing them
+	// (e.g. a durable shadow entry whose data MAC never landed) would make
+	// the block unrecoverable despite being tracked.
 	ct := c.eng.Encrypt(addr, counter, data)
+	c.seal("data-commit")
 	c.pushWrite(addr, &ct, WCData)
-	if err := c.setDataMAC(blockIdx, c.eng.DataMAC(addr, counter, &ct)); err != nil {
+	err = c.setDataMAC(blockIdx, c.eng.DataMAC(addr, counter, &ct))
+	if err == nil {
+		c.shadowUpdate(home)
+	}
+	c.unseal("data-commit")
+	if err != nil {
 		return c.now, err
 	}
 	if needForce {
@@ -160,8 +187,19 @@ func (c *Controller) eagerPropagate(leafIdx uint64) error {
 
 // reencryptPage handles a minor-counter overflow: the major counter bumps,
 // every minor resets, and all covered blocks that exist in memory are
-// re-encrypted and re-MACed under their new counters.
+// re-encrypted and re-MACed under their new counters. The whole rewrite is
+// modelled as one crash-atomic transaction — a page caught half
+// re-encrypted under a bumped major would be unrecoverable, so real
+// hardware must (and the paper's rarity argument lets it) commit the
+// overflow handling atomically.
 func (c *Controller) reencryptPage(leafIdx uint64) error {
+	c.seal("page-reencrypt")
+	err := c.reencryptPageInner(leafIdx)
+	c.unseal("page-reencrypt")
+	return err
+}
+
+func (c *Controller) reencryptPageInner(leafIdx uint64) error {
 	cb, err := c.getBlock(1, leafIdx)
 	if err != nil {
 		return err

@@ -1,0 +1,112 @@
+package memctrl
+
+import (
+	"errors"
+	"testing"
+
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// The Crash/Recover lifecycle must reject misuse with typed errors rather
+// than panicking or silently proceeding.
+
+func TestDoubleCrashReturnsErrCrashed(t *testing.T) {
+	c := newCtrl(t, ModeSRC)
+	if err := c.Crash(); err != nil {
+		t.Fatalf("first crash: %v", err)
+	}
+	if err := c.Crash(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second crash: got %v, want ErrCrashed", err)
+	}
+}
+
+func TestRecoverWithoutCrashReturnsErrNotCrashed(t *testing.T) {
+	c := newCtrl(t, ModeSRC)
+	if _, err := c.Recover(); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("got %v, want ErrNotCrashed", err)
+	}
+	// Same after a full crash/recover cycle.
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("recover after recover: got %v, want ErrNotCrashed", err)
+	}
+}
+
+func TestDataOpsWhileCrashedReturnErrCrashed(t *testing.T) {
+	c := newCtrl(t, ModeSRC)
+	var now sim.Time
+	var line nvm.Line
+	if _, err := c.WriteBlock(now, 0, &line); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ReadBlock(now, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read while crashed: got %v, want ErrCrashed", err)
+	}
+	if _, err := c.WriteBlock(now, 0, &line); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write while crashed: got %v, want ErrCrashed", err)
+	}
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ReadBlock(now, 0); err != nil {
+		t.Fatalf("read after recover: %v", err)
+	}
+}
+
+func TestCrashRecoverCycleRepeats(t *testing.T) {
+	c := newCtrl(t, ModeSAC)
+	var now sim.Time
+	var err error
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 40; i++ {
+			var line nvm.Line
+			line[0] = byte(cycle*40 + i)
+			addr := uint64(i) * 4096 % (4 << 20)
+			if now, err = c.WriteBlock(now, addr, &line); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Crash(); err != nil {
+			t.Fatalf("cycle %d crash: %v", cycle, err)
+		}
+		rep, err := c.Recover()
+		if err != nil {
+			t.Fatalf("cycle %d recover: %v", cycle, err)
+		}
+		if len(rep.FailedBlocks) != 0 || len(rep.LostSlots) != 0 {
+			t.Fatalf("cycle %d lost data: %+v", cycle, rep)
+		}
+		for i := 0; i < 40; i++ {
+			addr := uint64(i) * 4096 % (4 << 20)
+			pt, _, err := c.ReadBlock(now, addr)
+			if err != nil {
+				t.Fatalf("cycle %d read back %#x: %v", cycle, addr, err)
+			}
+			if pt[0] != byte(cycle*40+i) {
+				t.Fatalf("cycle %d block %d: got %d", cycle, i, pt[0])
+			}
+		}
+	}
+}
+
+func TestNonSecureCrashIsNoop(t *testing.T) {
+	c := newCtrl(t, ModeNonSecure)
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -172,32 +172,75 @@ func (c *Controller) chargeReadLatency(addr uint64) {
 // shadow maintenance). When dirty is true the new block's shadow entry is
 // written as well.
 func (c *Controller) insertBlock(home uint64, blk metacache.Block, dirty bool) {
-	ev, has := c.mcache.Insert(home, blk, dirty)
-	if has {
-		// The evicted occupant's shadow entry must be dropped *before*
-		// the write-back cascade below runs: the cascade can re-evict
-		// this very way and hand it to another dirty block, whose
-		// fresh shadow entry a late invalidation would clobber —
-		// leaving that block's in-cache updates untracked across a
-		// crash.
-		slot := c.mcache.SlotOf(home)
-		if slot >= 0 && ev.Value.Kind != metacache.KindMAC && c.shadow != nil {
-			if err := c.shadow.Invalidate(slot); err != nil {
-				panic(fmt.Sprintf("memctrl: shadow invalidate: %v", err))
+	// Crash safety: a dirty victim's shadow entry must stay valid until
+	// the victim's write-back clone group is durable, and its slot is only
+	// then handed to the new occupant. Evicting first and writing back
+	// afterwards would force an early entry invalidation, leaving the
+	// victim's in-cache updates untracked across a crash in the window. So
+	// dirty victims are force-written *while still resident* (which clears
+	// their entry after the group is pushed), and only then replaced.
+	for guard := 0; ; guard++ {
+		if guard > maxCascade {
+			panic("memctrl: victim pre-clean failed to converge")
+		}
+		v, has := c.mcache.Victim(home)
+		if !has || !v.Dirty {
+			break
+		}
+		if v.Value.Kind == metacache.KindMAC {
+			// MAC lines are write-through and should never be dirty;
+			// handle defensively.
+			line := v.Value.Raw
+			c.pushWrite(c.macLineAddr(v.Value.Index), &line, WCDataMAC)
+			c.mcache.CleanLine(v.Addr)
+			continue
+		}
+		if c.forcing[v.Addr] || c.pinned[v.Addr] {
+			// The victim's write-back is already on the stack (this
+			// insertion is part of its parent-ensure cascade), or the
+			// block is pinned by the data write in progress — persisting
+			// its bumped counter before the sealed data commit would
+			// strand the data on a crash in between. Refresh its LRU
+			// state so selection moves to another way instead.
+			c.mcache.Touch(v.Addr)
+			continue
+		}
+		c.mcache.NoteEvictionWriteback(v.Value.Level)
+		if err := c.forceWriteback(v.Addr); err != nil {
+			// Unverifiable parent chain: the update is lost (the fault
+			// handler accounted the coverage loss). Drop the tracking
+			// entry so the insertion can proceed.
+			c.stats.RecoveryLost++
+			c.mcache.CleanLine(v.Addr)
+			if slot := c.mcache.SlotOf(v.Addr); slot >= 0 && c.shadow != nil {
+				c.invalidateSlot(slot)
 			}
 		}
-		if ev.Dirty {
-			if ev.Value.Kind == metacache.KindMAC {
-				// MAC lines are write-through and should never be
-				// dirty; handle defensively.
-				line := ev.Value.Raw
-				c.pushWrite(c.macLineAddr(ev.Value.Index), &line, WCDataMAC)
-			} else if err := c.writebackBlock(&ev.Value); err != nil {
-				// The parent chain is unverifiable; the update is
-				// lost. The fault handler already accounted the
-				// coverage loss.
-				c.stats.RecoveryLost++
+	}
+	// The pre-clean cascade can fetch (and advance the counters of) this
+	// very block while writing back a victim that happens to be one of its
+	// children. The resident copy is then authoritative; overwriting it
+	// with the stale decoded line would roll those bumps back and break
+	// the children's MACs.
+	if _, ok := c.mcache.Peek(home); ok {
+		if dirty {
+			c.mcache.MarkDirty(home)
+			if blk.Kind != metacache.KindMAC {
+				c.shadowUpdate(home)
 			}
+		}
+		return
+	}
+	ev, has := c.mcache.Insert(home, blk, dirty)
+	if has && ev.Dirty {
+		// Unreachable in normal operation — the loop above cleaned the
+		// victim and nothing between the final peek and the insert can
+		// dirty it — kept as a safety net.
+		if ev.Value.Kind == metacache.KindMAC {
+			line := ev.Value.Raw
+			c.pushWrite(c.macLineAddr(ev.Value.Index), &line, WCDataMAC)
+		} else if err := c.writebackBlock(&ev.Value); err != nil {
+			c.stats.RecoveryLost++
 		}
 	}
 	if dirty && blk.Kind != metacache.KindMAC {
@@ -293,8 +336,26 @@ func (c *Controller) shadowUpdate(home uint64) {
 			e.LSBs[i] = uint16(ctr & 0xFFFF)
 		}
 	}
-	if err := c.shadow.Write(slot, e); err != nil {
+	// One shadow-table operation — the entry line plus its eager BMT
+	// update and the on-chip root — commits atomically from the ADR
+	// domain; a torn entry/tree pair would fail BMT verification and lose
+	// the tracked block.
+	c.seal("shadow-op")
+	err := c.shadow.Write(slot, e)
+	c.unseal("shadow-op")
+	if err != nil {
 		panic(fmt.Sprintf("memctrl: shadow write: %v", err))
+	}
+}
+
+// invalidateSlot clears one shadow slot as a crash-atomic shadow-table
+// operation.
+func (c *Controller) invalidateSlot(slot int) {
+	c.seal("shadow-op")
+	err := c.shadow.Invalidate(slot)
+	c.unseal("shadow-op")
+	if err != nil {
+		panic(fmt.Sprintf("memctrl: shadow invalidate: %v", err))
 	}
 }
 
@@ -306,6 +367,13 @@ func (c *Controller) forceWriteback(home uint64) error {
 	if !ok {
 		return nil
 	}
+	if c.forcing[home] {
+		// Already being written back higher on the stack; that call will
+		// complete the job.
+		return nil
+	}
+	c.forcing[home] = true
+	defer delete(c.forcing, home)
 	// Pre-ensure the parent chain: the fetch cascade this can trigger
 	// must run *before* we commit to writing the resident copy, because
 	// the cascade may evict (and thereby already write back) this very
@@ -334,10 +402,12 @@ func (c *Controller) forceWriteback(home uint64) error {
 		}
 	}
 	c.mcache.CleanLine(home)
+	// The entry is dropped only now, after the block's clone group has
+	// been accepted into the persistence domain: a crash between the two
+	// steps merely leaves a benign entry describing content that already
+	// matches memory.
 	if slot := c.mcache.SlotOf(home); slot >= 0 && c.shadow != nil {
-		if err := c.shadow.Invalidate(slot); err != nil {
-			panic(fmt.Sprintf("memctrl: shadow invalidate: %v", err))
-		}
+		c.invalidateSlot(slot)
 	}
 	c.stats.ForcedWB++
 	return nil

@@ -2,9 +2,9 @@ package memctrl
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
-	"soteria/internal/core"
 	"soteria/internal/ctrenc"
 	"soteria/internal/itree"
 	"soteria/internal/metacache"
@@ -14,18 +14,45 @@ import (
 )
 
 // Crash models a sudden power loss: every volatile structure (the metadata
-// cache and the shadow table's in-memory mirror) vanishes. Writes already
-// accepted by the WPQ are durable (ADR), and the two on-chip roots survive
-// in their persistent registers. The controller refuses further data
-// operations until Recover is called.
-func (c *Controller) Crash() {
+// cache, the WPQ occupancy bookkeeping, in-flight write-back state and the
+// shadow table's in-memory mirror) vanishes. Writes already accepted by
+// the WPQ are durable (ADR), and the two on-chip roots survive in their
+// persistent registers. The controller refuses further data operations
+// until Recover is called.
+//
+// Crashing an already-crashed controller returns ErrCrashed — unless a
+// recovery is in progress, in which case the nested crash is legal: the
+// shadow-BMT root is re-captured from the live table (recovery's own
+// shadow writes moved it) and the next Recover starts over from the
+// entries that survive on NVM.
+func (c *Controller) Crash() error {
 	if c.mode == ModeNonSecure {
-		return // nothing volatile matters
+		return nil // nothing volatile matters
+	}
+	if c.crashed && !c.recovering {
+		return ErrCrashed
 	}
 	c.mcache.DropAll()
-	c.shadowRoot = c.shadow.Root()
-	c.shadow = nil
+	if c.shadow != nil {
+		c.shadowRoot = c.shadow.Root()
+		c.shadow = nil
+	}
+	c.q.Reset()
+	c.inflight = make(map[uint64]*metacache.Block)
+	c.forcing = make(map[uint64]bool)
+	c.pinned = make(map[uint64]bool)
+	c.cascade = 0
+	c.sealDepth = 0
+	c.recovering = false
 	c.crashed = true
+	return nil
+}
+
+// FailedBlock is one tracked metadata block whose reconstruction failed,
+// with the reason it was lost.
+type FailedBlock struct {
+	Addr   uint64
+	Reason string
 }
 
 // RecoveryReport summarizes what Recover reconstructed.
@@ -38,10 +65,8 @@ type RecoveryReport struct {
 	// LostSlots lists shadow slots that could not be read at all.
 	LostSlots []uint64
 	// FailedBlocks lists tracked blocks whose reconstruction failed
-	// verification (unrecoverable updates), with the reasons in
-	// FailReasons (parallel slice).
-	FailedBlocks []uint64
-	FailReasons  []string
+	// verification (unrecoverable updates), each with its reason.
+	FailedBlocks []FailedBlock
 	// HalfRepairs counts Soteria duplicated-entry repairs performed.
 	HalfRepairs uint64
 }
@@ -50,141 +75,229 @@ type RecoveryReport struct {
 //
 //  1. Reattach the shadow table using the persistent BMT root; read every
 //     entry, repairing half-dead entries from their Soteria duplicates.
-//  2. Top-down, reconstruct each tracked metadata block: the stale NVM copy
-//     (fetched through the Soteria fault handler, so clones absorb faults)
-//     plus the entry's 16-bit counter LSBs; leaf minors come back through
-//     Osiris trials against the persisted data MACs. Every reconstruction
-//     must match the MAC captured in its shadow entry.
-//  3. Reinstall the reconstructed blocks as dirty cache contents and flush,
-//     which replays the normal lazy write-back machinery (parent bumps,
-//     fresh MACs, clone writes) and leaves NVM self-consistent.
+//  2. Reconstruct each tracked metadata block independently: a stale NVM
+//     copy (home or any clone) plus the entry's 16-bit counter LSBs; leaf
+//     minors come back through Osiris trials against the persisted data
+//     MACs. A reconstruction is accepted exactly when it reproduces the
+//     keyed MAC captured in its shadow entry, which makes recovery
+//     insensitive to the order in which a crash tore parent and child
+//     write-backs.
+//  3. Reinstall the reconstructed blocks as dirty cache contents (which
+//     re-tracks them at their new slots), retiring each block's old slots
+//     as it is re-tracked, and flush through the ordinary lazy write-back
+//     machinery (parent bumps, fresh MACs, clone writes), leaving NVM
+//     self-consistent. At every instant each tracked block is described
+//     by at least one durable entry, and entries for the same block only
+//     coexist while content-identical, so a crash *during* recovery loses
+//     nothing: the next Recover simply starts over.
+//  4. Finally clear whatever slots remain valid (unreconstructible
+//     blocks, already counted as lost).
 func (c *Controller) Recover() (*RecoveryReport, error) {
 	if c.mode == ModeNonSecure {
 		return &RecoveryReport{}, nil
 	}
 	if !c.crashed {
-		return nil, fmt.Errorf("memctrl: Recover called without a crash")
+		return nil, ErrNotCrashed
 	}
+	c.recovering = true
+	c.note("recover-begin")
 
+	root := c.shadowRoot
+	if c.shadow != nil {
+		// A previous Recover attempt was interrupted after installing the
+		// table; its root is the current one.
+		root = c.shadow.Root()
+		c.shadow = nil
+	}
 	tbl, err := shadow.Attach(c.eng, c.shadowStore(), c.layout.ShadowBase, c.layout.ShadowEntries,
-		c.layout.ShadowTreeBase, c.shadowRoot, shadow.Options{Duplicate: c.mode != ModeBaseline})
+		c.layout.ShadowTreeBase, root, c.shadowOptions())
 	if err != nil {
 		return nil, err
 	}
+	// Install immediately: every shadow mutation from here on lands in the
+	// live table, so a nested crash re-captures a root that matches NVM.
+	c.shadow = tbl
+
 	slotEntries, lostSlots := tbl.LoadAllSlots()
 	rep := &RecoveryReport{TrackedEntries: len(slotEntries), LostSlots: lostSlots, HalfRepairs: tbl.Stats().HalfRepairs}
 	c.stats.RecoveryLost += uint64(len(lostSlots))
+	c.note("recover-load-done")
 
-	// Clear every occupied or unreadable slot now: the tracked blocks are
-	// about to be re-seeded into the cache at possibly *different* ways,
-	// and an orphaned entry left at an old slot would resurface at the
-	// next crash describing long-stale content.
-	c.bootstrap = true // wipe writes are recovery bookkeeping, not workload writes
+	// Reconstruct every tracked block. Entries are self-contained (the
+	// entry MAC is the acceptance test), so no ordering between levels is
+	// needed. Duplicate entries for the same block are a legal artifact of
+	// crashing an earlier recovery between re-tracking and slot cleanup,
+	// and the copies can disagree: the fresher one has absorbed the
+	// parent-counter bumps of that recovery's flush. Every entry is tried,
+	// and when several reconstruct, the one with the largest counters wins
+	// — counters only ever grow, so picking a smaller reconstruction would
+	// roll the block (and, silently, its already-flushed children) back.
+	recovered := make(map[uint64]metacache.Block)
+	failReason := make(map[uint64]string)
+	slotsOf := make(map[uint64][]uint64)
 	for _, se := range slotEntries {
-		if err := tbl.Reset(se.Slot); err != nil {
-			c.bootstrap = false
-			return nil, err
-		}
-	}
-	for _, s := range lostSlots {
-		if err := tbl.Reset(s); err != nil {
-			c.bootstrap = false
-			return nil, err
-		}
-	}
-	c.bootstrap = false
-	entries := make([]shadow.Entry, len(slotEntries))
-	for i, se := range slotEntries {
-		entries[i] = se.Entry
-	}
-
-	// Sort top-down: parents must be reconstructed before their children
-	// so the children verify under the recovered parent counters.
-	type tracked struct {
-		e     shadow.Entry
-		level int
-		index uint64
-	}
-	var work []tracked
-	for _, e := range entries {
+		e := se.Entry
 		loc := c.layout.Locate(e.Addr)
 		if loc.Kind != itree.RegionMetadata {
-			rep.FailedBlocks = append(rep.FailedBlocks, e.Addr)
-			continue
-		}
-		work = append(work, tracked{e: e, level: loc.Level, index: loc.Index})
-	}
-	sort.Slice(work, func(i, j int) bool { return work[i].level > work[j].level })
-
-	recovered := make(map[uint64]metacache.Block)
-	for _, w := range work {
-		blk, err := c.recoverBlock(w.level, w.index, w.e, recovered)
-		if err != nil {
-			rep.FailedBlocks = append(rep.FailedBlocks, w.e.Addr)
-			rep.FailReasons = append(rep.FailReasons, err.Error())
+			rep.FailedBlocks = append(rep.FailedBlocks,
+				FailedBlock{Addr: e.Addr, Reason: "shadow entry outside the metadata region"})
 			c.stats.RecoveryLost++
 			continue
 		}
-		recovered[w.e.Addr] = blk
-		rep.RecoveredBlocks++
-		c.stats.RecoveredOK++
+		slotsOf[e.Addr] = append(slotsOf[e.Addr], se.Slot)
+		blk, err := c.recoverBlock(loc.Level, loc.Index, e)
+		if err != nil {
+			if _, seen := failReason[e.Addr]; !seen {
+				failReason[e.Addr] = err.Error()
+			}
+			continue
+		}
+		if prev, dup := recovered[e.Addr]; !dup || counterTotal(&blk) > counterTotal(&prev) {
+			recovered[e.Addr] = blk
+		}
 	}
+	reported := make(map[uint64]bool)
+	for _, se := range slotEntries {
+		addr := se.Entry.Addr
+		if c.layout.Locate(addr).Kind != itree.RegionMetadata {
+			continue
+		}
+		if _, ok := recovered[addr]; ok || reported[addr] {
+			continue
+		}
+		reported[addr] = true
+		rep.FailedBlocks = append(rep.FailedBlocks, FailedBlock{Addr: addr, Reason: failReason[addr]})
+		c.stats.RecoveryLost++
+	}
+	rep.RecoveredBlocks = len(recovered)
+	c.stats.RecoveredOK += uint64(len(recovered))
 
-	// Fresh volatile state: install the shadow table and seed the cache
-	// with the reconstructed blocks as dirty, then flush through the
-	// ordinary write-back path. The shadow table has one slot per cache
-	// way and the tracked blocks were simultaneously resident before the
-	// crash, so reinsertion cannot evict.
-	c.shadow = tbl
+	// Fresh volatile state: seed the cache with the reconstructed blocks
+	// as dirty — which writes their entries at their new slots — and flush
+	// through the ordinary write-back path. The shadow table has one slot
+	// per cache way and the tracked blocks were simultaneously resident
+	// before the crash, so reinsertion cannot evict.
+	//
+	// Each block's superseded slots are retired immediately after its
+	// re-insert, not at the end: once the flush starts folding in counter
+	// bumps, a stale entry left valid at the old slot would describe
+	// content older than what lands in NVM, and a nested crash would let
+	// the next recovery roll the block — and silently its already-flushed
+	// children — back to it. Between a re-insert and its retirement the
+	// duplicate entries are content-identical, so a crash in that window
+	// is harmless.
+	//
+	// Order matters: ascending old slot. Insert fills the lowest free way
+	// first, so the i-th re-seeded block lands at way i of its set, and
+	// any still-valid entry at that slot would belong to a block with a
+	// smaller minimum slot — re-inserted earlier, its old slots already
+	// retired. The re-insert therefore never overwrites a live entry.
 	c.crashed = false
-	for addr, blk := range recovered {
-		c.insertBlock(addr, blk, true)
+	c.recovering = false
+	c.note("recover-reseed")
+	order := make([]uint64, 0, len(recovered))
+	for addr := range recovered {
+		order = append(order, addr)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return slices.Min(slotsOf[order[i]]) < slices.Min(slotsOf[order[j]])
+	})
+	for _, addr := range order {
+		c.insertBlock(addr, recovered[addr], true)
+		newSlot := c.mcache.SlotOf(addr)
+		for _, s := range slotsOf[addr] {
+			if int(s) != newSlot {
+				c.invalidateSlot(int(s))
+			}
+		}
 	}
 	c.FlushAll(c.now)
+
+	// Cleanup: the flush untracked the re-seeded blocks; what remains
+	// valid is stale pre-crash entries at old slots (the blocks moved
+	// ways) plus anything the flush had to abandon. Clearing them is pure
+	// bookkeeping — each one describes content that now matches memory —
+	// so the wipe writes bypass the WPQ books like other recovery
+	// bookkeeping.
+	c.bootstrap = true
+	for _, s := range tbl.ValidSlots() {
+		c.seal("shadow-op")
+		err := tbl.Reset(s)
+		c.unseal("shadow-op")
+		if err != nil {
+			c.bootstrap = false
+			return rep, err
+		}
+	}
+	for _, s := range lostSlots {
+		c.seal("shadow-op")
+		err := tbl.Reset(s)
+		c.unseal("shadow-op")
+		if err != nil {
+			c.bootstrap = false
+			return rep, err
+		}
+	}
+	c.bootstrap = false
+	c.note("recover-done")
 	return rep, nil
 }
 
-// recoveredCounterOf returns the counter protecting (level, index) during
-// recovery: from the recovered map when the parent was tracked, otherwise
-// from the (consistent) NVM copy fetched through the fault handler.
-func (c *Controller) recoveredCounterOf(level int, index uint64, recovered map[uint64]metacache.Block) (uint64, error) {
-	_, pindex, slot, stored := c.layout.Parent(level, index)
-	if !stored {
-		return c.root.Counters[slot], nil
+// counterTotal sums a reconstructed block's counters. Counters only ever
+// grow, so of two reconstructions of the same block the one with the larger
+// total is the fresher.
+func counterTotal(b *metacache.Block) uint64 {
+	var t uint64
+	if b.Kind == metacache.KindCounter {
+		for i := 0; i < ctrenc.CountersPerBlock; i++ {
+			t += b.Counter.Counter(i)
+		}
+		return t
 	}
-	pHome := c.layout.NodeAddr(level+1, pindex)
-	if pb, ok := recovered[pHome]; ok {
-		return pb.Node.Counters[slot], nil
+	for _, v := range b.Node.Counters {
+		t += v
 	}
-	pctr, err := c.recoveredCounterOf(level+1, pindex, recovered)
-	if err != nil {
-		return 0, err
-	}
-	line, out := c.fh.ReadVerified(level+1, pindex, c.verifierFor(level+1, pindex, pctr))
-	if out == core.OutcomeUnverifiable || out == core.OutcomeTamper {
-		return 0, fmt.Errorf("memctrl: recovery cannot verify parent L%d[%d]: %v", level+1, pindex, out)
-	}
-	n := itree.DeserializeNode(&line)
-	return n.Counters[slot], nil
+	return t
 }
 
-// recoverBlock reconstructs one tracked metadata block.
-func (c *Controller) recoverBlock(level int, index uint64, e shadow.Entry, recovered map[uint64]metacache.Block) (metacache.Block, error) {
-	pctr, err := c.recoveredCounterOf(level, index, recovered)
-	if err != nil {
-		return metacache.Block{}, err
+// recoverBlock reconstructs one tracked metadata block from whichever raw
+// copy (home or clone) yields content matching the shadow entry's MAC.
+// The entry MAC is keyed and binds the block's full content and home
+// address, so acceptance through it is as strong as the parent-counter
+// check used on the normal read path — and unlike that check it does not
+// depend on how far the parent's own write-back had progressed when power
+// failed.
+func (c *Controller) recoverBlock(level int, index uint64, e shadow.Entry) (metacache.Block, error) {
+	var lastErr error
+	for _, addr := range c.layout.CopyAddrs(level, index) {
+		r := c.dev.Read(addr)
+		if r.Uncorrectable {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("copy %#x uncorrectable", addr)
+			}
+			continue
+		}
+		line := r.Data
+		blk, err := c.reconstruct(level, index, e, &line)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return blk, nil
 	}
-	// The stale NVM copy still verifies under the current parent counter
-	// (the parent's slot only advances when this block writes back), and
-	// the fault handler lets clones absorb any NVM faults on the way.
-	line, out := c.fh.ReadVerified(level, index, c.verifierFor(level, index, pctr))
-	if out == core.OutcomeUnverifiable || out == core.OutcomeTamper {
-		return metacache.Block{}, fmt.Errorf("memctrl: stale copy of L%d[%d] unusable: %v", level, index, out)
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no stored copies")
 	}
+	return metacache.Block{}, fmt.Errorf("memctrl: cannot reconstruct L%d[%d] from any copy: %v", level, index, lastErr)
+}
 
+// reconstruct patches one stale copy of (level, index) with the entry's
+// counter LSBs (leaf minors via Osiris) and accepts the result iff it
+// reproduces the entry's content MAC.
+func (c *Controller) reconstruct(level int, index uint64, e shadow.Entry, line *nvm.Line) (metacache.Block, error) {
 	var blk metacache.Block
 	if level == 1 {
-		stale := ctrenc.DeserializeCounterBlock(&line)
+		stale := ctrenc.DeserializeCounterBlock(line)
 		rec, err := c.recoverLeaf(index, stale, e.LSBs[0])
 		if err != nil {
 			return metacache.Block{}, err
@@ -195,7 +308,7 @@ func (c *Controller) recoverBlock(level int, index uint64, e shadow.Entry, recov
 			UpdatesPerSlot: make([]uint32, ctrenc.CountersPerBlock),
 		}
 	} else {
-		stale := itree.DeserializeNode(&line)
+		stale := itree.DeserializeNode(line)
 		rec := stale
 		for i := range rec.Counters {
 			rec.Counters[i] = osiris.RestoreLSB(stale.Counters[i], e.LSBs[i]) & itree.CounterMask
@@ -203,13 +316,11 @@ func (c *Controller) recoverBlock(level int, index uint64, e shadow.Entry, recov
 		blk = metacache.Block{Kind: metacache.KindNode, Level: level, Index: index, Node: rec}
 	}
 
-	// The reconstruction must reproduce the exact content the shadow
-	// entry captured.
 	ser := serializeBlock(&blk)
 	if shadow.ContentMAC(c.eng, e.Addr, &ser) != e.MAC {
 		detail := ""
 		if level == 1 {
-			stale := ctrenc.DeserializeCounterBlock(&line)
+			stale := ctrenc.DeserializeCounterBlock(line)
 			detail = fmt.Sprintf(" (stale major=%d minors=%v; rec major=%d minors=%v; lsb=%#x)",
 				stale.Major, nonzero(stale.Minors[:]), blk.Counter.Major, nonzero(blk.Counter.Minors[:]), e.LSBs[0])
 		}

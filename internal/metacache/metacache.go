@@ -118,6 +118,25 @@ func (m *Cache) Insert(homeAddr uint64, b Block, dirty bool) (cache.Entry[Block]
 	return ev, has
 }
 
+// Victim predicts what Insert(homeAddr, ...) would evict, without
+// changing any cache state.
+func (m *Cache) Victim(homeAddr uint64) (cache.Entry[Block], bool) {
+	return m.c.Victim(homeAddr)
+}
+
+// Touch refreshes a resident block's LRU state (no hit is counted).
+func (m *Cache) Touch(homeAddr uint64) { m.c.Touch(homeAddr) }
+
+// NoteEvictionWriteback records one dirty tree block written back under
+// eviction pressure. The controller pre-cleans dirty victims (write-back
+// while still resident, then evict clean) for crash safety, so these
+// events no longer surface as dirty evictions in Insert; this keeps the
+// Fig 4 per-level histogram counting them.
+func (m *Cache) NoteEvictionWriteback(level int) {
+	m.st.EvictionsByLevel.Observe(level)
+	m.st.DirtyTreeEvictions++
+}
+
 // Invalidate drops one line without write-back.
 func (m *Cache) Invalidate(homeAddr uint64) (cache.Entry[Block], bool) {
 	return m.c.Invalidate(homeAddr)

@@ -15,6 +15,7 @@ import (
 
 	"soteria/internal/config"
 	"soteria/internal/ecc"
+	"soteria/internal/inject"
 )
 
 // LineSize is the NVM line size in bytes (one cache line).
@@ -56,7 +57,16 @@ type Device struct {
 	ecpBudget    int
 	ecp          map[uint64][]ecpEntry
 	ecpExhausted uint64
+
+	// hook, when set, observes every write boundary (chaos injection).
+	hook inject.Hook
 }
+
+// SetWriteHook installs (or, with nil, removes) the injection hook fired
+// before every line write is applied. A hook that panics with
+// inject.PowerLoss models losing power before the write: the array keeps
+// its previous contents.
+func (d *Device) SetWriteHook(h inject.Hook) { d.hook = h }
 
 // NewDevice creates an NVM device of the given capacity protected by codec.
 // Capacity must be a positive multiple of the line size.
@@ -135,6 +145,9 @@ func (d *Device) line(idx uint64) *storedLine {
 // the write, exactly like worn-out PCM cells.
 func (d *Device) Write(addr uint64, data *Line) {
 	idx := d.checkAddr(addr)
+	if d.hook != nil {
+		d.hook.Event(inject.Event{Kind: inject.DeviceWrite, Addr: addr})
+	}
 	l := d.line(idx)
 	// The controller computes ECC over the data it sends; stuck cells
 	// then corrupt the stored copy, so the check bytes reflect the

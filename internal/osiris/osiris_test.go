@@ -119,3 +119,56 @@ func TestRecoverBlockRejectsNegativeLimit(t *testing.T) {
 		t.Fatal("negative limit accepted")
 	}
 }
+
+func TestRestoreLSBWrapEdges(t *testing.T) {
+	// Edge cases around the 16-bit wrap that the crash-recovery path
+	// depends on: a stale value exactly at a wrap boundary, LSBs equal to
+	// the stale low bits (no advance), and advances that straddle the
+	// boundary from both sides.
+	cases := []struct {
+		name  string
+		stale uint64
+		lsb   uint16
+		want  uint64
+	}{
+		{"stale at wrap, no advance", 0x10000, 0x0000, 0x10000},
+		{"stale at wrap, small advance", 0x10000, 0x0007, 0x10007},
+		{"stale at wrap, max lsb", 0x10000, 0xFFFF, 0x1FFFF},
+		{"stale one below wrap, lsb equal", 0xFFFF, 0xFFFF, 0xFFFF},
+		{"stale one below wrap, advance wraps", 0xFFFF, 0x0001, 0x10001},
+		{"lsb equals stale low bits mid-range", 0x3ABCD, 0xABCD, 0x3ABCD},
+		{"advance of exactly 2^16-1", 0x20001, 0x0000, 0x30000},
+		{"zero stale, lsb only", 0, 0x1234, 0x1234},
+	}
+	for _, c := range cases {
+		if got := RestoreLSB(c.stale, c.lsb); got != c.want {
+			t.Errorf("%s: RestoreLSB(%#x, %#x) = %#x, want %#x", c.name, c.stale, c.lsb, got, c.want)
+		}
+	}
+}
+
+func TestRecoverValueEdgeCases(t *testing.T) {
+	never := func(uint64) bool { return false }
+	cases := []struct {
+		name   string
+		stale  uint64
+		limit  int
+		verify func(uint64) bool
+		want   uint64
+		wantOK bool
+	}{
+		{"limit 0 accepts exact stale", 42, 0, func(v uint64) bool { return v == 42 }, 42, true},
+		{"limit 0 rejects any advance", 42, 0, func(v uint64) bool { return v == 43 }, 0, false},
+		{"verify never passes", 7, 8, never, 0, false},
+		{"verify never passes, limit 0", 7, 0, never, 0, false},
+		{"truth at the limit boundary", 10, 8, func(v uint64) bool { return v == 18 }, 18, true},
+		{"truth one past the limit", 10, 8, func(v uint64) bool { return v == 19 }, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := RecoverValue(c.stale, c.limit, c.verify)
+		if ok != c.wantOK || got != c.want {
+			t.Errorf("%s: RecoverValue(%d, %d) = (%d, %v), want (%d, %v)",
+				c.name, c.stale, c.limit, got, ok, c.want, c.wantOK)
+		}
+	}
+}

@@ -109,6 +109,7 @@ type Table struct {
 	slots  uint64
 	bmt    *itree.BMT
 	duped  bool // Soteria duplicated halves (vs Anubis single copy)
+	norep  bool // debug: skip half-repair (Options.DisableHalfRepair)
 	mirror []Entry
 	stats  Stats
 }
@@ -119,6 +120,11 @@ type Options struct {
 	// entry occupies only the first half (Anubis baseline, Fig 8a) and
 	// a dead codeword in it loses the entry.
 	Duplicate bool
+	// DisableHalfRepair is a debug-only fault: Load skips the
+	// copy-the-surviving-half repair and treats a half-dead entry as
+	// lost. It exists so the chaos harness can prove it detects broken
+	// recovery paths; never set it in production configurations.
+	DisableHalfRepair bool
 }
 
 // NewTable creates a fresh shadow table over `slots` entries at base, with
@@ -133,6 +139,7 @@ func NewTable(eng *ctrenc.Engine, store Store, base uint64, slots uint64, treeBa
 		base:   base,
 		slots:  slots,
 		duped:  opt.Duplicate,
+		norep:  opt.DisableHalfRepair,
 		mirror: make([]Entry, slots),
 	}
 	// Initialize all slots to invalid before hanging the BMT over them.
@@ -162,6 +169,7 @@ func Attach(eng *ctrenc.Engine, store Store, base uint64, slots uint64, treeBase
 		slots:  slots,
 		bmt:    bmt,
 		duped:  opt.Duplicate,
+		norep:  opt.DisableHalfRepair,
 		mirror: make([]Entry, slots),
 	}, nil
 }
@@ -236,7 +244,7 @@ func (t *Table) Load(slot uint64) (Entry, bool, error) {
 	addr := t.base + slot*nvm.LineSize
 	raw, bad, unc := t.store.ReadRaw(addr)
 	if unc {
-		if !t.duped {
+		if !t.duped || t.norep {
 			t.stats.LostEntries++
 			return Entry{}, false, fmt.Errorf("shadow: slot %d uncorrectable and not duplicated", slot)
 		}
@@ -275,6 +283,19 @@ func (t *Table) Load(slot uint64) (Entry, bool, error) {
 		return Entry{}, false, nil
 	}
 	return e, true, nil
+}
+
+// ValidSlots lists every slot whose in-memory mirror currently holds a
+// valid entry (after LoadAllSlots, the slots that tracked blocks before
+// the crash; during operation, the slots of dirty cached blocks).
+func (t *Table) ValidSlots() []uint64 {
+	var out []uint64
+	for i := uint64(0); i < t.slots; i++ {
+		if t.mirror[i].Valid {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // SlotEntry pairs a recovered entry with the slot it was read from.

@@ -217,3 +217,64 @@ func TestContentMACBindsAddress(t *testing.T) {
 }
 
 func secded() ecc.Codec { return ecc.SECDED{} }
+
+func TestBothHalvesFaultedAcrossLoads(t *testing.T) {
+	// Both halves faulted, but in separate codewords of each half:
+	// word 0 (half one) and word 7 (half two) dead means neither half
+	// survives intact, so the entry is unrecoverable even with
+	// duplication — and must be reported as lost, not silently dropped.
+	dev, err := nvm.NewDevice(1<<20, secded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := setupOn(t, dev, true)
+	if err := tb.Write(9, sampleEntry(0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	dev.CorruptWord(9*nvm.LineSize, 0)
+	dev.CorruptWord(9*nvm.LineSize, 7)
+	if _, _, err := tb.Load(9); err == nil {
+		t.Fatal("entry with faults in both halves recovered")
+	}
+	if got := tb.Stats().LostEntries; got != 1 {
+		t.Fatalf("LostEntries = %d, want 1", got)
+	}
+	// Other slots stay loadable: the loss is contained to one entry.
+	if err := tb.Write(10, sampleEntry(0x2000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tb.Load(10); err != nil || !ok {
+		t.Fatalf("unrelated slot affected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDisableHalfRepairDropsRecoverableEntry(t *testing.T) {
+	// The debug flag must turn an otherwise-recoverable single-half fault
+	// into a lost entry — this is the deliberately-broken recovery the
+	// chaos harness proves it can catch.
+	dev, err := nvm.NewDevice(1<<20, secded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ctrenc.MustNewEngine([]byte("shadow-test"))
+	const slots = 32
+	treeBase := uint64(slots * nvm.LineSize)
+	tb, err := NewTable(eng, devStore{dev}, 0, slots, treeBase,
+		Options{Duplicate: true, DisableHalfRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Write(3, sampleEntry(0x600)); err != nil {
+		t.Fatal(err)
+	}
+	dev.CorruptWord(3*nvm.LineSize, 1)
+	if _, _, err := tb.Load(3); err == nil {
+		t.Fatal("half-dead entry recovered despite DisableHalfRepair")
+	}
+	if got := tb.Stats().LostEntries; got != 1 {
+		t.Fatalf("LostEntries = %d, want 1", got)
+	}
+	if got := tb.Stats().HalfRepairs; got != 0 {
+		t.Fatalf("HalfRepairs = %d, want 0", got)
+	}
+}

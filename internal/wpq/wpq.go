@@ -11,6 +11,7 @@ package wpq
 import (
 	"fmt"
 
+	"soteria/internal/inject"
 	"soteria/internal/nvm"
 	"soteria/internal/sim"
 )
@@ -39,6 +40,20 @@ type Queue struct {
 	pending  []entry
 	inQueue  map[uint64]int // line addr -> count of pending entries
 	stats    Stats
+	hook     inject.Hook
+}
+
+// SetHook installs (or removes, with nil) the injection hook notified when
+// atomic clone groups begin and end. Individual writes are observed at the
+// device; the group brackets let a scenario aim a crash mid-group.
+func (q *Queue) SetHook(h inject.Hook) { q.hook = h }
+
+// Reset discards all queue bookkeeping. A simulated power loss empties the
+// WPQ: accepted writes already reached the device (ADR drains them), and
+// the occupancy/timing state is volatile controller state.
+func (q *Queue) Reset() {
+	q.pending = q.pending[:0]
+	q.inQueue = make(map[uint64]int)
 }
 
 // New builds a WPQ of the given capacity in front of dev, draining into the
@@ -159,6 +174,9 @@ func (q *Queue) PushAtomic(now sim.Time, writes []Write) sim.Time {
 		now = earliest
 		q.drain(now)
 	}
+	if q.hook != nil {
+		q.hook.Event(inject.Event{Kind: inject.GroupBegin, Label: "atomic-group"})
+	}
 	for i := range writes {
 		bank := q.banks.BankFor(writes[i].Addr / nvm.LineSize)
 		done := q.banks.Schedule(bank, now, q.writeLat)
@@ -166,6 +184,9 @@ func (q *Queue) PushAtomic(now sim.Time, writes []Write) sim.Time {
 		q.inQueue[writes[i].Addr]++
 		q.dev.Write(writes[i].Addr, &writes[i].Data)
 		q.stats.Inserts++
+	}
+	if q.hook != nil {
+		q.hook.Event(inject.Event{Kind: inject.GroupEnd, Label: "atomic-group"})
 	}
 	if len(q.pending) > q.stats.MaxDepth {
 		q.stats.MaxDepth = len(q.pending)
