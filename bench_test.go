@@ -12,9 +12,12 @@ import (
 	"testing"
 
 	"soteria/internal/config"
+	"soteria/internal/core"
 	"soteria/internal/experiments"
+	"soteria/internal/faultsim"
 	"soteria/internal/memctrl"
 	"soteria/internal/reliability"
+	"soteria/internal/runner"
 )
 
 // benchWorkloads is the representative subset used by the performance
@@ -178,6 +181,40 @@ func BenchmarkFig11UDR(b *testing.B) {
 	b.ReportMetric(base*1e9, "baseline-UDR-e9")
 	b.ReportMetric(src*1e9, "src-UDR-e9")
 	b.ReportMetric(sac*1e9, "sac-UDR-e9")
+}
+
+// BenchmarkFaultSweepRunner measures the parallel experiment engine on a
+// reduced multi-point FIT sweep — the workload behind Fig 11 — and reports
+// sustained trial throughput. This is the number the runner's block
+// scheduling and buffer reuse are meant to move; refresh the baseline in
+// EXPERIMENTS.md when it shifts.
+func BenchmarkFaultSweepRunner(b *testing.B) {
+	cfg := config.Table4()
+	schemes := make([]*faultsim.Scheme, 0, 3)
+	for _, pol := range []core.ClonePolicy{core.Baseline(), core.SRC(), core.SAC()} {
+		s, err := faultsim.BuildScheme(cfg.DIMM, pol, 8192)
+		if err != nil {
+			b.Fatal(err)
+		}
+		schemes = append(schemes, s)
+	}
+	sweep := runner.FaultSweep{
+		Config: cfg, FITs: []float64{20, 80}, Trials: 5_000, Seed: 42,
+		Conditional: true, Schemes: schemes, Label: "bench",
+	}
+	eng := runner.New(runner.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := eng.RunFaultSweep(sweep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 2 {
+			b.Fatal("sweep dropped a FIT point")
+		}
+	}
+	trials := float64(sweep.Trials * len(sweep.FITs))
+	b.ReportMetric(trials*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 }
 
 // BenchmarkFig12DataLoss regenerates Fig 12 (loss split for an 8 TB memory)

@@ -1,0 +1,62 @@
+// Command bench2json converts `go test -bench` text output into a JSON
+// artifact, so CI can archive benchmark smoke runs (BENCH_*.json) and
+// baselines stay diffable across commits.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x . | go run ./cmd/bench2json -out BENCH_smoke.json
+//	go run ./cmd/bench2json -in bench.txt -out BENCH_smoke.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"soteria/internal/benchparse"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "benchmark text to parse (empty = stdin)")
+		out = flag.String("out", "", "JSON file to write (empty = stdout)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := benchparse.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench2json:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"soteria/internal/experiments"
+	"soteria/internal/runner"
 	"soteria/internal/stats"
 	"soteria/internal/workload"
 )
@@ -35,8 +36,22 @@ func main() {
 		fit       = flag.Float64("fit", 40, "FIT/chip for Fig 12")
 		seed      = flag.Int64("seed", 1, "random seed")
 		csv       = flag.Bool("csv", false, "emit CSV instead of markdown")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all CPUs; results identical for any value)")
+		cacheDir  = flag.String("cache", "", "Monte Carlo result cache directory (empty = no caching)")
+		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
 	)
 	flag.Parse()
+
+	var onProgress func(runner.Progress)
+	if *progress {
+		onProgress = runner.WriteProgress(os.Stderr)
+	}
+	relParams := func() experiments.RelParams {
+		p := experiments.DefaultRelParams()
+		p.Trials, p.Seed = *trials, *seed
+		p.Workers, p.CacheDir, p.Progress = *workers, *cacheDir, onProgress
+		return p
+	}
 
 	want := map[string]bool{}
 	for _, r := range strings.Split(*run, ",") {
@@ -85,6 +100,7 @@ func main() {
 		p.Ops, p.Warmup, p.Footprint, p.Seed = *ops, *warmup, *footprint, *seed
 		p.MetaCacheBytes = *metaKB << 10
 		p.LLCBytes = *llcKB << 10
+		p.Parallelism, p.Progress = *workers, onProgress
 		start := time.Now()
 		names := p.Workloads
 		if len(names) == 0 {
@@ -115,8 +131,7 @@ func main() {
 	}
 
 	if all || want["fig11"] {
-		p := experiments.DefaultRelParams()
-		p.Trials, p.Seed = *trials, *seed
+		p := relParams()
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running Fig 11 Monte Carlo (%d trials x %d FIT points)...\n", p.Trials, len(p.FITs))
 		r, err := experiments.Fig11(p)
@@ -129,8 +144,7 @@ func main() {
 			r.GainSRC, r.GainSAC)
 	}
 	if all || want["fig12"] {
-		p := experiments.DefaultRelParams()
-		p.Trials, p.Seed = *trials, *seed
+		p := relParams()
 		t, err := experiments.Fig12(p, *fit, 8<<40)
 		if err != nil {
 			fatal(err)
@@ -138,8 +152,7 @@ func main() {
 		emit(t)
 	}
 	if all || want["strongecc"] {
-		p := experiments.DefaultRelParams()
-		p.Trials, p.Seed = *trials, *seed
+		p := relParams()
 		t, err := experiments.StrongECC(p)
 		if err != nil {
 			fatal(err)
@@ -161,8 +174,7 @@ func main() {
 		emit(t)
 	}
 	if all || want["trees"] {
-		p := experiments.DefaultRelParams()
-		p.Trials, p.Seed = *trials, *seed
+		p := relParams()
 		t, err := experiments.TreeComparison(p, *fit)
 		if err != nil {
 			fatal(err)

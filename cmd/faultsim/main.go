@@ -1,34 +1,57 @@
 // Command faultsim runs the standalone memory-reliability Monte Carlo:
 // device faults over a five-year lifetime on the Table-4 DIMM, evaluated
-// under Chipkill, with losses attributed per protection scheme.
+// under Chipkill, with losses attributed per protection scheme. Sweeps go
+// through the parallel experiment engine (internal/runner): results are
+// bit-identical for any -workers value, and -cache makes re-runs of an
+// unchanged sweep instant.
 //
 // Usage:
 //
 //	faultsim -fit 80 -trials 200000
-//	faultsim -fit 10 -trials 1000000 -seed 3
+//	faultsim -fits 1,2,5,10,20,40,80 -trials 1000000 -workers 8 -progress
+//	faultsim -fits 1,2,5,10,20,40,80 -cache results/cache
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"soteria/internal/config"
 	"soteria/internal/core"
 	"soteria/internal/faultsim"
+	"soteria/internal/runner"
 	"soteria/internal/stats"
 )
 
 func main() {
 	var (
-		fit     = flag.Float64("fit", 80, "per-chip FIT rate (paper sweeps 1-80)")
-		trials  = flag.Int("trials", 200_000, "Monte Carlo trials (importance-sampled)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		raw     = flag.Bool("raw", false, "disable importance sampling (plain Monte Carlo; needs vastly more trials)")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		fit      = flag.Float64("fit", 80, "per-chip FIT rate (paper sweeps 1-80)")
+		fits     = flag.String("fits", "", "comma-separated FIT sweep (overrides -fit)")
+		trials   = flag.Int("trials", 200_000, "Monte Carlo trials per FIT point (importance-sampled)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		raw      = flag.Bool("raw", false, "disable importance sampling (plain Monte Carlo; needs vastly more trials)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs; results identical for any value)")
+		block    = flag.Int("block", 0, "trials per deterministic RNG block (0 = default; part of the seed)")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = no caching)")
+		progress = flag.Bool("progress", false, "report sweep progress on stderr")
 	)
 	flag.Parse()
+
+	points := []float64{*fit}
+	if *fits != "" {
+		points = points[:0]
+		for _, f := range strings.Split(*fits, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -fits entry %q: %w", f, err))
+			}
+			points = append(points, v)
+		}
+	}
 
 	cfg := config.Table4()
 	schemes := []*faultsim.Scheme{faultsim.NonSecureScheme(cfg.DIMM)}
@@ -40,31 +63,69 @@ func main() {
 		schemes = append(schemes, s)
 	}
 
+	eng := runner.New(runner.Options{
+		Workers:    *workers,
+		CacheDir:   *cacheDir,
+		OnProgress: progressSink(*progress),
+	})
 	start := time.Now()
-	res, err := faultsim.Run(faultsim.Options{
+	results, err := eng.RunFaultSweep(runner.FaultSweep{
 		Config:      cfg,
-		TotalFIT:    *fit,
+		FITs:        points,
 		Trials:      *trials,
 		Seed:        *seed,
-		Workers:     *workers,
 		Conditional: !*raw,
-	}, schemes)
+		BlockSize:   *block,
+		Schemes:     schemes,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	elapsed := time.Since(start).Round(time.Millisecond)
 
-	fmt.Printf("%d trials at FIT=%g over %.0f years (%v); importance weight %.3g\n\n",
-		res.Trials, res.TotalFIT, cfg.Years, time.Since(start).Round(time.Millisecond), res.Weight)
+	if len(points) == 1 {
+		res := results[0]
+		fmt.Printf("%d trials at FIT=%g over %.0f years (%v); importance weight %.3g\n\n",
+			res.Trials, res.TotalFIT, cfg.Years, elapsed, res.Weight)
+		t := stats.NewTable("per-scheme expected loss over one DIMM lifetime",
+			"scheme", "data capacity", "UE trials", "unverifiable trials", "L_error ratio", "UDR")
+		for _, s := range res.Schemes {
+			t.AddRow(s.Name, stats.FormatBytes(float64(s.DataBytes)), s.TrialsWithUE, s.TrialsWithUnv,
+				s.ErrorRatio(res.Trials), s.UDR(res.Trials))
+		}
+		if err := t.WriteMarkdown(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
-	t := stats.NewTable("per-scheme expected loss over one DIMM lifetime",
-		"scheme", "data capacity", "UE trials", "unverifiable trials", "L_error ratio", "UDR")
-	for _, s := range res.Schemes {
-		t.AddRow(s.Name, stats.FormatBytes(float64(s.DataBytes)), s.TrialsWithUE, s.TrialsWithUnv,
-			s.ErrorRatio(res.Trials), s.UDR(res.Trials))
+	fmt.Printf("%d trials per FIT point over %.0f years (%v total)\n\n",
+		results[0].Trials, cfg.Years, elapsed)
+	headers := []string{"FIT/chip"}
+	for _, s := range schemes {
+		headers = append(headers, s.Name+" UDR")
+	}
+	headers = append(headers, "UE trials")
+	t := stats.NewTable("UDR vs FIT sweep", headers...)
+	for i, res := range results {
+		row := make([]interface{}, 0, len(headers))
+		row = append(row, points[i])
+		for _, s := range res.Schemes {
+			row = append(row, s.UDR(res.Trials))
+		}
+		row = append(row, res.Schemes[1].TrialsWithUE)
+		t.AddRow(row...)
 	}
 	if err := t.WriteMarkdown(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+func progressSink(enabled bool) func(runner.Progress) {
+	if !enabled {
+		return nil
+	}
+	return runner.WriteProgress(os.Stderr)
 }
 
 func fatal(err error) {

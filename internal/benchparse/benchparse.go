@@ -1,0 +1,118 @@
+// Package benchparse parses the text output of `go test -bench` into a
+// structured report, for the CI benchmark artifact (cmd/bench2json).
+package benchparse
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metric is one reported quantity of a benchmark run ("ns/op", "trials/s",
+// custom b.ReportMetric units, ...).
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iters is the iteration count (the benchtime column).
+	Iters int64 `json:"iters"`
+	// Metrics preserves the order the line reported them in.
+	Metrics []Metric `json:"metrics"`
+}
+
+// Report is the parsed output of one `go test -bench` run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Metric returns the named metric of a benchmark (false when absent).
+func (b Benchmark) Metric(unit string) (float64, bool) {
+	for _, m := range b.Metrics {
+		if m.Unit == unit {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Parse reads `go test -bench` text output. Non-benchmark lines (test
+// chatter, PASS/ok trailers) are skipped; header lines fill the Report
+// fields. A malformed Benchmark line is an error — silently dropping one
+// would make a missing artifact entry look like a deleted benchmark.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	// Name, iterations, then (value, unit) pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, &ParseError{Line: line, Reason: "want name, iters and value/unit pairs"}
+	}
+	b := Benchmark{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, &ParseError{Line: line, Reason: "bad iteration count"}
+	}
+	b.Iters = iters
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, &ParseError{Line: line, Reason: "bad metric value " + fields[i]}
+		}
+		b.Metrics = append(b.Metrics, Metric{Value: v, Unit: fields[i+1]})
+	}
+	return b, nil
+}
+
+// ParseError reports an unparseable Benchmark line.
+type ParseError struct {
+	Line   string
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	return "benchparse: " + e.Reason + " in line: " + e.Line
+}

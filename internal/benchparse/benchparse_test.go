@@ -1,0 +1,76 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: soteria
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable2CloneDepths-8    	     100	    123456 ns/op
+BenchmarkFig11UDR         	       1	3308909588 ns/op	      1305 baseline-UDR-e9	         0.7583 sac-UDR-e9
+BenchmarkFaultSweepRunner 	       1	2432794168 ns/op	      4111 trials/s
+PASS
+ok  	soteria	5.746s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "soteria" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(rep.Benchmarks))
+	}
+
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkTable2CloneDepths" || b0.Procs != 8 || b0.Iters != 100 {
+		t.Fatalf("first line parsed as %+v", b0)
+	}
+	if v, ok := b0.Metric("ns/op"); !ok || v != 123456 {
+		t.Fatalf("ns/op = %v, %v", v, ok)
+	}
+
+	b1 := rep.Benchmarks[1]
+	if b1.Name != "BenchmarkFig11UDR" || b1.Procs != 1 {
+		t.Fatalf("second line parsed as %+v", b1)
+	}
+	if v, ok := b1.Metric("baseline-UDR-e9"); !ok || v != 1305 {
+		t.Fatalf("custom metric = %v, %v", v, ok)
+	}
+	if _, ok := b1.Metric("trials/s"); ok {
+		t.Fatal("metric leaked across lines")
+	}
+
+	if v, ok := rep.Benchmarks[2].Metric("trials/s"); !ok || v != 4111 {
+		t.Fatalf("trials/s = %v, %v", v, ok)
+	}
+}
+
+func TestParseRejectsMalformedBenchmarkLine(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkBroken 12 nounit\n"))
+	if err == nil {
+		t.Fatal("malformed line parsed without error")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkBroken") {
+		t.Fatalf("error does not cite the line: %v", err)
+	}
+}
+
+func TestParseIgnoresChatter(t *testing.T) {
+	rep, err := Parse(strings.NewReader("=== RUN TestX\n--- PASS: TestX\nPASS\nok soteria 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %+v, want none", rep.Benchmarks)
+	}
+}

@@ -62,7 +62,7 @@ type Injector struct {
 	// model on-chip ADR SRAM (the shadow BMT), which NVM cell faults
 	// cannot reach. Zero means no bound.
 	faultCeil uint64
-	sealDepth int
+	seals     inject.SealTracker
 	disarmed  bool
 }
 
@@ -92,30 +92,18 @@ func (in *Injector) Rearm(crashAt int) {
 	in.Boundary = 0
 	in.CrashAt = crashAt
 	in.Fired = false
-	in.sealDepth = 0
+	in.seals.Reset()
 	in.disarmed = false
 }
 
 // Event implements inject.Hook.
 func (in *Injector) Event(ev inject.Event) {
-	switch ev.Kind {
-	case inject.DeviceWrite:
-		if in.sealDepth == 0 {
-			in.boundary()
-		}
-	case inject.SealBegin:
-		if in.sealDepth == 0 {
-			// Count (and possibly fire) before bumping the depth: if the
-			// boundary panics, no seal has opened yet and the unwind
-			// leaves the injector balanced.
-			in.boundary()
-		}
-		in.sealDepth++
-	case inject.SealEnd:
-		if in.sealDepth > 0 {
-			in.sealDepth--
-		}
+	// Act before Advance: if the boundary panics at an outermost SealBegin,
+	// no seal has opened yet and the unwind leaves the tracker balanced.
+	if in.seals.IsBoundary(ev) {
+		in.boundary()
 	}
+	in.seals.Advance(ev)
 }
 
 func (in *Injector) boundary() {

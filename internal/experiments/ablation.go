@@ -51,9 +51,8 @@ func AblationCloneDepth(perf PerfParams, rel RelParams, fit float64) (*stats.Tab
 		if err != nil {
 			return nil, err
 		}
-		mc, err := faultsim.Run(faultsim.Options{
-			Config: fsCfg, TotalFIT: fit, Trials: rel.Trials, Seed: rel.Seed, Conditional: true,
-		}, []*faultsim.Scheme{scheme})
+		mc, err := rel.engine().RunFaultPoint(
+			rel.sweep("ablation-depth", fsCfg, []*faultsim.Scheme{scheme}), fit)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"soteria/internal/stats"
+)
+
+// Golden-structure tests: now that every Monte Carlo sweep is block-
+// deterministic (identical for any worker count), the tables the
+// experiments emit have a fixed shape and fixed orderings that can be
+// asserted directly instead of eyeballed.
+
+// assertShape checks that every row has exactly one cell per header.
+func assertShape(t *testing.T, tab *stats.Table, rows int) {
+	t.Helper()
+	if tab.NumRows() != rows {
+		t.Fatalf("%s: rows = %d, want %d", tab.Title, tab.NumRows(), rows)
+	}
+	cols := len(tab.Headers())
+	if cols == 0 {
+		t.Fatalf("%s: no headers", tab.Title)
+	}
+	for i := 0; i < tab.NumRows(); i++ {
+		if got := len(tab.Row(i)); got != cols {
+			t.Fatalf("%s: row %d has %d cells, want %d", tab.Title, i, got, cols)
+		}
+	}
+}
+
+func TestFig11GoldenStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	p := DefaultRelParams()
+	p.Trials = 4_000
+	p.FITs = []float64{1, 20, 80}
+	r, err := Fig11(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShape(t, r.Table, len(p.FITs))
+	want := []string{"FIT/chip", "baseline UDR", "SRC UDR", "SAC UDR", "UE trials (cond.)"}
+	if h := r.Table.Headers(); len(h) != len(want) {
+		t.Fatalf("headers = %v, want %v", h, want)
+	} else {
+		for i := range want {
+			if h[i] != want[i] {
+				t.Fatalf("header %d = %q, want %q", i, h[i], want[i])
+			}
+		}
+	}
+	// The first column is the FIT point, in sweep order.
+	for i, fit := range p.FITs {
+		got, err := strconv.ParseFloat(r.Table.Row(i)[0], 64)
+		if err != nil || got != fit {
+			t.Fatalf("row %d FIT cell = %q, want %g", i, r.Table.Row(i)[0], fit)
+		}
+	}
+	// Resilience ordering must hold at every FIT point: the paper's whole
+	// argument is SAC >= SRC >= baseline protection, i.e. SAC UDR <= SRC
+	// UDR <= baseline UDR (ties at zero allowed for the tiny trial count).
+	for i, fit := range p.FITs {
+		b, s, a := r.UDRs["baseline"][i], r.UDRs["SRC"][i], r.UDRs["SAC"][i]
+		if b <= 0 {
+			t.Fatalf("FIT %g: baseline UDR = %g, want > 0", fit, b)
+		}
+		if s > b {
+			t.Fatalf("FIT %g: SRC UDR %g exceeds baseline %g", fit, s, b)
+		}
+		if a > s {
+			t.Fatalf("FIT %g: SAC UDR %g exceeds SRC %g", fit, a, s)
+		}
+	}
+	// More faults, more loss: the baseline UDR must grow across the sweep.
+	first, last := r.UDRs["baseline"][0], r.UDRs["baseline"][len(p.FITs)-1]
+	if last <= first {
+		t.Fatalf("baseline UDR not increasing across FIT sweep: %g at FIT %g vs %g at FIT %g",
+			first, p.FITs[0], last, p.FITs[len(p.FITs)-1])
+	}
+}
+
+func TestFig12GoldenStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	p := DefaultRelParams()
+	p.Trials = 4_000
+	tab, err := Fig12(p, 80, 8<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShape(t, tab, 4)
+	wantRows := []string{"non-secure", "baseline", "SRC", "SAC"}
+	for i, name := range wantRows {
+		if got := tab.Row(i)[0]; got != name {
+			t.Fatalf("row %d scheme = %q, want %q", i, got, name)
+		}
+	}
+	// The non-secure row is the reference: its "vs non-secure" ratio is 1.
+	if ratio := tab.Row(0)[4]; ratio != "1.000" {
+		t.Fatalf("non-secure ratio cell = %q, want 1.000", ratio)
+	}
+}
+
+func TestTable2GoldenStructure(t *testing.T) {
+	tab := Table2()
+	assertShape(t, tab, 2)
+	if len(tab.Headers()) != 10 { // scheme + L1..L9
+		t.Fatalf("headers = %v", tab.Headers())
+	}
+	if tab.Row(0)[0] != "SRC" || tab.Row(1)[0] != "SAC" {
+		t.Fatalf("scheme rows = %q, %q", tab.Row(0)[0], tab.Row(1)[0])
+	}
+	// SAC invests more clones at upper levels than SRC does (that is the
+	// "asymmetric" in selective asymmetric cloning): its top-level count
+	// must strictly exceed SRC's.
+	srcTop, err1 := strconv.Atoi(tab.Row(0)[9])
+	sacTop, err2 := strconv.Atoi(tab.Row(1)[9])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable L9 cells %q, %q", tab.Row(0)[9], tab.Row(1)[9])
+	}
+	if sacTop <= srcTop {
+		t.Fatalf("SAC top-level clones (%d) not above SRC's (%d)", sacTop, srcTop)
+	}
+}
+
+func TestConfigTablesGoldenStructure(t *testing.T) {
+	for _, tab := range []*stats.Table{Table3(), Table4()} {
+		assertShape(t, tab, tab.NumRows())
+		if tab.NumRows() < 6 {
+			t.Fatalf("%s: only %d rows", tab.Title, tab.NumRows())
+		}
+	}
+}
+
+func TestPerfTablesGoldenStructure(t *testing.T) {
+	res, err := RunPerf(smallPerf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := len(res.Names)
+	// Fig 10a/b/c carry one row per workload plus an average row.
+	assertShape(t, Fig10a(res), workloads+1)
+	assertShape(t, Fig10b(res), workloads+1)
+	assertShape(t, Fig10c(res), workloads+1)
+	fig4 := Fig4(res)
+	assertShape(t, fig4, workloads)
+	if len(fig4.Headers()) < 2 {
+		t.Fatalf("Fig 4 has no level columns: %v", fig4.Headers())
+	}
+	// Every average row is labelled.
+	for _, tab := range []*stats.Table{Fig10a(res), Fig10b(res), Fig10c(res)} {
+		if got := tab.Row(tab.NumRows() - 1)[0]; got != "average" {
+			t.Fatalf("%s: last row starts with %q, want average", tab.Title, got)
+		}
+	}
+}

@@ -6,12 +6,11 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"soteria/internal/config"
 	"soteria/internal/cpusim"
 	"soteria/internal/memctrl"
+	"soteria/internal/runner"
 	"soteria/internal/stats"
 	"soteria/internal/workload"
 )
@@ -35,6 +34,8 @@ type PerfParams struct {
 	Modes []memctrl.Mode
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Progress receives throttled sweep updates (nil = silent).
+	Progress func(runner.Progress)
 	// MetaCacheBytes shrinks the metadata cache for laptop-scale runs:
 	// the paper simulates 500M instructions against a 512 kB metadata
 	// cache; at a ~1000x smaller op budget the cache-capacity-to-
@@ -123,33 +124,21 @@ func RunPerf(p PerfParams) (*PerfResults, error) {
 			jobs = append(jobs, job{w, m})
 		}
 	}
-	par := p.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	eng := runner.New(runner.Options{Workers: p.Parallelism, OnProgress: p.Progress})
+	runs := make([]cpusim.Result, len(jobs))
+	err := eng.Do("perf", len(jobs), func(i int) error {
+		r, err := runOne(jobs[i].w, jobs[i].mode, p)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", jobs[i].w.Name, jobs[i].mode, err)
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sem := make(chan struct{}, par)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := runOne(j.w, j.mode, p)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("%s/%s: %w", j.w.Name, j.mode, err)
-				return
-			}
-			res.Runs[j.w.Name][j.mode] = r
-		}(j)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for i, j := range jobs {
+		res.Runs[j.w.Name][j.mode] = runs[i]
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"soteria/internal/core"
 	"soteria/internal/faultsim"
 	"soteria/internal/reliability"
+	"soteria/internal/runner"
 	"soteria/internal/stats"
 )
 
@@ -85,6 +86,33 @@ type RelParams struct {
 	Seed int64
 	// ShadowSlots sizes the shadow region (metadata cache slots).
 	ShadowSlots uint64
+	// Workers bounds sweep parallelism (0 = GOMAXPROCS). Results are
+	// bit-identical for any value.
+	Workers int
+	// CacheDir enables on-disk Monte Carlo result caching ("" = off).
+	CacheDir string
+	// Progress receives throttled sweep updates (nil = silent).
+	Progress func(runner.Progress)
+}
+
+// engine builds the experiment engine the reliability sweeps share.
+func (p RelParams) engine() *runner.Engine {
+	return runner.New(runner.Options{
+		Workers: p.Workers, CacheDir: p.CacheDir, OnProgress: p.Progress,
+	})
+}
+
+// sweep assembles the common FaultSweep skeleton.
+func (p RelParams) sweep(label string, cfg config.FaultSimConfig, schemes []*faultsim.Scheme) runner.FaultSweep {
+	return runner.FaultSweep{
+		Config:      cfg,
+		FITs:        p.FITs,
+		Trials:      p.Trials,
+		Seed:        p.Seed,
+		Conditional: true,
+		Schemes:     schemes,
+		Label:       label,
+	}
 }
 
 // DefaultRelParams returns the default Monte Carlo scale.
@@ -127,13 +155,12 @@ func Fig11(p RelParams) (*Fig11Result, error) {
 	t := stats.NewTable("Fig 11 — UDR vs FIT under Chipkill (5-year lifetime)",
 		"FIT/chip", "baseline UDR", "SRC UDR", "SAC UDR", "UE trials (cond.)")
 	udrs := map[string][]float64{"baseline": nil, "SRC": nil, "SAC": nil}
-	for _, fit := range p.FITs {
-		res, err := faultsim.Run(faultsim.Options{
-			Config: fsCfg, TotalFIT: fit, Trials: p.Trials, Seed: p.Seed, Conditional: true,
-		}, schemes)
-		if err != nil {
-			return nil, err
-		}
+	results, err := p.engine().RunFaultSweep(p.sweep("fig11", fsCfg, schemes))
+	if err != nil {
+		return nil, err
+	}
+	for i, fit := range p.FITs {
+		res := results[i]
 		b := res.Schemes[0].UDR(res.Trials)
 		s := res.Schemes[1].UDR(res.Trials)
 		a := res.Schemes[2].UDR(res.Trials)
@@ -174,35 +201,32 @@ func StrongECC(p RelParams) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := p.engine()
+	weakSweep := p.sweep("strongecc/chipkill", fsCfg, []*faultsim.Scheme{base, src})
+	multiSweep := p.sweep("strongecc/multibit", fsCfg, []*faultsim.Scheme{base})
+	multiSweep.ECC = faultsim.ECCMultiBit
+	doubleSweep := p.sweep("strongecc/double", fsCfg, []*faultsim.Scheme{base})
+	doubleSweep.ECC = faultsim.ECCDoubleChipkill
+	weak, err := eng.RunFaultSweep(weakSweep)
+	if err != nil {
+		return nil, err
+	}
+	multibit, err := eng.RunFaultSweep(multiSweep)
+	if err != nil {
+		return nil, err
+	}
+	double, err := eng.RunFaultSweep(doubleSweep)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("§6.2 — stronger ECC vs metadata cloning (UDR)",
 		"FIT/chip", "baseline + Chipkill", "baseline + multi-bit ECC", "baseline + 2x-Chipkill", "SRC + Chipkill")
-	for _, fit := range p.FITs {
-		weak, err := faultsim.Run(faultsim.Options{
-			Config: fsCfg, TotalFIT: fit, Trials: p.Trials, Seed: p.Seed,
-			Conditional: true, ECC: faultsim.ECCChipkill,
-		}, []*faultsim.Scheme{base, src})
-		if err != nil {
-			return nil, err
-		}
-		multibit, err := faultsim.Run(faultsim.Options{
-			Config: fsCfg, TotalFIT: fit, Trials: p.Trials, Seed: p.Seed,
-			Conditional: true, ECC: faultsim.ECCMultiBit,
-		}, []*faultsim.Scheme{base})
-		if err != nil {
-			return nil, err
-		}
-		double, err := faultsim.Run(faultsim.Options{
-			Config: fsCfg, TotalFIT: fit, Trials: p.Trials, Seed: p.Seed,
-			Conditional: true, ECC: faultsim.ECCDoubleChipkill,
-		}, []*faultsim.Scheme{base})
-		if err != nil {
-			return nil, err
-		}
+	for i, fit := range p.FITs {
 		t.AddRow(fit,
-			weak.Schemes[0].UDR(weak.Trials),
-			multibit.Schemes[0].UDR(multibit.Trials),
-			double.Schemes[0].UDR(double.Trials),
-			weak.Schemes[1].UDR(weak.Trials))
+			weak[i].Schemes[0].UDR(weak[i].Trials),
+			multibit[i].Schemes[0].UDR(multibit[i].Trials),
+			double[i].Schemes[0].UDR(double[i].Trials),
+			weak[i].Schemes[1].UDR(weak[i].Trials))
 	}
 	return t, nil
 }
@@ -245,9 +269,8 @@ func TreeComparison(p RelParams, fit float64) (*stats.Table, error) {
 	}
 	bmtClones.RecomputableIntermediates = true
 
-	res, err := faultsim.Run(faultsim.Options{
-		Config: fsCfg, TotalFIT: fit, Trials: p.Trials, Seed: p.Seed, Conditional: true,
-	}, []*faultsim.Scheme{tocBase, bmt, bmtClones, tocSRC})
+	res, err := p.engine().RunFaultPoint(
+		p.sweep("trees", fsCfg, []*faultsim.Scheme{tocBase, bmt, bmtClones, tocSRC}), fit)
 	if err != nil {
 		return nil, err
 	}
@@ -289,9 +312,7 @@ func Fig12(p RelParams, fit float64, targetBytes uint64) (*stats.Table, error) {
 		}
 		schemes = append(schemes, s)
 	}
-	res, err := faultsim.Run(faultsim.Options{
-		Config: fsCfg, TotalFIT: fit, Trials: p.Trials, Seed: p.Seed, Conditional: true,
-	}, schemes)
+	res, err := p.engine().RunFaultPoint(p.sweep("fig12", fsCfg, schemes), fit)
 	if err != nil {
 		return nil, err
 	}

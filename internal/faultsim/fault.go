@@ -155,11 +155,17 @@ func Uncorrectable(d config.DIMMConfig, faults []Fault) []Rect {
 // uncorrectable when faults on more than correctChips distinct chips of one
 // rank overlap it in space and time.
 func UncorrectableK(d config.DIMMConfig, faults []Fault, correctChips int) []Rect {
+	return appendUncorrectableK(nil, d, faults, correctChips)
+}
+
+// appendUncorrectableK is UncorrectableK appending into a caller-owned
+// buffer, so the Monte Carlo hot loop can reuse one rectangle slice across
+// trials.
+func appendUncorrectableK(out []Rect, d config.DIMMConfig, faults []Fault, correctChips int) []Rect {
 	if correctChips < 1 {
 		correctChips = 1
 	}
 	need := correctChips + 1
-	var out []Rect
 	// Depth-first over fault combinations, pruning on empty spatial or
 	// temporal intersection; fault counts per trial are tiny.
 	var dfs func(start int, chosen []int, r Rect, tStart, tEnd float64)

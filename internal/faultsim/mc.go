@@ -6,9 +6,16 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"soteria/internal/config"
 )
+
+// DefaultBlockSize is the number of trials per deterministic RNG block
+// when Options.BlockSize is zero. Each block draws from its own RNG
+// stream derived from the master seed, so results are bit-identical for
+// any worker count.
+const DefaultBlockSize = 4096
 
 // Options configures a Monte Carlo run.
 type Options struct {
@@ -19,8 +26,18 @@ type Options struct {
 	Trials int
 	// Seed makes the run reproducible.
 	Seed int64
-	// Workers bounds parallelism (default: GOMAXPROCS).
+	// Workers bounds parallelism (default: GOMAXPROCS). Results do not
+	// depend on it: trials are scheduled in fixed-size blocks with
+	// per-block RNG streams, and block partials merge in block order.
 	Workers int
+	// BlockSize is the trials-per-block granularity of the deterministic
+	// schedule (default DefaultBlockSize). Results depend on it (it
+	// defines the RNG streams), so treat it as part of the seed.
+	BlockSize int
+	// Progress, when non-nil, is called after each completed block with
+	// the cumulative number of finished trials. It may be called
+	// concurrently from multiple workers.
+	Progress func(doneTrials, totalTrials int)
 	// Conditional enables importance sampling: trials are drawn
 	// conditioned on at least two faults arriving (the only trials that
 	// can produce Chipkill-uncorrectable errors) and every loss is
@@ -56,16 +73,17 @@ func (m ECCModel) String() string {
 	return [...]string{"chipkill", "chipkill+multibit", "double-chipkill"}[m]
 }
 
-// rectsFor computes the uncorrectable beats under the model.
-func (m ECCModel) rectsFor(d config.DIMMConfig, faults []Fault) []Rect {
+// appendRects appends the uncorrectable beats under the model to buf and
+// returns the extended slice (buf may be nil; reusing it across trials
+// keeps the hot loop allocation-free).
+func (m ECCModel) appendRects(buf []Rect, d config.DIMMConfig, faults []Fault) []Rect {
 	switch m {
 	case ECCDoubleChipkill:
-		return UncorrectableK(d, faults, 2)
+		return appendUncorrectableK(buf, d, faults, 2)
 	case ECCMultiBit:
 		// Pairwise overlaps, dropping bit/word x bit/word coincidences
 		// (a couple of corrupt bits per codeword: within multi-bit
 		// correction strength).
-		var out []Rect
 		for i := 0; i < len(faults); i++ {
 			for j := i + 1; j < len(faults); j++ {
 				a, b := &faults[i], &faults[j]
@@ -76,14 +94,19 @@ func (m ECCModel) rectsFor(d config.DIMMConfig, faults []Fault) []Rect {
 					continue
 				}
 				if r, ok := intersect(a.rect(d), b.rect(d)); ok {
-					out = append(out, r)
+					buf = append(buf, r)
 				}
 			}
 		}
-		return out
+		return buf
 	default:
-		return UncorrectableK(d, faults, 1)
+		return appendUncorrectableK(buf, d, faults, 1)
 	}
+}
+
+// rectsFor computes the uncorrectable beats under the model.
+func (m ECCModel) rectsFor(d config.DIMMConfig, faults []Fault) []Rect {
+	return m.appendRects(nil, d, faults)
 }
 
 func smallGran(g Granularity) bool { return g == GranBit || g == GranWord }
@@ -111,6 +134,11 @@ type SchemeResult struct {
 	// sums in bytes.
 	TotalLErr float64
 	TotalLUnv float64
+	// SumLUnvSq is the sum of squared per-trial weighted unverifiable
+	// losses, kept so the UDR estimator carries a standard error
+	// (UDRSigma) — the statistical cross-check between importance
+	// sampling and plain sampling depends on it.
+	SumLUnvSq float64
 }
 
 // UDR returns the Unverifiable Data Ratio: expected unverifiable bytes per
@@ -120,6 +148,21 @@ func (r SchemeResult) UDR(trials int) float64 {
 		return 0
 	}
 	return r.TotalLUnv / (float64(trials) * float64(r.DataBytes))
+}
+
+// UDRSigma returns the standard error of UDR(trials), estimated from the
+// per-trial second moment of the (weighted) unverifiable-loss samples.
+func (r SchemeResult) UDRSigma(trials int) float64 {
+	if trials == 0 || r.DataBytes == 0 {
+		return 0
+	}
+	n := float64(trials)
+	mean := r.TotalLUnv / n
+	variance := (r.SumLUnvSq/n - mean*mean) / n
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / float64(r.DataBytes)
 }
 
 // ErrorRatio is the analogous ratio for direct data loss (L_error).
@@ -223,11 +266,10 @@ func (d *modeDist) sample(rng *rand.Rand) (Granularity, bool) {
 }
 
 // sampleN places n fault events at uniform times with mode-proportional
-// granularities.
-func sampleN(rng *rand.Rand, cfg config.FaultSimConfig, dist *modeDist, n int) []Fault {
+// granularities, appending to buf (which may be nil).
+func sampleN(rng *rand.Rand, cfg config.FaultSimConfig, dist *modeDist, n int, buf []Fault) []Fault {
 	hours := cfg.Years * 365 * 24
 	scrub := cfg.ScrubInterval.Hours()
-	var faults []Fault
 	for i := 0; i < n; i++ {
 		gran, transient := dist.sample(rng)
 		t := rng.Float64() * hours
@@ -235,9 +277,9 @@ func sampleN(rng *rand.Rand, cfg config.FaultSimConfig, dist *modeDist, n int) [
 		if transient && scrub > 0 {
 			end = math.Min(t+scrub, hours+1)
 		}
-		faults = append(faults, sampleFault(rng, cfg.DIMM, gran, transient, t, end)...)
+		buf = append(buf, sampleFault(rng, cfg.DIMM, gran, transient, t, end)...)
 	}
-	return faults
+	return buf
 }
 
 // SampleTrial draws one unconditioned trial's fault set over the configured
@@ -246,13 +288,43 @@ func SampleTrial(rng *rand.Rand, cfg config.FaultSimConfig, modes []Mode) []Faul
 	dist := newModeDist(modes)
 	hours := cfg.Years * 365 * 24
 	lambda := dist.total * 1e-9 * hours * float64(cfg.DIMM.Chips)
-	return sampleN(rng, cfg, dist, poisson(rng, lambda))
+	return sampleN(rng, cfg, dist, poisson(rng, lambda), nil)
 }
 
-// Run executes the Monte Carlo simulation for every scheme over a shared
-// fault stream (schemes see identical fault histories, like the paper's
-// common FaultSim traces).
-func Run(opt Options, schemes []*Scheme) (*Result, error) {
+// blockSeed derives the RNG seed of one trial block from the master seed
+// (splitmix64 finalizer, so adjacent blocks get decorrelated streams).
+func blockSeed(seed int64, block int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(block+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Partial is the accumulated outcome of one trial block. Partials merge in
+// block order, which is what keeps float sums bit-identical regardless of
+// how blocks were scheduled across workers.
+type Partial struct {
+	Schemes     []SchemeResult
+	FaultTrials int
+}
+
+// BlockRunner executes a Monte Carlo run as a sequence of independently
+// schedulable, deterministic trial blocks. Run drives it with its own
+// goroutines; the runner package drives many BlockRunners (one per sweep
+// point) through a single shared worker pool.
+type BlockRunner struct {
+	opt     Options
+	schemes []*Scheme
+	dist    *modeDist
+	lambda  float64
+	weight  float64
+	trials  int
+	block   int
+}
+
+// NewBlockRunner validates the options and precomputes the fault
+// distribution shared by all blocks.
+func NewBlockRunner(opt Options, schemes []*Scheme) (*BlockRunner, error) {
 	trials := opt.Trials
 	if trials == 0 {
 		trials = opt.Config.Trials
@@ -263,90 +335,149 @@ func Run(opt Options, schemes []*Scheme) (*Result, error) {
 	if err := opt.Config.DIMM.Validate(); err != nil {
 		return nil, err
 	}
+	block := opt.BlockSize
+	if block <= 0 {
+		block = DefaultBlockSize
+	}
 	dist := newModeDist(ScaledModes(HopperModes(), opt.TotalFIT))
 	hours := opt.Config.Years * 365 * 24
 	lambda := dist.total * 1e-9 * hours * float64(opt.Config.DIMM.Chips)
-
 	weight := 1.0
 	if opt.Conditional {
 		// P(N >= 2): the probability mass the conditional trials
 		// represent.
 		weight = 1 - math.Exp(-lambda)*(1+lambda)
 	}
+	return &BlockRunner{
+		opt: opt, schemes: schemes, dist: dist,
+		lambda: lambda, weight: weight, trials: trials, block: block,
+	}, nil
+}
 
+// Trials returns the effective trial count.
+func (br *BlockRunner) Trials() int { return br.trials }
+
+// NumBlocks returns the number of trial blocks.
+func (br *BlockRunner) NumBlocks() int { return (br.trials + br.block - 1) / br.block }
+
+// BlockTrials returns the number of trials in block b (the last block may
+// be short).
+func (br *BlockRunner) BlockTrials(b int) int {
+	n := br.block
+	if rem := br.trials - b*br.block; rem < n {
+		n = rem
+	}
+	return n
+}
+
+// RunBlock executes block b from its own RNG stream and returns its
+// partial sums. It is safe to call concurrently for distinct blocks, and
+// the result depends only on (Options, schemes, b).
+func (br *BlockRunner) RunBlock(b int) Partial {
+	rng := rand.New(rand.NewSource(blockSeed(br.opt.Seed, b)))
+	p := Partial{Schemes: make([]SchemeResult, len(br.schemes))}
+	minFaults := br.opt.ECC.minFaultsFor()
+	// Scratch buffers live for the whole block: the per-trial fault and
+	// rectangle sets reuse them instead of re-allocating ~2x per trial.
+	var faults []Fault
+	var rects []Rect
+	n := br.BlockTrials(b)
+	for t := 0; t < n; t++ {
+		var k int
+		if br.opt.Conditional {
+			k = poissonAtLeast2(rng, br.lambda)
+		} else {
+			k = poisson(rng, br.lambda)
+		}
+		faults = sampleN(rng, br.opt.Config, br.dist, k, faults[:0])
+		if len(faults) > 0 {
+			p.FaultTrials++
+		}
+		if len(faults) < minFaults {
+			continue // within the code's correction capability
+		}
+		rects = br.opt.ECC.appendRects(rects[:0], br.opt.Config.DIMM, faults)
+		if len(rects) == 0 {
+			continue
+		}
+		for i, s := range br.schemes {
+			lErr, lUnv := s.Loss(br.opt.Config.DIMM, rects)
+			sr := &p.Schemes[i]
+			if lErr > 0 || lUnv > 0 {
+				sr.TrialsWithUE++
+			}
+			if lUnv > 0 {
+				sr.TrialsWithUnv++
+			}
+			wUnv := br.weight * float64(lUnv)
+			sr.TotalLErr += br.weight * float64(lErr)
+			sr.TotalLUnv += wUnv
+			sr.SumLUnvSq += wUnv * wUnv
+		}
+	}
+	return p
+}
+
+// Merge folds block partials (indexed by block) into a Result. The fold
+// is sequential in block order, so the float sums do not depend on the
+// schedule that produced the partials.
+func (br *BlockRunner) Merge(parts []Partial) *Result {
+	res := &Result{Trials: br.trials, TotalFIT: br.opt.TotalFIT, Weight: br.weight}
+	res.Schemes = make([]SchemeResult, len(br.schemes))
+	for i, s := range br.schemes {
+		res.Schemes[i] = SchemeResult{Name: s.Name, DataBytes: s.Layout.DataBytes}
+	}
+	for _, p := range parts {
+		res.FaultTrials += p.FaultTrials
+		for i := range p.Schemes {
+			res.Schemes[i].TrialsWithUE += p.Schemes[i].TrialsWithUE
+			res.Schemes[i].TrialsWithUnv += p.Schemes[i].TrialsWithUnv
+			res.Schemes[i].TotalLErr += p.Schemes[i].TotalLErr
+			res.Schemes[i].TotalLUnv += p.Schemes[i].TotalLUnv
+			res.Schemes[i].SumLUnvSq += p.Schemes[i].SumLUnvSq
+		}
+	}
+	return res
+}
+
+// Run executes the Monte Carlo simulation for every scheme over a shared
+// fault stream (schemes see identical fault histories, like the paper's
+// common FaultSim traces). Workers pull trial blocks from a shared
+// counter; the outcome is bit-identical for any Workers value.
+func Run(opt Options, schemes []*Scheme) (*Result, error) {
+	br, err := NewBlockRunner(opt, schemes)
+	if err != nil {
+		return nil, err
+	}
+	blocks := br.NumBlocks()
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > trials {
-		workers = trials
+	if workers > blocks {
+		workers = blocks
 	}
 
-	res := &Result{Trials: trials, TotalFIT: opt.TotalFIT, Weight: weight}
-	res.Schemes = make([]SchemeResult, len(schemes))
-	for i, s := range schemes {
-		res.Schemes[i] = SchemeResult{Name: s.Name, DataBytes: s.Layout.DataBytes}
-	}
-
-	type partial struct {
-		schemes     []SchemeResult
-		faultTrials int
-	}
+	parts := make([]Partial, blocks)
+	var next, done atomic.Int64
+	next.Store(-1)
 	var wg sync.WaitGroup
-	parts := make([]partial, workers)
-	per := trials / workers
-	extra := trials % workers
 	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
-		}
 		wg.Add(1)
-		go func(w, n int) {
+		go func() {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*1_000_003))
-			p := partial{schemes: make([]SchemeResult, len(schemes))}
-			for t := 0; t < n; t++ {
-				var faults []Fault
-				if opt.Conditional {
-					faults = sampleN(rng, opt.Config, dist, poissonAtLeast2(rng, lambda))
-				} else {
-					faults = sampleN(rng, opt.Config, dist, poisson(rng, lambda))
+			for {
+				b := int(next.Add(1))
+				if b >= blocks {
+					return
 				}
-				if len(faults) > 0 {
-					p.faultTrials++
-				}
-				if len(faults) < opt.ECC.minFaultsFor() {
-					continue // within the code's correction capability
-				}
-				rects := opt.ECC.rectsFor(opt.Config.DIMM, faults)
-				if len(rects) == 0 {
-					continue
-				}
-				for i, s := range schemes {
-					lErr, lUnv := s.Loss(opt.Config.DIMM, rects)
-					if lErr > 0 || lUnv > 0 {
-						p.schemes[i].TrialsWithUE++
-					}
-					if lUnv > 0 {
-						p.schemes[i].TrialsWithUnv++
-					}
-					p.schemes[i].TotalLErr += weight * float64(lErr)
-					p.schemes[i].TotalLUnv += weight * float64(lUnv)
+				parts[b] = br.RunBlock(b)
+				if opt.Progress != nil {
+					opt.Progress(int(done.Add(int64(br.BlockTrials(b)))), br.trials)
 				}
 			}
-			parts[w] = p
-		}(w, n)
+		}()
 	}
 	wg.Wait()
-	for _, p := range parts {
-		res.FaultTrials += p.faultTrials
-		for i := range schemes {
-			res.Schemes[i].TrialsWithUE += p.schemes[i].TrialsWithUE
-			res.Schemes[i].TrialsWithUnv += p.schemes[i].TrialsWithUnv
-			res.Schemes[i].TotalLErr += p.schemes[i].TotalLErr
-			res.Schemes[i].TotalLUnv += p.schemes[i].TotalLUnv
-		}
-	}
-	return res, nil
+	return br.Merge(parts), nil
 }

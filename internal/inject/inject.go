@@ -84,6 +84,94 @@ type Hook interface {
 	Event(Event)
 }
 
+// Hooks fans one event stream out to several hooks, in slice order. A nil
+// entry is skipped, so callers can compose optional observers without
+// filtering first. If a hook panics with PowerLoss, later hooks do not see
+// the event — power is already gone.
+type Hooks []Hook
+
+// Event implements Hook.
+func (hs Hooks) Event(ev Event) {
+	for _, h := range hs {
+		if h != nil {
+			h.Event(ev)
+		}
+	}
+}
+
+// Join combines hooks into one. It returns nil when every argument is nil
+// (preserving the stack's nil-hook fast path) and the hook itself when
+// exactly one is non-nil (no fan-out indirection on the write path).
+func Join(hooks ...Hook) Hook {
+	var live Hooks
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}
+
+// SealTracker maintains the seal-nesting depth for a hook that follows the
+// boundary conventions documented above. IsBoundary and Advance are split
+// so a hook can act on a boundary *before* recording the event: if acting
+// panics with PowerLoss (the outermost SealBegin case), the depth has not
+// been bumped yet and the unwind leaves the tracker balanced.
+type SealTracker struct {
+	depth int
+}
+
+// IsBoundary reports whether ev is a write boundary under the package
+// conventions: a DeviceWrite outside any sealed section, or the SealBegin
+// that opens the outermost sealed section. It does not change state.
+func (s *SealTracker) IsBoundary(ev Event) bool {
+	switch ev.Kind {
+	case DeviceWrite:
+		return s.depth == 0
+	case SealBegin:
+		return s.depth == 0
+	}
+	return false
+}
+
+// Advance records ev's effect on the nesting depth. Unmatched SealEnds
+// clamp at zero rather than going negative, so a stream that resumes after
+// a PowerLoss unwind cannot corrupt the count.
+func (s *SealTracker) Advance(ev Event) {
+	switch ev.Kind {
+	case SealBegin:
+		s.depth++
+	case SealEnd:
+		if s.depth > 0 {
+			s.depth--
+		}
+	}
+}
+
+// Observe is IsBoundary followed by Advance, for hooks whose boundary
+// action cannot panic.
+func (s *SealTracker) Observe(ev Event) bool {
+	b := s.IsBoundary(ev)
+	s.Advance(ev)
+	return b
+}
+
+// Depth returns the current seal-nesting depth.
+func (s *SealTracker) Depth() int { return s.depth }
+
+// Sealed reports whether the stream is inside a sealed section.
+func (s *SealTracker) Sealed() bool { return s.depth > 0 }
+
+// Reset clears any depth left dangling by a PowerLoss unwind.
+func (s *SealTracker) Reset() { s.depth = 0 }
+
 // PowerLoss is the panic value a hook throws to cut power at a write
 // boundary. The layer that started the operation (the chaos harness)
 // recovers it; nothing between the hook and that layer runs, which is

@@ -1,0 +1,152 @@
+package inject
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// recorder logs every event it sees, tagged with its name, into a shared
+// trace so fan-out ordering is observable.
+type recorder struct {
+	name  string
+	trace *[]string
+}
+
+func (r recorder) Event(ev Event) {
+	*r.trace = append(*r.trace, r.name+":"+ev.Kind.String())
+}
+
+func TestHooksFanOutInOrder(t *testing.T) {
+	var trace []string
+	h := Hooks{recorder{"a", &trace}, nil, recorder{"b", &trace}}
+	h.Event(Event{Kind: DeviceWrite, Addr: 0x40})
+	h.Event(Event{Kind: Note, Label: "x"})
+	want := []string{"a:write", "b:write", "a:note", "b:note"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestJoinFastPaths(t *testing.T) {
+	if h := Join(); h != nil {
+		t.Fatalf("Join() = %v, want nil", h)
+	}
+	if h := Join(nil, nil); h != nil {
+		t.Fatalf("Join(nil, nil) = %v, want nil", h)
+	}
+	var trace []string
+	single := recorder{"only", &trace}
+	if h := Join(nil, single, nil); h != Hook(single) {
+		// A single live hook must come back unwrapped — the device write
+		// path relies on `hook == nil` checks and minimal indirection.
+		t.Fatalf("Join with one live hook wrapped it: %T", h)
+	}
+	multi := Join(recorder{"a", &trace}, nil, recorder{"b", &trace})
+	if _, ok := multi.(Hooks); !ok {
+		t.Fatalf("Join with two live hooks returned %T, want Hooks", multi)
+	}
+	multi.Event(Event{Kind: SealBegin})
+	if want := []string{"a:seal-begin", "b:seal-begin"}; !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+// crasher panics with PowerLoss on the first event it sees.
+type crasher struct{ boundary int }
+
+func (c crasher) Event(Event) { panic(PowerLoss{Boundary: c.boundary}) }
+
+func TestHooksStopAtPowerLoss(t *testing.T) {
+	var trace []string
+	h := Hooks{recorder{"a", &trace}, crasher{7}, recorder{"b", &trace}}
+	defer func() {
+		p, ok := recover().(PowerLoss)
+		if !ok || p.Boundary != 7 {
+			t.Fatalf("recover() = %v, want PowerLoss{7}", p)
+		}
+		// Hook b must not have observed the write: power was already cut.
+		if want := []string{"a:write"}; !reflect.DeepEqual(trace, want) {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}()
+	h.Event(Event{Kind: DeviceWrite})
+}
+
+func TestSealTrackerBoundaries(t *testing.T) {
+	var s SealTracker
+	steps := []struct {
+		ev       Event
+		boundary bool
+		depth    int
+	}{
+		{Event{Kind: DeviceWrite}, true, 0},            // plain write
+		{Event{Kind: GroupBegin}, false, 0},            // groups are informational
+		{Event{Kind: DeviceWrite}, true, 0},            // writes in groups still count
+		{Event{Kind: GroupEnd}, false, 0},              //
+		{Event{Kind: SealBegin, Label: "tx"}, true, 1}, // outermost seal = one boundary
+		{Event{Kind: DeviceWrite}, false, 1},           // sealed writes are atomic
+		{Event{Kind: SealBegin}, false, 2},             // nested seal rides inside
+		{Event{Kind: DeviceWrite}, false, 2},           //
+		{Event{Kind: SealEnd}, false, 1},               //
+		{Event{Kind: DeviceWrite}, false, 1},           // still inside the outer seal
+		{Event{Kind: SealEnd}, false, 0},               //
+		{Event{Kind: DeviceWrite}, true, 0},            // back outside
+		{Event{Kind: Note, Label: "m"}, false, 0},      // notes never count
+	}
+	for i, st := range steps {
+		if got := s.Observe(st.ev); got != st.boundary {
+			t.Fatalf("step %d (%v): boundary = %v, want %v", i, st.ev.Kind, got, st.boundary)
+		}
+		if s.Depth() != st.depth {
+			t.Fatalf("step %d (%v): depth = %d, want %d", i, st.ev.Kind, s.Depth(), st.depth)
+		}
+	}
+	if s.Sealed() {
+		t.Fatal("tracker still sealed after balanced stream")
+	}
+}
+
+func TestSealTrackerClampsUnmatchedEnds(t *testing.T) {
+	var s SealTracker
+	s.Observe(Event{Kind: SealEnd})
+	s.Observe(Event{Kind: SealEnd})
+	if s.Depth() != 0 {
+		t.Fatalf("depth = %d after unmatched SealEnds, want 0", s.Depth())
+	}
+	// The stream must still work normally afterwards.
+	if !s.Observe(Event{Kind: DeviceWrite}) {
+		t.Fatal("write after clamped SealEnds is not a boundary")
+	}
+}
+
+// The IsBoundary/Advance split is what keeps a crashing hook balanced: a
+// PowerLoss thrown while acting on an outermost SealBegin must leave the
+// tracker at depth zero, because the seal never opened.
+func TestSealTrackerSurvivesPowerLossAtSealBegin(t *testing.T) {
+	var s SealTracker
+	ev := Event{Kind: SealBegin, Label: "commit"}
+	func() {
+		defer func() { recover() }()
+		if s.IsBoundary(ev) {
+			panic(PowerLoss{Boundary: 3})
+		}
+		s.Advance(ev)
+	}()
+	if s.Depth() != 0 {
+		t.Fatalf("depth = %d after PowerLoss at SealBegin, want 0", s.Depth())
+	}
+	// Reset is still the explicit recovery path for arbitrary unwinds.
+	s.Advance(Event{Kind: SealBegin})
+	s.Reset()
+	if s.Sealed() {
+		t.Fatal("Reset did not clear the seal depth")
+	}
+}
+
+func TestPowerLossError(t *testing.T) {
+	msg := PowerLoss{Boundary: 12}.Error()
+	if !strings.Contains(msg, "power loss") || !strings.Contains(msg, "12") {
+		t.Fatalf("unhelpful PowerLoss message: %q", msg)
+	}
+}

@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheFormat versions every cache entry. Bump it whenever a simulator
+// change alters results without changing the configuration (e.g. a new
+// RNG schedule), so stale entries can never be mistaken for fresh ones.
+const cacheFormat = 1
+
+// cacheKey hashes an arbitrary canonical description into an entry name.
+// The description is built with fmt %+v over plain (pointer-free) structs,
+// so identical configurations hash identically across processes.
+func cacheKey(kind string, parts ...interface{}) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "format=%d kind=%s", cacheFormat, kind)
+	for _, p := range parts {
+		fmt.Fprintf(h, "|%+v", p)
+	}
+	return kind + "-" + hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// cacheLoad reads a cached value into v; ok reports a usable hit. Any
+// read or decode error is treated as a miss (the entry is recomputed and
+// rewritten).
+func (e *Engine) cacheLoad(key string, v interface{}) bool {
+	if e.opt.CacheDir == "" {
+		return false
+	}
+	data, err := os.ReadFile(filepath.Join(e.opt.CacheDir, key+".json"))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
+// cacheStore persists v under key. Failures are silent: caching is an
+// accelerator, never a correctness dependency. The write goes through a
+// temp file + rename so concurrent sweeps sharing a cache directory never
+// observe torn entries.
+func (e *Engine) cacheStore(key string, v interface{}) {
+	if e.opt.CacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(e.opt.CacheDir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(e.opt.CacheDir, key+".json")
+	tmp, err := os.CreateTemp(e.opt.CacheDir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	tmp.Close()
+	os.Rename(tmp.Name(), path)
+}

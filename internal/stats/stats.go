@@ -179,6 +179,20 @@ func (t *Table) SortByColumn(col int) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string {
+	out := make([]string, len(t.headers))
+	copy(out, t.headers)
+	return out
+}
+
+// Row returns a copy of data row i, as rendered.
+func (t *Table) Row(i int) []string {
+	out := make([]string, len(t.rows[i]))
+	copy(out, t.rows[i])
+	return out
+}
+
 // WriteMarkdown renders the table as GitHub-flavoured markdown.
 func (t *Table) WriteMarkdown(w io.Writer) error {
 	if t.Title != "" {
