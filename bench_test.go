@@ -18,6 +18,7 @@ import (
 	"soteria/internal/memctrl"
 	"soteria/internal/reliability"
 	"soteria/internal/runner"
+	"soteria/internal/telemetry"
 )
 
 // benchWorkloads is the representative subset used by the performance
@@ -283,12 +284,18 @@ func BenchmarkAblationCloneDepth(b *testing.B) {
 	}
 }
 
-// BenchmarkControllerReadHit measures the secure read path with warm
-// metadata (the steady-state datapath cost).
-func BenchmarkControllerReadHit(b *testing.B) {
+// benchReadHit measures the secure read path with warm metadata (the
+// steady-state datapath cost), optionally with a telemetry registry
+// attached. Comparing the two variants bounds the enabled-telemetry cost;
+// the unattached one is the baseline the <5%-overhead acceptance check
+// tracks (detached handles are single nil checks).
+func benchReadHit(b *testing.B, attach bool) {
 	ctrl, err := memctrl.New(config.TestSystem(), memctrl.ModeSRC, []byte("b"), memctrl.Options{})
 	if err != nil {
 		b.Fatal(err)
+	}
+	if attach {
+		ctrl.AttachTelemetry(telemetry.NewRegistry())
 	}
 	var line [64]byte
 	now, err := ctrl.WriteBlock(0, 0, &line)
@@ -303,12 +310,22 @@ func BenchmarkControllerReadHit(b *testing.B) {
 	}
 }
 
-// BenchmarkControllerWrite measures the secure write path (encrypt + MAC +
-// shadow log + WPQ).
-func BenchmarkControllerWrite(b *testing.B) {
+// BenchmarkControllerReadHit is the telemetry-detached read path.
+func BenchmarkControllerReadHit(b *testing.B) { benchReadHit(b, false) }
+
+// BenchmarkControllerReadHitTelemetry is the same path with every counter
+// and span live.
+func BenchmarkControllerReadHitTelemetry(b *testing.B) { benchReadHit(b, true) }
+
+// benchWrite measures the secure write path (encrypt + MAC + shadow log +
+// WPQ), optionally with telemetry attached.
+func benchWrite(b *testing.B, attach bool) {
 	ctrl, err := memctrl.New(config.TestSystem(), memctrl.ModeSAC, []byte("b"), memctrl.Options{})
 	if err != nil {
 		b.Fatal(err)
+	}
+	if attach {
+		ctrl.AttachTelemetry(telemetry.NewRegistry())
 	}
 	var line [64]byte
 	var now = ctrl.DrainWPQ(0)
@@ -321,3 +338,10 @@ func BenchmarkControllerWrite(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkControllerWrite is the telemetry-detached write path.
+func BenchmarkControllerWrite(b *testing.B) { benchWrite(b, false) }
+
+// BenchmarkControllerWriteTelemetry is the same path with every counter
+// and span live.
+func BenchmarkControllerWriteTelemetry(b *testing.B) { benchWrite(b, true) }

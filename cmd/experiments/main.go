@@ -21,6 +21,7 @@ import (
 	"soteria/internal/experiments"
 	"soteria/internal/runner"
 	"soteria/internal/stats"
+	"soteria/internal/telemetry"
 	"soteria/internal/workload"
 )
 
@@ -39,8 +40,29 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel workers (0 = all CPUs; results identical for any value)")
 		cacheDir  = flag.String("cache", "", "Monte Carlo result cache directory (empty = no caching)")
 		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
+		metrics   = flag.String("metrics", "", "write merged telemetry snapshot of all experiments to file (.prom = Prometheus text, else JSON, - = stdout)")
+		cpuprof   = flag.String("pprof", "", "write a CPU profile of the run to file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+
+	// merged accumulates telemetry across every experiment that runs:
+	// Monte Carlo sweep points arrive through the runner's OnPoint hook,
+	// performance sweeps through PerfResults.Telemetry. Each source merges
+	// in a fixed order, so the combined snapshot is deterministic.
+	var merged *telemetry.Snapshot
+	var onPoint func(runner.Point)
+	if *metrics != "" {
+		merged = &telemetry.Snapshot{}
+		onPoint = func(p runner.Point) { merged.Merge(p.Result.Telemetry) }
+	}
 
 	var onProgress func(runner.Progress)
 	if *progress {
@@ -50,6 +72,7 @@ func main() {
 		p := experiments.DefaultRelParams()
 		p.Trials, p.Seed = *trials, *seed
 		p.Workers, p.CacheDir, p.Progress = *workers, *cacheDir, onProgress
+		p.OnPoint = onPoint
 		return p
 	}
 
@@ -101,6 +124,7 @@ func main() {
 		p.MetaCacheBytes = *metaKB << 10
 		p.LLCBytes = *llcKB << 10
 		p.Parallelism, p.Progress = *workers, onProgress
+		p.CollectTelemetry = *metrics != ""
 		start := time.Now()
 		names := p.Workloads
 		if len(names) == 0 {
@@ -113,6 +137,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "performance sweep done in %v\n", time.Since(start).Round(time.Second))
+		if merged != nil {
+			merged.Merge(res.Telemetry)
+		}
 		if all || want["perf"] || want["fig4"] {
 			emit(experiments.Fig4(res))
 		}
@@ -187,6 +214,15 @@ func main() {
 			fatal(err)
 		}
 		emit(t)
+	}
+
+	if merged != nil {
+		if err := merged.WriteFile(*metrics, `cmd="experiments"`); err != nil {
+			fatal(err)
+		}
+		if *metrics != "-" {
+			fmt.Fprintf(os.Stderr, "telemetry snapshot written to %s\n", *metrics)
+		}
 	}
 }
 

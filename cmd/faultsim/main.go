@@ -10,6 +10,11 @@
 //	faultsim -fit 80 -trials 200000
 //	faultsim -fits 1,2,5,10,20,40,80 -trials 1000000 -workers 8 -progress
 //	faultsim -fits 1,2,5,10,20,40,80 -cache results/cache
+//	faultsim -fit 80 -metrics faultsim.prom -pprof cpu.out
+//
+// -metrics writes the telemetry snapshots of all FIT points, merged in
+// point order, to a file (.prom = Prometheus text, else deterministic
+// JSON, - = stdout). -pprof captures a CPU profile of the sweep.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"soteria/internal/faultsim"
 	"soteria/internal/runner"
 	"soteria/internal/stats"
+	"soteria/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +44,18 @@ func main() {
 		block    = flag.Int("block", 0, "trials per deterministic RNG block (0 = default; part of the seed)")
 		cacheDir = flag.String("cache", "", "result cache directory (empty = no caching)")
 		progress = flag.Bool("progress", false, "report sweep progress on stderr")
+		metrics  = flag.String("metrics", "", "write merged telemetry snapshot to file (.prom = Prometheus text, else JSON, - = stdout)")
+		cpuprof  = flag.String("pprof", "", "write a CPU profile of the sweep to file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
 
 	points := []float64{*fit}
 	if *fits != "" {
@@ -82,6 +98,19 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
+
+	if *metrics != "" {
+		merged := &telemetry.Snapshot{}
+		for _, res := range results {
+			merged.Merge(res.Telemetry)
+		}
+		if err := merged.WriteFile(*metrics, `sim="faultsim"`); err != nil {
+			fatal(err)
+		}
+		if *metrics != "-" {
+			fmt.Fprintf(os.Stderr, "telemetry snapshot written to %s\n", *metrics)
+		}
+	}
 
 	if len(points) == 1 {
 		res := results[0]

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soteria/internal/memctrl"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden telemetry snapshot")
+
+// goldenParams is the fixed trace behind the golden snapshot: a 1k-access
+// hashmap run in all three secure modes. Everything that could move the
+// numbers is pinned.
+func goldenParams(workers int) simParams {
+	return simParams{
+		workload:  "hashmap",
+		modes:     []memctrl.Mode{memctrl.ModeBaseline, memctrl.ModeSRC, memctrl.ModeSAC},
+		ops:       1000,
+		warmup:    100,
+		footprint: 4 << 20,
+		seed:      3,
+		workers:   workers,
+	}
+}
+
+// TestGoldenTelemetrySnapshot locks the merged telemetry JSON of a fixed
+// trace byte for byte: across repeated runs, across worker counts, and
+// across commits (via the checked-in golden file). Any counter that
+// becomes nondeterministic — a map-ordered merge, a wall-clock-derived
+// value, a data race — breaks this test. Refresh intentionally changed
+// numbers with `go test ./cmd/soteria-sim -run Golden -update`.
+func TestGoldenTelemetrySnapshot(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_telemetry.json")
+
+	var first []byte
+	for _, workers := range []int{1, 2, 4} {
+		_, merged, err := runSim(goldenParams(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := merged.MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, '\n')
+		if first == nil {
+			first = data
+			continue
+		}
+		if !bytes.Equal(data, first) {
+			t.Fatalf("telemetry snapshot depends on worker count (workers=%d):\n%s\n--- workers=1 ---\n%s",
+				workers, data, first)
+		}
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatalf("telemetry snapshot diverged from %s (rerun with -update if intended)\ngot %d bytes, want %d",
+			golden, len(first), len(want))
+	}
+}

@@ -236,3 +236,63 @@ func TestWriteWithClonesAddressesMatchLayoutAndWPQBound(t *testing.T) {
 		}
 	}
 }
+
+// killNode makes node (level, index) unverifiable by corrupting every copy.
+func killNode(lay *itree.Layout, dev *nvm.Device, level int, index uint64) {
+	for _, a := range lay.CopyAddrs(level, index) {
+		dev.CorruptLine(a)
+	}
+}
+
+// TestResetStatsReturnsCappedEvents is the regression test for the
+// ResetStats / capped Events interaction: with the detailed log capped, a
+// harness that snapshotted Stats() and then called ResetStats() separately
+// could lose incidents recorded between the two calls. ResetStats now
+// returns the pre-reset statistics atomically; the returned Events must be
+// the capped log as it stood (deep-copied), the overflow must be counted,
+// and the cap must restart from zero after the reset.
+func TestResetStatsReturnsCappedEvents(t *testing.T) {
+	h, lay, dev := handlerFixture(t, SRC())
+	h.SetEventLimit(2)
+
+	var line nvm.Line
+	for i := uint64(0); i < 3; i++ {
+		writeNode(lay, dev, 2, i, &line)
+		killNode(lay, dev, 2, i)
+		if _, out := h.ReadVerified(2, i, func(*nvm.Line) bool { return true }); out != OutcomeUnverifiable {
+			t.Fatalf("incident %d: outcome %v, want unverifiable", i, out)
+		}
+	}
+
+	prev := h.ResetStats()
+	if prev.UnverifiableNodes != 3 {
+		t.Fatalf("pre-reset UnverifiableNodes = %d, want 3", prev.UnverifiableNodes)
+	}
+	if len(prev.Events) != 2 || prev.EventsDropped != 1 {
+		t.Fatalf("pre-reset log: %d events, %d dropped; want 2 capped events and 1 dropped",
+			len(prev.Events), prev.EventsDropped)
+	}
+	if prev.Events[0].Index != 0 || prev.Events[1].Index != 1 {
+		t.Fatalf("pre-reset events out of order: %+v", prev.Events)
+	}
+
+	// The reset must leave a clean slate: zero counters, empty log, and
+	// the event cap counting from zero again.
+	if st := h.Stats(); st.UnverifiableNodes != 0 || len(st.Events) != 0 || st.EventsDropped != 0 {
+		t.Fatalf("post-reset stats not clean: %+v", st)
+	}
+
+	// A new incident lands in the handler's fresh log without disturbing
+	// the returned snapshot (deep copy, no aliasing).
+	writeNode(lay, dev, 2, 7, &line)
+	killNode(lay, dev, 2, 7)
+	if _, out := h.ReadVerified(2, 7, func(*nvm.Line) bool { return true }); out != OutcomeUnverifiable {
+		t.Fatalf("post-reset incident: outcome %v", out)
+	}
+	if st := h.Stats(); len(st.Events) != 1 || st.Events[0].Index != 7 || st.EventsDropped != 0 {
+		t.Fatalf("post-reset log wrong: %+v", st)
+	}
+	if len(prev.Events) != 2 || prev.Events[0].Index != 0 {
+		t.Fatalf("returned snapshot aliased the live log: %+v", prev.Events)
+	}
+}

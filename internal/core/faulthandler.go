@@ -5,6 +5,7 @@ import (
 
 	"soteria/internal/itree"
 	"soteria/internal/nvm"
+	"soteria/internal/telemetry"
 )
 
 // Mem is the device access the fault handler needs. Reads report detected
@@ -98,6 +99,38 @@ type FaultHandler struct {
 	layout     *itree.Layout
 	stats      Stats
 	eventLimit int
+	tel        telemetryHooks
+}
+
+// telemetryHooks holds the handler's metric handles; nil handles (no
+// registry attached) are no-ops. Unlike Stats, these are lifetime
+// counters: ResetStats does not touch them, so per-run resets can never
+// drop events from the telemetry view.
+type telemetryHooks struct {
+	reads         *telemetry.Counter
+	cloneLookups  *telemetry.Counter
+	repairs       *telemetry.Counter
+	tampers       *telemetry.Counter
+	unverifiable  *telemetry.Counter
+	unverifBytes  *telemetry.Counter
+	eventsDropped *telemetry.Counter
+}
+
+// AttachTelemetry registers the fault-handler metrics on r (nil detaches).
+func (h *FaultHandler) AttachTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		h.tel = telemetryHooks{}
+		return
+	}
+	h.tel = telemetryHooks{
+		reads:         r.Counter("fault_reads_total"),
+		cloneLookups:  r.Counter("fault_clone_lookups_total"),
+		repairs:       r.Counter("fault_repairs_total"),
+		tampers:       r.Counter("fault_tamper_detections_total"),
+		unverifiable:  r.Counter("fault_unverifiable_nodes_total"),
+		unverifBytes:  r.Counter("fault_unverifiable_bytes_total"),
+		eventsDropped: r.Counter("fault_events_dropped_total"),
+	}
 }
 
 // NewFaultHandler builds a handler over the given memory and layout.
@@ -110,11 +143,29 @@ func NewFaultHandler(mem Mem, layout *itree.Layout) *FaultHandler {
 // removes the bound.
 func (h *FaultHandler) SetEventLimit(n int) { h.eventLimit = n }
 
-// Stats returns a copy of the accumulated statistics.
-func (h *FaultHandler) Stats() Stats { return h.stats }
+// Stats returns a copy of the accumulated statistics. The Events log is
+// deep-copied so the snapshot cannot alias (and later disagree with) the
+// handler's live log.
+func (h *FaultHandler) Stats() Stats {
+	s := h.stats
+	s.Events = append([]LossEvent(nil), h.stats.Events...)
+	return s
+}
 
-// ResetStats clears the accumulated statistics (between experiment runs).
-func (h *FaultHandler) ResetStats() { h.stats = Stats{} }
+// ResetStats clears the accumulated statistics (between experiment runs)
+// and returns the statistics as they stood immediately before the reset.
+// Returning the pre-reset snapshot (with a deep-copied Events log) closes
+// a window where an experiment harness that called Stats() and then
+// ResetStats() separately could lose incidents recorded in between — any
+// event accumulated up to the reset instant is in the returned value.
+// Telemetry counters attached via AttachTelemetry are lifetime totals and
+// are deliberately not reset here.
+func (h *FaultHandler) ResetStats() Stats {
+	prev := h.stats
+	prev.Events = append([]LossEvent(nil), h.stats.Events...)
+	h.stats = Stats{}
+	return prev
+}
 
 // ReadVerified reads metadata node (level, index), verifying each candidate
 // copy with the caller-supplied predicate (MAC check under the parent
@@ -123,6 +174,7 @@ func (h *FaultHandler) ResetStats() { h.stats = Stats{} }
 // trusted.
 func (h *FaultHandler) ReadVerified(level int, index uint64, verify func(line *nvm.Line) bool) (nvm.Line, Outcome) {
 	h.stats.Reads++
+	h.tel.reads.Inc()
 	home := h.layout.NodeAddr(level, index)
 	line, unc := h.mem.ReadLine(home)
 	homeECCBad := unc
@@ -134,6 +186,7 @@ func (h *FaultHandler) ReadVerified(level int, index uint64, verify func(line *n
 	copies := h.layout.CopyAddrs(level, index)
 	for _, addr := range copies[1:] {
 		h.stats.CloneLookups++
+		h.tel.cloneLookups.Inc()
 		cl, unc := h.mem.ReadLine(addr)
 		if unc || !verify(&cl) {
 			continue
@@ -143,6 +196,7 @@ func (h *FaultHandler) ReadVerified(level int, index uint64, verify func(line *n
 			h.mem.WriteLine(a, &cl)
 		}
 		h.stats.Repairs++
+		h.tel.repairs.Inc()
 		return cl, OutcomeRepaired
 	}
 
@@ -152,15 +206,19 @@ func (h *FaultHandler) ReadVerified(level int, index uint64, verify func(line *n
 	// ECC complaint) manifests.
 	if !homeECCBad {
 		h.stats.TamperDetections++
+		h.tel.tampers.Inc()
 		return line, OutcomeTamper
 	}
 	start, end := h.layout.CoverageOf(level, index)
 	h.stats.UnverifiableNodes++
 	h.stats.UnverifiableBytes += end - start
+	h.tel.unverifiable.Inc()
+	h.tel.unverifBytes.Add(end - start)
 	if h.eventLimit < 0 || len(h.stats.Events) < h.eventLimit {
 		h.stats.Events = append(h.stats.Events, LossEvent{Level: level, Index: index, Bytes: end - start})
 	} else {
 		h.stats.EventsDropped++
+		h.tel.eventsDropped.Inc()
 	}
 	return line, OutcomeUnverifiable
 }

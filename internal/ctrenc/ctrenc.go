@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"soteria/internal/config"
+	"soteria/internal/telemetry"
 )
 
 // BlockSize is the granularity of encryption: one 64-byte memory line.
@@ -42,6 +43,34 @@ const CountersPerBlock = 64
 type Engine struct {
 	aead   cipher.Block // AES-128 for OTP generation
 	macKey [32]byte     // key for MAC derivation
+	tel    telemetryHooks
+}
+
+// telemetryHooks holds the engine's metric handles; nil handles (no
+// registry attached) are no-ops. OTP generations count one per
+// encrypted/decrypted line (CTR mode is an involution, so the pad count
+// is the line-crypto op count); MACs are tracked per domain.
+type telemetryHooks struct {
+	otps *telemetry.Counter
+	macs [DomainShadowTree + 1]*telemetry.Counter
+}
+
+// AttachTelemetry registers the engine's metrics on r (nil detaches).
+func (e *Engine) AttachTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		e.tel = telemetryHooks{}
+		return
+	}
+	e.tel.otps = r.Counter("ctrenc_otp_total")
+	for d, name := range map[MACDomain]string{
+		DomainData:       "data",
+		DomainCounter:    "counter",
+		DomainNode:       "node",
+		DomainShadow:     "shadow",
+		DomainShadowTree: "shadow_tree",
+	} {
+		e.tel.macs[d] = r.Counter("ctrenc_mac_" + name + "_total")
+	}
 }
 
 // NewEngine derives the encryption and MAC keys from the given root key
@@ -69,6 +98,7 @@ func MustNewEngine(rootKey []byte) *Engine {
 // otp generates the 64-byte one-time pad for (addr, counter): four AES
 // blocks over an IV of (address, counter, block index, padding).
 func (e *Engine) otp(addr, counter uint64) (pad [BlockSize]byte) {
+	e.tel.otps.Inc()
 	var iv [16]byte
 	binary.LittleEndian.PutUint64(iv[0:8], addr)
 	binary.LittleEndian.PutUint64(iv[8:16], counter)
@@ -122,6 +152,9 @@ const (
 // tweak1/tweak2 carry the binding context (address or level/index plus the
 // protecting parent counter), which is what defeats cross-location replay.
 func (e *Engine) MAC(domain MACDomain, tweak1, tweak2 uint64, parts ...[]byte) uint64 {
+	if int(domain) < len(e.tel.macs) {
+		e.tel.macs[domain].Inc()
+	}
 	h := sha256.New()
 	h.Write(e.macKey[:])
 	var hdr [17]byte

@@ -12,6 +12,7 @@ import (
 	"soteria/internal/memctrl"
 	"soteria/internal/runner"
 	"soteria/internal/stats"
+	"soteria/internal/telemetry"
 	"soteria/internal/workload"
 )
 
@@ -42,6 +43,12 @@ type PerfParams struct {
 	// footprint-traversed ratio is preserved by shrinking the cache
 	// instead. Zero keeps Table 3's 512 kB (use with paper-scale -ops).
 	MetaCacheBytes int
+	// CollectTelemetry attaches a telemetry registry to every
+	// simulation's controller (after the warm-up stats reset) and merges
+	// the snapshots, in (workload, mode) job order, into
+	// PerfResults.Telemetry. Off by default: the registries cost a few
+	// nanoseconds per counted event.
+	CollectTelemetry bool
 	// LLCBytes scales the LLC together with the metadata cache. The
 	// governing relationship in Table 3 is that the metadata cache
 	// *covers* (512 kB x 64 = 32 MB) far more data than the LLC holds
@@ -93,6 +100,10 @@ type PerfResults struct {
 	Params PerfParams
 	Runs   map[string]map[memctrl.Mode]cpusim.Result
 	Names  []string
+	// Telemetry is the merged snapshot of every simulation (nil unless
+	// Params.CollectTelemetry). The merge order is the fixed job order,
+	// so the snapshot does not depend on Parallelism.
+	Telemetry *telemetry.Snapshot
 }
 
 // Get returns one run's result.
@@ -126,12 +137,13 @@ func RunPerf(p PerfParams) (*PerfResults, error) {
 	}
 	eng := runner.New(runner.Options{Workers: p.Parallelism, OnProgress: p.Progress})
 	runs := make([]cpusim.Result, len(jobs))
+	snaps := make([]*telemetry.Snapshot, len(jobs))
 	err := eng.Do("perf", len(jobs), func(i int) error {
-		r, err := runOne(jobs[i].w, jobs[i].mode, p)
+		r, snap, err := runOne(jobs[i].w, jobs[i].mode, p)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", jobs[i].w.Name, jobs[i].mode, err)
 		}
-		runs[i] = r
+		runs[i], snaps[i] = r, snap
 		return nil
 	})
 	if err != nil {
@@ -140,10 +152,16 @@ func RunPerf(p PerfParams) (*PerfResults, error) {
 	for i, j := range jobs {
 		res.Runs[j.w.Name][j.mode] = runs[i]
 	}
+	if p.CollectTelemetry {
+		res.Telemetry = &telemetry.Snapshot{}
+		for _, s := range snaps {
+			res.Telemetry.Merge(s)
+		}
+	}
 	return res, nil
 }
 
-func runOne(w workload.Workload, mode memctrl.Mode, p PerfParams) (cpusim.Result, error) {
+func runOne(w workload.Workload, mode memctrl.Mode, p PerfParams) (cpusim.Result, *telemetry.Snapshot, error) {
 	cfg := config.Table3()
 	if p.MetaCacheBytes > 0 {
 		cfg.Security.MetadataCache.SizeBytes = p.MetaCacheBytes
@@ -153,20 +171,29 @@ func runOne(w workload.Workload, mode memctrl.Mode, p PerfParams) (cpusim.Result
 	}
 	ctrl, err := memctrl.New(cfg, mode, []byte("experiments"), memctrl.Options{})
 	if err != nil {
-		return cpusim.Result{}, err
+		return cpusim.Result{}, nil, err
 	}
 	cpu, err := cpusim.New(cfg, ctrl)
 	if err != nil {
-		return cpusim.Result{}, err
+		return cpusim.Result{}, nil, err
 	}
 	gen := w.New(p.Footprint, p.Seed)
 	if p.Warmup > 0 {
 		if _, err := cpu.Run(gen, p.Warmup); err != nil {
-			return cpusim.Result{}, err
+			return cpusim.Result{}, nil, err
 		}
 		ctrl.ResetStats()
 	}
-	return cpu.Run(gen, p.Warmup+p.Ops)
+	var reg *telemetry.Registry
+	if p.CollectTelemetry {
+		reg = telemetry.NewRegistry()
+		ctrl.AttachTelemetry(reg)
+	}
+	res, err := cpu.Run(gen, p.Warmup+p.Ops)
+	if err != nil {
+		return cpusim.Result{}, nil, err
+	}
+	return res, reg.Snapshot(), nil
 }
 
 // Fig10a renders the execution-time overhead of SRC and SAC over the secure

@@ -93,12 +93,16 @@ type RelParams struct {
 	CacheDir string
 	// Progress receives throttled sweep updates (nil = silent).
 	Progress func(runner.Progress)
+	// OnPoint receives every completed sweep point with its result and
+	// telemetry snapshot (nil = discard). See runner.Options.OnPoint.
+	OnPoint func(runner.Point)
 }
 
 // engine builds the experiment engine the reliability sweeps share.
 func (p RelParams) engine() *runner.Engine {
 	return runner.New(runner.Options{
 		Workers: p.Workers, CacheDir: p.CacheDir, OnProgress: p.Progress,
+		OnPoint: p.OnPoint,
 	})
 }
 

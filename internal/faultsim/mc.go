@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"soteria/internal/config"
+	"soteria/internal/telemetry"
 )
 
 // DefaultBlockSize is the number of trials per deterministic RNG block
@@ -183,6 +184,11 @@ type Result struct {
 	// Weight is the importance weight applied per conditional trial
 	// (1 when Conditional is off).
 	Weight float64
+	// Telemetry is the per-point metric snapshot assembled by Merge.
+	// Every value is an integer count folded in block order, so it is
+	// bit-identical for any worker count, and it rides along when the
+	// Result is JSON-cached on disk.
+	Telemetry *telemetry.Snapshot `json:",omitempty"`
 }
 
 // poisson draws a Poisson(lambda) variate (Knuth's method; lambda is small
@@ -300,12 +306,33 @@ func blockSeed(seed int64, block int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// faultHistBounds are the upper bounds of the faults-per-trial histogram
+// (plus one overflow bucket). Fixed at compile time so Partial stays a
+// flat, mergeable value.
+var faultHistBounds = [...]uint64{0, 1, 2, 3, 4, 6, 8, 16}
+
+// faultHistBucket returns the bucket index for a fault count.
+func faultHistBucket(n int) int {
+	for i, b := range faultHistBounds[:] {
+		if uint64(n) <= b {
+			return i
+		}
+	}
+	return len(faultHistBounds)
+}
+
 // Partial is the accumulated outcome of one trial block. Partials merge in
 // block order, which is what keeps float sums bit-identical regardless of
 // how blocks were scheduled across workers.
 type Partial struct {
 	Schemes     []SchemeResult
 	FaultTrials int
+	// Telemetry accumulators — integer counts only, merged in block
+	// order like everything else.
+	Trials     int    // trials executed in this block
+	Faults     uint64 // total fault events drawn
+	UETrials   int    // trials with >= 1 uncorrectable beat under the ECC model
+	FaultsHist [len(faultHistBounds) + 1]uint64
 }
 
 // BlockRunner executes a Monte Carlo run as a sequence of independently
@@ -382,6 +409,7 @@ func (br *BlockRunner) RunBlock(b int) Partial {
 	var faults []Fault
 	var rects []Rect
 	n := br.BlockTrials(b)
+	p.Trials = n
 	for t := 0; t < n; t++ {
 		var k int
 		if br.opt.Conditional {
@@ -390,6 +418,8 @@ func (br *BlockRunner) RunBlock(b int) Partial {
 			k = poisson(rng, br.lambda)
 		}
 		faults = sampleN(rng, br.opt.Config, br.dist, k, faults[:0])
+		p.Faults += uint64(len(faults))
+		p.FaultsHist[faultHistBucket(len(faults))]++
 		if len(faults) > 0 {
 			p.FaultTrials++
 		}
@@ -400,6 +430,7 @@ func (br *BlockRunner) RunBlock(b int) Partial {
 		if len(rects) == 0 {
 			continue
 		}
+		p.UETrials++
 		for i, s := range br.schemes {
 			lErr, lUnv := s.Loss(br.opt.Config.DIMM, rects)
 			sr := &p.Schemes[i]
@@ -427,8 +458,17 @@ func (br *BlockRunner) Merge(parts []Partial) *Result {
 	for i, s := range br.schemes {
 		res.Schemes[i] = SchemeResult{Name: s.Name, DataBytes: s.Layout.DataBytes}
 	}
+	var trials, ueTrials int
+	var faultsDrawn uint64
+	var hist [len(faultHistBounds) + 1]uint64
 	for _, p := range parts {
 		res.FaultTrials += p.FaultTrials
+		trials += p.Trials
+		ueTrials += p.UETrials
+		faultsDrawn += p.Faults
+		for i := range hist {
+			hist[i] += p.FaultsHist[i]
+		}
 		for i := range p.Schemes {
 			res.Schemes[i].TrialsWithUE += p.Schemes[i].TrialsWithUE
 			res.Schemes[i].TrialsWithUnv += p.Schemes[i].TrialsWithUnv
@@ -437,7 +477,61 @@ func (br *BlockRunner) Merge(parts []Partial) *Result {
 			res.Schemes[i].SumLUnvSq += p.Schemes[i].SumLUnvSq
 		}
 	}
+	res.Telemetry = br.telemetrySnapshot(res, trials, ueTrials, faultsDrawn, &hist)
 	return res
+}
+
+// telemetrySnapshot assembles the per-point metric snapshot from the
+// block-order fold. Weighted float sums stay out of it deliberately: the
+// snapshot holds only integer counts, so its JSON form is byte-identical
+// across runs and worker counts.
+func (br *BlockRunner) telemetrySnapshot(res *Result, trials, ueTrials int, faults uint64, hist *[len(faultHistBounds) + 1]uint64) *telemetry.Snapshot {
+	s := &telemetry.Snapshot{
+		Counters: map[string]uint64{
+			"faultsim_trials_total":       uint64(trials),
+			"faultsim_fault_trials_total": uint64(res.FaultTrials),
+			"faultsim_ue_trials_total":    uint64(ueTrials),
+			"faultsim_faults_total":       faults,
+		},
+		Histograms: map[string]telemetry.HistogramSnapshot{},
+	}
+	var count, sum uint64
+	for i, c := range hist {
+		count += c
+		if i < len(faultHistBounds) {
+			sum += c * faultHistBounds[i]
+		}
+	}
+	s.Histograms["faultsim_faults_per_trial"] = telemetry.HistogramSnapshot{
+		Bounds: append([]uint64(nil), faultHistBounds[:]...),
+		Counts: append([]uint64(nil), hist[:]...),
+		Count:  count,
+		Sum:    sum,
+	}
+	for i := range res.Schemes {
+		sr := &res.Schemes[i]
+		s.Counters["faultsim_"+promSafe(sr.Name)+"_trials_with_ue_total"] = uint64(sr.TrialsWithUE)
+		s.Counters["faultsim_"+promSafe(sr.Name)+"_trials_with_unv_total"] = uint64(sr.TrialsWithUnv)
+	}
+	return s
+}
+
+// promSafe lowercases and replaces non-identifier runes so scheme names
+// ("Soteria-SRC") become metric-name safe ("soteria_src").
+func promSafe(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
 }
 
 // Run executes the Monte Carlo simulation for every scheme over a shared

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"soteria/internal/ctrenc"
+	"soteria/internal/telemetry"
 )
 
 // LineStore abstracts the NVM the BMT reads and writes. ReadLine returns an
@@ -32,6 +33,31 @@ type BMT struct {
 	levelBase  []uint64
 	levelNodes []uint64
 	root       uint64 // on-chip root hash
+	tel        telemetryHooks
+}
+
+// telemetryHooks holds the BMT's metric handles; nil handles (no registry
+// attached) are no-ops.
+type telemetryHooks struct {
+	updates    *telemetry.Counter
+	verifies   *telemetry.Counter
+	verifyFail *telemetry.Counter
+	rebuilds   *telemetry.Counter
+}
+
+// AttachTelemetry registers the eager shadow-tree metrics on r (nil
+// detaches).
+func (b *BMT) AttachTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		b.tel = telemetryHooks{}
+		return
+	}
+	b.tel = telemetryHooks{
+		updates:    r.Counter("bmt_updates_total"),
+		verifies:   r.Counter("bmt_verifies_total"),
+		verifyFail: r.Counter("bmt_verify_failures_total"),
+		rebuilds:   r.Counter("bmt_rebuilds_total"),
+	}
 }
 
 // BMTStorageLines returns the number of 64-byte lines a BMT over n leaves
@@ -114,6 +140,7 @@ func (b *BMT) nodeHash(level int, index uint64, line *[BlockSize]byte) uint64 {
 // Rebuild recomputes the whole tree from the leaves (used at construction
 // and by recovery once leaves are restored).
 func (b *BMT) Rebuild() error {
+	b.tel.rebuilds.Inc()
 	prevCount := b.leaves
 	hash := func(i uint64) (uint64, error) {
 		line, err := b.store.ReadLine(b.leafBase + i*BlockSize)
@@ -164,6 +191,7 @@ func (b *BMT) Update(index uint64, line *[BlockSize]byte) error {
 	if index >= b.leaves {
 		return fmt.Errorf("itree: BMT leaf %d out of range (%d)", index, b.leaves)
 	}
+	b.tel.updates.Inc()
 	b.store.WriteLine(b.leafBase+index*BlockSize, line)
 	h := b.leafHash(index, line)
 	child := index
@@ -190,8 +218,10 @@ func (b *BMT) Verify(index uint64) ([BlockSize]byte, error) {
 	if index >= b.leaves {
 		return [BlockSize]byte{}, fmt.Errorf("itree: BMT leaf %d out of range (%d)", index, b.leaves)
 	}
+	b.tel.verifies.Inc()
 	leaf, err := b.store.ReadLine(b.leafBase + index*BlockSize)
 	if err != nil {
+		b.tel.verifyFail.Inc()
 		return [BlockSize]byte{}, err
 	}
 	h := b.leafHash(index, &leaf)
@@ -201,15 +231,18 @@ func (b *BMT) Verify(index uint64) ([BlockSize]byte, error) {
 		slot := child % 8
 		nodeLine, err := b.store.ReadLine(b.levelBase[lvl] + nodeIdx*BlockSize)
 		if err != nil {
+			b.tel.verifyFail.Inc()
 			return [BlockSize]byte{}, err
 		}
 		if got := binary.LittleEndian.Uint64(nodeLine[slot*8 : (slot+1)*8]); got != h {
+			b.tel.verifyFail.Inc()
 			return [BlockSize]byte{}, fmt.Errorf("itree: BMT hash mismatch at level %d node %d slot %d", lvl, nodeIdx, slot)
 		}
 		h = b.nodeHash(lvl, nodeIdx, &nodeLine)
 		child = nodeIdx
 	}
 	if h != b.root {
+		b.tel.verifyFail.Inc()
 		return [BlockSize]byte{}, fmt.Errorf("itree: BMT root mismatch")
 	}
 	return leaf, nil

@@ -29,6 +29,7 @@ import (
 	"soteria/internal/nvm"
 	"soteria/internal/shadow"
 	"soteria/internal/sim"
+	"soteria/internal/telemetry"
 	"soteria/internal/wpq"
 )
 
@@ -189,6 +190,8 @@ type Controller struct {
 	stats      Stats
 	cascade    int
 	opt        Options
+	tel        telemetryHooks
+	telReg     *telemetry.Registry // remembered so Recover can re-attach the fresh shadow table
 
 	// hook observes seal/note events (chaos injection); sealDepth tracks
 	// nesting so helpers stay balanced across early returns.
@@ -491,6 +494,7 @@ func (c *Controller) pushWrite(addr uint64, data *nvm.Line, cat WriteCat) {
 	}
 	if !c.q.Pending(c.now, addr) {
 		c.stats.NVMWrites[cat]++
+		c.tel.nvmWrites[cat].Inc()
 	}
 	c.now = c.q.Push(c.now, addr, data)
 }
@@ -511,11 +515,13 @@ func (c *Controller) ResetStats() {
 func (c *Controller) readNVM(addr uint64) nvm.ReadResult {
 	if c.q.Pending(c.now, addr) {
 		c.stats.WPQForwards++
+		c.tel.wpqForwards.Inc()
 		c.now += c.fwdLat
 		return c.dev.Read(addr)
 	}
 	bank := c.banks.BankFor(addr / nvm.LineSize)
 	c.now = c.banks.Schedule(bank, c.now, c.readLat)
 	c.stats.NVMReads++
+	c.tel.nvmReads.Inc()
 	return c.dev.Read(addr)
 }

@@ -20,6 +20,10 @@ func (c *Controller) ReadBlock(now sim.Time, addr uint64) ([nvm.LineSize]byte, s
 	c.now = now
 	c.stats.MemRequests++
 	c.stats.DataReads++
+	c.tel.memRequests.Inc()
+	c.tel.dataReads.Inc()
+	sp := c.tel.readSpan.Start()
+	defer sp.End()
 
 	if c.mode == ModeNonSecure {
 		r := c.readNVM(addr)
@@ -47,6 +51,7 @@ func (c *Controller) ReadBlock(now sim.Time, addr uint64) ([nvm.LineSize]byte, s
 		// zero-content semantics are a simulation convenience.
 		c.chargeReadLatency(addr)
 		c.stats.ColdReads++
+		c.tel.coldReads.Inc()
 		return nvm.Line{}, c.now, nil
 	}
 
@@ -81,6 +86,10 @@ func (c *Controller) WriteBlock(now sim.Time, addr uint64, data *[nvm.LineSize]b
 	c.now = now
 	c.stats.MemRequests++
 	c.stats.DataWrites++
+	c.tel.memRequests.Inc()
+	c.tel.dataWrites.Inc()
+	sp := c.tel.writeSpan.Start()
+	defer sp.End()
 
 	if c.mode == ModeNonSecure {
 		c.pushWrite(addr, data, WCData)
@@ -256,6 +265,7 @@ func (c *Controller) reencryptPageInner(leafIdx uint64) error {
 		_ = blk
 	}
 	c.stats.PageReencrypt++
+	c.tel.pageReencrypt.Inc()
 	return nil
 }
 
@@ -317,6 +327,7 @@ func (c *Controller) FlushAll(now sim.Time) sim.Time {
 					// (already accounted); clean the line so the
 					// flush can terminate.
 					c.stats.RecoveryLost++
+					c.tel.recoveryLost.Inc()
 					c.mcache.CleanLine(e.Addr)
 				}
 				work = true

@@ -150,6 +150,9 @@ func (c *Controller) fetchBlock(level int, index uint64) error {
 	if _, ok := c.mcache.Peek(home); ok {
 		return nil
 	}
+	if level >= 0 && level < len(c.tel.fillsByLevel) {
+		c.tel.fillsByLevel[level].Inc()
+	}
 	c.insertBlock(home, c.decodeBlock(level, index, &line), false)
 	return nil
 }
@@ -159,12 +162,14 @@ func (c *Controller) fetchBlock(level int, index uint64) error {
 func (c *Controller) chargeReadLatency(addr uint64) {
 	if c.q.Pending(c.now, addr) {
 		c.stats.WPQForwards++
+		c.tel.wpqForwards.Inc()
 		c.now += c.fwdLat
 		return
 	}
 	bank := c.banks.BankFor(addr / nvm.LineSize)
 	c.now = c.banks.Schedule(bank, c.now, c.readLat)
 	c.stats.NVMReads++
+	c.tel.nvmReads.Inc()
 }
 
 // insertBlock places a block into the metadata cache, fully handling any
@@ -211,6 +216,7 @@ func (c *Controller) insertBlock(home uint64, blk metacache.Block, dirty bool) {
 			// handler accounted the coverage loss). Drop the tracking
 			// entry so the insertion can proceed.
 			c.stats.RecoveryLost++
+			c.tel.recoveryLost.Inc()
 			c.mcache.CleanLine(v.Addr)
 			if slot := c.mcache.SlotOf(v.Addr); slot >= 0 && c.shadow != nil {
 				c.invalidateSlot(slot)
@@ -241,6 +247,7 @@ func (c *Controller) insertBlock(home uint64, blk metacache.Block, dirty bool) {
 			c.pushWrite(c.macLineAddr(ev.Value.Index), &line, WCDataMAC)
 		} else if err := c.writebackBlock(&ev.Value); err != nil {
 			c.stats.RecoveryLost++
+			c.tel.recoveryLost.Inc()
 		}
 	}
 	if dirty && blk.Kind != metacache.KindMAC {
@@ -304,7 +311,9 @@ func (c *Controller) writebackBlock(blk *metacache.Block) error {
 	}
 	c.now = c.q.PushAtomic(c.now, writes)
 	c.stats.NVMWrites[WCMetadata]++
+	c.tel.nvmWrites[WCMetadata].Inc()
 	c.stats.NVMWrites[WCClone] += uint64(len(addrs) - 1)
+	c.tel.nvmWrites[WCClone].Add(uint64(len(addrs) - 1))
 	return nil
 }
 
@@ -388,6 +397,7 @@ func (c *Controller) forceWriteback(home uint64) error {
 	if !ok {
 		// The pre-ensure cascade evicted it — which wrote it back.
 		c.stats.ForcedWB++
+		c.tel.forcedWB.Inc()
 		return nil
 	}
 	// From here on no cache mutation can happen (the parent is resident,
@@ -410,6 +420,7 @@ func (c *Controller) forceWriteback(home uint64) error {
 		c.invalidateSlot(slot)
 	}
 	c.stats.ForcedWB++
+	c.tel.forcedWB.Inc()
 	return nil
 }
 
@@ -435,6 +446,9 @@ func (c *Controller) getMACLine(dataBlock uint64) (*metacache.Block, error) {
 		}
 		if _, ok := c.mcache.Peek(lineAddr); ok {
 			continue // raced with a cascade; resident copy wins
+		}
+		if len(c.tel.fillsByLevel) > 0 {
+			c.tel.fillsByLevel[0].Inc() // MAC lines fill as level 0
 		}
 		c.insertBlock(lineAddr, metacache.Block{Kind: metacache.KindMAC, Index: lineIdx, Raw: r.Data}, false)
 	}

@@ -117,10 +117,14 @@ func (c *Controller) Recover() (*RecoveryReport, error) {
 	// Install immediately: every shadow mutation from here on lands in the
 	// live table, so a nested crash re-captures a root that matches NVM.
 	c.shadow = tbl
+	if c.telReg != nil {
+		tbl.AttachTelemetry(c.telReg)
+	}
 
 	slotEntries, lostSlots := tbl.LoadAllSlots()
 	rep := &RecoveryReport{TrackedEntries: len(slotEntries), LostSlots: lostSlots, HalfRepairs: tbl.Stats().HalfRepairs}
 	c.stats.RecoveryLost += uint64(len(lostSlots))
+	c.tel.recoveryLost.Add(uint64(len(lostSlots)))
 	c.note("recover-load-done")
 
 	// Reconstruct every tracked block. Entries are self-contained (the
@@ -142,6 +146,7 @@ func (c *Controller) Recover() (*RecoveryReport, error) {
 			rep.FailedBlocks = append(rep.FailedBlocks,
 				FailedBlock{Addr: e.Addr, Reason: "shadow entry outside the metadata region"})
 			c.stats.RecoveryLost++
+			c.tel.recoveryLost.Inc()
 			continue
 		}
 		slotsOf[e.Addr] = append(slotsOf[e.Addr], se.Slot)
@@ -168,9 +173,11 @@ func (c *Controller) Recover() (*RecoveryReport, error) {
 		reported[addr] = true
 		rep.FailedBlocks = append(rep.FailedBlocks, FailedBlock{Addr: addr, Reason: failReason[addr]})
 		c.stats.RecoveryLost++
+		c.tel.recoveryLost.Inc()
 	}
 	rep.RecoveredBlocks = len(recovered)
 	c.stats.RecoveredOK += uint64(len(recovered))
+	c.tel.recoveredOK.Add(uint64(len(recovered)))
 
 	// Fresh volatile state: seed the cache with the reconstructed blocks
 	// as dirty — which writes their entries at their new slots — and flush

@@ -7,12 +7,15 @@
 package metacache
 
 import (
+	"fmt"
+
 	"soteria/internal/cache"
 	"soteria/internal/config"
 	"soteria/internal/ctrenc"
 	"soteria/internal/itree"
 	"soteria/internal/nvm"
 	"soteria/internal/stats"
+	"soteria/internal/telemetry"
 )
 
 // Kind labels what a cached metadata block is.
@@ -74,11 +77,60 @@ type Stats struct {
 	DirtyTreeEvictions uint64
 }
 
+// telemetryHooks holds the cache's metric handles. All fields are nil
+// until AttachTelemetry is called, and nil handles are no-ops, so an
+// unattached cache pays one nil check per event.
+type telemetryHooks struct {
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	evictions   *telemetry.Counter
+	writebacks  *telemetry.Counter
+	hitsByLevel []*telemetry.Counter // bucket 0 = MAC lines, i = tree level i
+	evByLevel   []*telemetry.Counter // dirty tree evictions per level
+	dirtyEvict  *telemetry.Counter
+	invalidates *telemetry.Counter
+	dropAll     *telemetry.Counter
+}
+
 // Cache is the metadata cache.
 type Cache struct {
 	c      *cache.Cache[Block]
 	levels int
 	st     Stats
+	tel    telemetryHooks
+}
+
+// AttachTelemetry registers the cache's metrics on r (nil detaches). The
+// per-level series mirror Fig 4: bucket 0 is MAC lines, bucket i is tree
+// level i.
+func (m *Cache) AttachTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		m.tel = telemetryHooks{}
+		return
+	}
+	m.tel = telemetryHooks{
+		hits:        r.Counter("metacache_hits_total"),
+		misses:      r.Counter("metacache_misses_total"),
+		evictions:   r.Counter("metacache_evictions_total"),
+		writebacks:  r.Counter("metacache_writebacks_total"),
+		dirtyEvict:  r.Counter("metacache_dirty_tree_evictions_total"),
+		invalidates: r.Counter("metacache_invalidates_total"),
+		dropAll:     r.Counter("metacache_dropall_total"),
+	}
+	m.tel.hitsByLevel = make([]*telemetry.Counter, m.levels+1)
+	m.tel.evByLevel = make([]*telemetry.Counter, m.levels+1)
+	for l := 0; l <= m.levels; l++ {
+		m.tel.hitsByLevel[l] = r.Counter(fmt.Sprintf("metacache_hits_level_%d_total", l))
+		m.tel.evByLevel[l] = r.Counter(fmt.Sprintf("metacache_dirty_evictions_level_%d_total", l))
+	}
+}
+
+// noteLevel increments a per-level counter, tolerating out-of-range
+// levels (defensive: MAC lines carry level 0).
+func noteLevel(ctrs []*telemetry.Counter, level int) {
+	if level >= 0 && level < len(ctrs) {
+		ctrs[level].Inc()
+	}
 }
 
 // New constructs a metadata cache from its configuration; levels is the
@@ -96,7 +148,16 @@ func New(cfg config.CacheConfig, levels int) (*Cache, error) {
 }
 
 // Lookup probes for the block with the given home address.
-func (m *Cache) Lookup(homeAddr uint64) (*Block, bool) { return m.c.Lookup(homeAddr) }
+func (m *Cache) Lookup(homeAddr uint64) (*Block, bool) {
+	b, ok := m.c.Lookup(homeAddr)
+	if ok {
+		m.tel.hits.Inc()
+		noteLevel(m.tel.hitsByLevel, b.Level)
+	} else {
+		m.tel.misses.Inc()
+	}
+	return b, ok
+}
 
 // Peek probes without LRU/statistics side effects.
 func (m *Cache) Peek(homeAddr uint64) (*Block, bool) { return m.c.Peek(homeAddr) }
@@ -105,15 +166,23 @@ func (m *Cache) Peek(homeAddr uint64) (*Block, bool) { return m.c.Peek(homeAddr)
 func (m *Cache) MarkDirty(homeAddr uint64) bool { return m.c.MarkDirty(homeAddr) }
 
 // CleanLine clears a resident block's dirty bit after write-back.
-func (m *Cache) CleanLine(homeAddr uint64) { m.c.CleanLine(homeAddr) }
+func (m *Cache) CleanLine(homeAddr uint64) {
+	m.tel.writebacks.Inc()
+	m.c.CleanLine(homeAddr)
+}
 
 // Insert fills the block, returning any evicted victim. Dirty tree
 // evictions are histogrammed by level.
 func (m *Cache) Insert(homeAddr uint64, b Block, dirty bool) (cache.Entry[Block], bool) {
 	ev, has := m.c.Insert(homeAddr, b, dirty)
+	if has {
+		m.tel.evictions.Inc()
+	}
 	if has && ev.Dirty && ev.Value.Kind != KindMAC {
 		m.st.EvictionsByLevel.Observe(ev.Value.Level)
 		m.st.DirtyTreeEvictions++
+		m.tel.dirtyEvict.Inc()
+		noteLevel(m.tel.evByLevel, ev.Value.Level)
 	}
 	return ev, has
 }
@@ -135,16 +204,25 @@ func (m *Cache) Touch(homeAddr uint64) { m.c.Touch(homeAddr) }
 func (m *Cache) NoteEvictionWriteback(level int) {
 	m.st.EvictionsByLevel.Observe(level)
 	m.st.DirtyTreeEvictions++
+	m.tel.dirtyEvict.Inc()
+	noteLevel(m.tel.evByLevel, level)
 }
 
 // Invalidate drops one line without write-back.
 func (m *Cache) Invalidate(homeAddr uint64) (cache.Entry[Block], bool) {
-	return m.c.Invalidate(homeAddr)
+	e, ok := m.c.Invalidate(homeAddr)
+	if ok {
+		m.tel.invalidates.Inc()
+	}
+	return e, ok
 }
 
 // DropAll models power loss: every line vanishes; the dirty ones are
 // returned so tests can reason about what recovery must reconstruct.
-func (m *Cache) DropAll() []cache.Entry[Block] { return m.c.DropAll() }
+func (m *Cache) DropAll() []cache.Entry[Block] {
+	m.tel.dropAll.Inc()
+	return m.c.DropAll()
+}
 
 // DirtyEntries lists resident dirty blocks.
 func (m *Cache) DirtyEntries() []cache.Entry[Block] { return m.c.DirtyEntries() }

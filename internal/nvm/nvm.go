@@ -16,6 +16,7 @@ import (
 	"soteria/internal/config"
 	"soteria/internal/ecc"
 	"soteria/internal/inject"
+	"soteria/internal/telemetry"
 )
 
 // LineSize is the NVM line size in bytes (one cache line).
@@ -60,6 +61,30 @@ type Device struct {
 
 	// hook, when set, observes every write boundary (chaos injection).
 	hook inject.Hook
+	tel  telemetryHooks
+}
+
+// telemetryHooks holds the device's metric handles; nil handles (no
+// registry attached) are no-ops.
+type telemetryHooks struct {
+	reads         *telemetry.Counter
+	writes        *telemetry.Counter
+	corrected     *telemetry.Counter
+	uncorrectable *telemetry.Counter
+}
+
+// AttachTelemetry registers the device's metrics on r (nil detaches).
+func (d *Device) AttachTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		d.tel = telemetryHooks{}
+		return
+	}
+	d.tel = telemetryHooks{
+		reads:         r.Counter("nvm_reads_total"),
+		writes:        r.Counter("nvm_writes_total"),
+		corrected:     r.Counter("nvm_corrected_lines_total"),
+		uncorrectable: r.Counter("nvm_uncorrectable_hits_total"),
+	}
 }
 
 // SetWriteHook installs (or, with nil, removes) the injection hook fired
@@ -165,6 +190,7 @@ func (d *Device) Write(addr uint64, data *Line) {
 		delete(d.ecp, idx) // healthy write; retire stale pointers
 	}
 	d.stats.Writes++
+	d.tel.writes.Inc()
 	d.wear[idx]++
 }
 
@@ -188,6 +214,7 @@ type ReadResult struct {
 func (d *Device) Read(addr uint64) ReadResult {
 	idx := d.checkAddr(addr)
 	d.stats.Reads++
+	d.tel.reads.Inc()
 	l, ok := d.lines[idx]
 	if !ok {
 		return ReadResult{}
@@ -197,6 +224,7 @@ func (d *Device) Read(addr uint64) ReadResult {
 	res := d.codec.Decode(buf[:], l.check)
 	if res.Corrected {
 		d.stats.CorrectedLines++
+		d.tel.corrected.Inc()
 		// A patrol-scrub style write-back of the corrected value keeps
 		// correctable faults from accumulating, mirroring real
 		// controllers (demand scrubbing).
@@ -205,6 +233,7 @@ func (d *Device) Read(addr uint64) ReadResult {
 	}
 	if res.Uncorrectable {
 		d.stats.UncorrectableHits++
+		d.tel.uncorrectable.Inc()
 	}
 	return ReadResult{
 		Data:          buf,

@@ -12,7 +12,11 @@ import (
 // cacheFormat versions every cache entry. Bump it whenever a simulator
 // change alters results without changing the configuration (e.g. a new
 // RNG schedule), so stale entries can never be mistaken for fresh ones.
-const cacheFormat = 1
+//
+// History: 2 — faultsim.Result gained the Telemetry snapshot; entries
+// written before it would deserialize with a nil snapshot and look like
+// a telemetry-free run.
+const cacheFormat = 2
 
 // cacheKey hashes an arbitrary canonical description into an entry name.
 // The description is built with fmt %+v over plain (pointer-free) structs,

@@ -52,6 +52,10 @@ type Options struct {
 	// ProgressEvery throttles OnProgress (default 200ms). The final
 	// update of a sweep is always delivered.
 	ProgressEvery time.Duration
+	// OnPoint, when non-nil, receives every completed fault-sweep point
+	// (including cache hits) with its full result and telemetry
+	// snapshot. Calls are serialized and arrive in point order.
+	OnPoint func(Point)
 }
 
 // Engine executes experiment sweeps through one bounded worker pool.

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"errors"
 	"reflect"
 	"sync/atomic"
@@ -170,6 +171,95 @@ func TestFaultSweepCacheRoundTrip(t *testing.T) {
 	}
 	if reflect.DeepEqual(first, third) && first[0].Schemes[1].TotalLUnv != 0 {
 		t.Fatal("different seed served the old cache entry")
+	}
+}
+
+// Per-point telemetry inherits the engine's headline guarantee: the
+// merged snapshot is byte-identical JSON at any worker count.
+func TestFaultSweepTelemetryWorkerInvariance(t *testing.T) {
+	sweep := testSweep(t, 1200, []float64{80})
+	var want []byte
+	for _, workers := range []int{1, 4} {
+		e := New(Options{Workers: workers})
+		res, err := e.RunFaultSweep(sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Telemetry == nil {
+			t.Fatal("sweep point carries no telemetry snapshot")
+		}
+		got, err := res[0].Telemetry.MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trials := res[0].Telemetry.Counters["faultsim_trials_total"]; trials != 1200 {
+			t.Fatalf("faultsim_trials_total = %d, want 1200", trials)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d telemetry diverged:\n%s\n---\n%s", workers, got, want)
+		}
+	}
+}
+
+// OnPoint must fire once per point, in point order, flag cache hits, and
+// round-trip the telemetry snapshot through the on-disk cache.
+func TestFaultSweepOnPoint(t *testing.T) {
+	dir := t.TempDir()
+	sweep := testSweep(t, 600, []float64{40, 80})
+
+	run := func() []Point {
+		var pts []Point
+		e := New(Options{Workers: 4, CacheDir: dir, OnPoint: func(p Point) {
+			pts = append(pts, p)
+		}})
+		if _, err := e.RunFaultSweep(sweep); err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+
+	fresh := run()
+	if len(fresh) != 2 {
+		t.Fatalf("OnPoint fired %d times, want 2", len(fresh))
+	}
+	for i, p := range fresh {
+		if p.Index != i || p.FIT != sweep.FITs[i] || p.Label != "faultsim" {
+			t.Fatalf("point %d mislabeled: %+v", i, p)
+		}
+		if p.Cached {
+			t.Fatalf("point %d flagged cached on a cold run", i)
+		}
+		if p.Result == nil || p.Result.Telemetry == nil {
+			t.Fatalf("point %d missing result or telemetry", i)
+		}
+	}
+
+	cached := run()
+	if len(cached) != 2 {
+		t.Fatalf("cached OnPoint fired %d times, want 2", len(cached))
+	}
+	for i, p := range cached {
+		if !p.Cached {
+			t.Fatalf("point %d not flagged cached on a warm run", i)
+		}
+		if p.Result.Telemetry == nil {
+			t.Fatalf("point %d telemetry lost through the cache", i)
+		}
+		a, err := p.Result.Telemetry.MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh[i].Result.Telemetry.MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("point %d cached telemetry diverged:\n%s\n---\n%s", i, a, b)
+		}
 	}
 }
 

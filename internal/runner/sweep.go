@@ -56,6 +56,23 @@ func (s FaultSweep) pointKey(fit float64) string {
 	return cacheKey("fsim", parts...)
 }
 
+// Point is one completed sweep point, delivered through Options.OnPoint.
+// Result carries the per-scheme numbers and, when the simulator recorded
+// any, the merged telemetry snapshot (Result.Telemetry).
+type Point struct {
+	// Label is the sweep label the point belongs to.
+	Label string
+	// Index is the point's position in FaultSweep.FITs.
+	Index int
+	// FIT is the swept per-chip failure rate.
+	FIT float64
+	// Cached reports that the point was served from the on-disk cache
+	// without running any trials.
+	Cached bool
+	// Result is the full point result (never nil).
+	Result *faultsim.Result
+}
+
 // RunFaultSweep evaluates every FIT point of the sweep through the
 // engine's worker pool. Parallelism spans the whole campaign — the pool
 // draws (point, block) work units, so a single slow point cannot idle the
@@ -73,17 +90,31 @@ func (e *Engine) RunFaultSweep(s FaultSweep) ([]*faultsim.Result, error) {
 
 	results := make([]*faultsim.Result, len(s.FITs))
 	keys := make([]string, len(s.FITs))
+	fromCache := make([]bool, len(s.FITs))
 	var pending []int
 	for i, fit := range s.FITs {
 		keys[i] = s.pointKey(fit)
 		var cached faultsim.Result
 		if e.cacheLoad(keys[i], &cached) {
 			results[i] = &cached
+			fromCache[i] = true
 			continue
 		}
 		pending = append(pending, i)
 	}
+	emitPoints := func() {
+		if e.opt.OnPoint == nil {
+			return
+		}
+		for i, fit := range s.FITs {
+			e.opt.OnPoint(Point{
+				Label: label, Index: i, FIT: fit,
+				Cached: fromCache[i], Result: results[i],
+			})
+		}
+	}
 	if len(pending) == 0 {
+		emitPoints()
 		return results, nil
 	}
 
@@ -116,6 +147,7 @@ func (e *Engine) RunFaultSweep(s FaultSweep) ([]*faultsim.Result, error) {
 		results[i] = runners[i].Merge(parts[i])
 		e.cacheStore(keys[i], results[i])
 	}
+	emitPoints()
 	return results, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"soteria/internal/ctrenc"
 	"soteria/internal/itree"
 	"soteria/internal/nvm"
+	"soteria/internal/telemetry"
 )
 
 // HalfSize is the size of one duplicated entry half: address (8) +
@@ -112,6 +113,33 @@ type Table struct {
 	norep  bool // debug: skip half-repair (Options.DisableHalfRepair)
 	mirror []Entry
 	stats  Stats
+	tel    telemetryHooks
+}
+
+// telemetryHooks holds the table's metric handles; nil handles (no
+// registry attached) are no-ops.
+type telemetryHooks struct {
+	entryWrites   *telemetry.Counter
+	invalidations *telemetry.Counter
+	halfRepairs   *telemetry.Counter
+	lostEntries   *telemetry.Counter
+}
+
+// AttachTelemetry registers the shadow-table metrics on r (nil detaches)
+// and cascades to the protecting BMT.
+func (t *Table) AttachTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		t.tel = telemetryHooks{}
+		t.bmt.AttachTelemetry(nil)
+		return
+	}
+	t.tel = telemetryHooks{
+		entryWrites:   r.Counter("shadow_entry_writes_total"),
+		invalidations: r.Counter("shadow_invalidations_total"),
+		halfRepairs:   r.Counter("shadow_half_repairs_total"),
+		lostEntries:   r.Counter("shadow_lost_entries_total"),
+	}
+	t.bmt.AttachTelemetry(r)
 }
 
 // Options configures a Table.
@@ -212,6 +240,7 @@ func (t *Table) Write(slot int, e Entry) error {
 	}
 	t.mirror[slot] = e
 	t.stats.EntryWrites++
+	t.tel.entryWrites.Inc()
 	return nil
 }
 
@@ -230,6 +259,7 @@ func (t *Table) Invalidate(slot int) error {
 	}
 	t.mirror[slot] = Entry{}
 	t.stats.Invalidations++
+	t.tel.invalidations.Inc()
 	return nil
 }
 
@@ -246,6 +276,7 @@ func (t *Table) Load(slot uint64) (Entry, bool, error) {
 	if unc {
 		if !t.duped || t.norep {
 			t.stats.LostEntries++
+			t.tel.lostEntries.Inc()
 			return Entry{}, false, fmt.Errorf("shadow: slot %d uncorrectable and not duplicated", slot)
 		}
 		lowBad, highBad := false, false
@@ -258,6 +289,7 @@ func (t *Table) Load(slot uint64) (Entry, bool, error) {
 		}
 		if lowBad && highBad {
 			t.stats.LostEntries++
+			t.tel.lostEntries.Inc()
 			return Entry{}, false, fmt.Errorf("shadow: slot %d lost both halves", slot)
 		}
 		// Copy the surviving half over the dead one; halves are exact
@@ -269,10 +301,12 @@ func (t *Table) Load(slot uint64) (Entry, bool, error) {
 		}
 		t.store.WriteLine(addr, &raw)
 		t.stats.HalfRepairs++
+		t.tel.halfRepairs.Inc()
 	}
 	verified, err := t.bmt.Verify(slot)
 	if err != nil {
 		t.stats.LostEntries++
+		t.tel.lostEntries.Inc()
 		return Entry{}, false, fmt.Errorf("shadow: slot %d failed BMT verification: %w", slot, err)
 	}
 	e := decodeHalf(verified[:HalfSize])
@@ -334,6 +368,7 @@ func (t *Table) Reset(slot uint64) error {
 	}
 	t.mirror[slot] = Entry{}
 	t.stats.Invalidations++
+	t.tel.invalidations.Inc()
 	return nil
 }
 

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+)
+
+// WriteFile persists the snapshot to path, picking the format from the
+// extension: ".prom" and ".txt" select the Prometheus text exposition
+// format, anything else the deterministic indented JSON. labels follows
+// WritePrometheus (ignored for JSON). "-" writes JSON to stdout. This is
+// the shared sink behind every command's -metrics flag.
+func (s *Snapshot) WriteFile(path, labels string) error {
+	if path == "-" {
+		return s.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".prom", ".txt":
+		err = s.WritePrometheus(f, labels)
+	default:
+		err = s.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// function that stops profiling and closes the file. It backs the
+// commands' -pprof flag; inspect the output with `go tool pprof`.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}

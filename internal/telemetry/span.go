@@ -1,0 +1,91 @@
+package telemetry
+
+// Tracer hands out scoped spans whose durations are recorded into bounded
+// histograms. The clock is pluggable: the memory controller traces with
+// its *simulated* clock, so span durations (and therefore snapshots) are
+// deterministic for a given seed; a wall-clock tracer is equally valid
+// for profiling but must not feed golden snapshots.
+//
+// The nil Tracer, like every other handle in this package, is valid and
+// records nothing.
+type Tracer struct {
+	reg   *Registry
+	clock func() int64
+}
+
+// NewTracer builds a tracer over the registry with the given clock. A nil
+// registry yields a nil tracer (fully disabled).
+func NewTracer(reg *Registry, clock func() int64) *Tracer {
+	if reg == nil || clock == nil {
+		return nil
+	}
+	return &Tracer{reg: reg, clock: clock}
+}
+
+// spanBoundsN is the bucket count of span-duration histograms: powers of
+// two up to 2^31 ticks, wide enough for every simulated latency.
+const spanBoundsN = 32
+
+// SpanHandle is a named trace point, resolved once at attach time so
+// Start/End never touch the registry map. The zero SpanHandle is valid
+// and disabled.
+type SpanHandle struct {
+	t     *Tracer
+	hist  *Histogram
+	count *Counter
+}
+
+// Handle resolves (registering on first use) the named trace point. The
+// histogram is "trace_<name>_ticks" and the op counter "trace_<name>_total".
+func (t *Tracer) Handle(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{
+		t:     t,
+		hist:  t.reg.Histogram("trace_"+name+"_ticks", ExpBounds(spanBoundsN)),
+		count: t.reg.Counter("trace_" + name + "_total"),
+	}
+}
+
+// Span is one in-progress scoped measurement. It is a value (no
+// allocation per span); call End exactly once.
+type Span struct {
+	h     SpanHandle
+	start int64
+}
+
+// Start opens a span at the current clock reading.
+func (h SpanHandle) Start() Span {
+	if h.t == nil {
+		return Span{}
+	}
+	return Span{h: h, start: h.t.clock()}
+}
+
+// End closes the span, recording its duration and counting the op.
+func (s Span) End() {
+	if s.h.t == nil {
+		return
+	}
+	d := s.h.t.clock() - s.start
+	if d < 0 {
+		d = 0
+	}
+	s.h.hist.Observe(uint64(d))
+	s.h.count.Inc()
+}
+
+// Observe records an externally measured duration under the handle (for
+// call sites that already know the elapsed time, e.g. the WPQ's
+// drain-completion schedule).
+func (h SpanHandle) Observe(d int64) {
+	if h.t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.hist.Observe(uint64(d))
+	h.count.Inc()
+}

@@ -14,6 +14,7 @@ import (
 	"soteria/internal/inject"
 	"soteria/internal/nvm"
 	"soteria/internal/sim"
+	"soteria/internal/telemetry"
 )
 
 // Stats aggregates WPQ activity.
@@ -41,6 +42,38 @@ type Queue struct {
 	inQueue  map[uint64]int // line addr -> count of pending entries
 	stats    Stats
 	hook     inject.Hook
+	tel      telemetryHooks
+}
+
+// telemetryHooks holds the queue's metric handles; nil handles (no
+// registry attached) are no-ops.
+type telemetryHooks struct {
+	inserts    *telemetry.Counter
+	coalesced  *telemetry.Counter
+	stalls     *telemetry.Counter
+	stallTicks *telemetry.Counter
+	atomicSets *telemetry.Counter
+	depthMax   *telemetry.Gauge
+	drainTicks *telemetry.Histogram // scheduled completion - push time
+}
+
+// AttachTelemetry registers the queue's metrics on r (nil detaches). The
+// drain-latency histogram records, per accepted write, how long the entry
+// will sit in the queue before its bank retires it.
+func (q *Queue) AttachTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		q.tel = telemetryHooks{}
+		return
+	}
+	q.tel = telemetryHooks{
+		inserts:    r.Counter("wpq_inserts_total"),
+		coalesced:  r.Counter("wpq_coalesced_total"),
+		stalls:     r.Counter("wpq_stalls_total"),
+		stallTicks: r.Counter("wpq_stall_ticks_total"),
+		atomicSets: r.Counter("wpq_atomic_sets_total"),
+		depthMax:   r.Gauge("wpq_depth_max"),
+		drainTicks: r.Histogram("wpq_drain_ticks", telemetry.ExpBounds(24)),
+	}
 }
 
 // SetHook installs (or removes, with nil) the injection hook notified when
@@ -123,6 +156,7 @@ func (q *Queue) Push(now sim.Time, addr uint64, data *nvm.Line) sim.Time {
 	if q.inQueue[addr] > 0 {
 		q.dev.Write(addr, data)
 		q.stats.Coalesced++
+		q.tel.coalesced.Inc()
 		return now
 	}
 	if len(q.pending) >= q.capacity {
@@ -137,6 +171,8 @@ func (q *Queue) Push(now sim.Time, addr uint64, data *nvm.Line) sim.Time {
 		}
 		q.stats.Stalls++
 		q.stats.StallTime += earliest - now
+		q.tel.stalls.Inc()
+		q.tel.stallTicks.Add(uint64(earliest - now))
 		now = earliest
 		q.drain(now)
 	}
@@ -146,9 +182,12 @@ func (q *Queue) Push(now sim.Time, addr uint64, data *nvm.Line) sim.Time {
 	q.inQueue[addr]++
 	q.dev.Write(addr, data)
 	q.stats.Inserts++
+	q.tel.inserts.Inc()
+	q.tel.drainTicks.Observe(uint64(done - now))
 	if len(q.pending) > q.stats.MaxDepth {
 		q.stats.MaxDepth = len(q.pending)
 	}
+	q.tel.depthMax.SetMax(int64(len(q.pending)))
 	return now
 }
 
@@ -171,6 +210,8 @@ func (q *Queue) PushAtomic(now sim.Time, writes []Write) sim.Time {
 		}
 		q.stats.Stalls++
 		q.stats.StallTime += earliest - now
+		q.tel.stalls.Inc()
+		q.tel.stallTicks.Add(uint64(earliest - now))
 		now = earliest
 		q.drain(now)
 	}
@@ -184,6 +225,8 @@ func (q *Queue) PushAtomic(now sim.Time, writes []Write) sim.Time {
 		q.inQueue[writes[i].Addr]++
 		q.dev.Write(writes[i].Addr, &writes[i].Data)
 		q.stats.Inserts++
+		q.tel.inserts.Inc()
+		q.tel.drainTicks.Observe(uint64(done - now))
 	}
 	if q.hook != nil {
 		q.hook.Event(inject.Event{Kind: inject.GroupEnd, Label: "atomic-group"})
@@ -191,7 +234,9 @@ func (q *Queue) PushAtomic(now sim.Time, writes []Write) sim.Time {
 	if len(q.pending) > q.stats.MaxDepth {
 		q.stats.MaxDepth = len(q.pending)
 	}
+	q.tel.depthMax.SetMax(int64(len(q.pending)))
 	q.stats.AtomicSets++
+	q.tel.atomicSets.Inc()
 	return now
 }
 
