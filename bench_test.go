@@ -9,10 +9,13 @@
 package soteria
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"soteria/internal/config"
 	"soteria/internal/core"
+	"soteria/internal/device"
 	"soteria/internal/experiments"
 	"soteria/internal/faultsim"
 	"soteria/internal/memctrl"
@@ -345,3 +348,61 @@ func BenchmarkControllerWrite(b *testing.B) { benchWrite(b, false) }
 // BenchmarkControllerWriteTelemetry is the same path with every counter
 // and span live.
 func BenchmarkControllerWriteTelemetry(b *testing.B) { benchWrite(b, true) }
+
+// benchDevice measures the sharded device service end to end: one
+// closed-loop goroutine per shard issuing a write-heavy mix through the
+// full submit/batch/worker path. Scaling from 1 to 8 shards shows how
+// much concurrency the sharding actually buys at the device surface.
+func benchDevice(b *testing.B, shards int) {
+	dev, err := device.New(device.Options{
+		System: config.TestSystem(),
+		Mode:   memctrl.ModeSRC,
+		Key:    []byte("bench-device-key"),
+		Shards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dev.Close()
+	info := dev.Info()
+	linesPerShard := info.CapacityBytes / 64 / uint64(shards)
+	if linesPerShard > 1024 {
+		linesPerShard = 1024
+	}
+	perShard := b.N/shards + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var line [64]byte
+			for i := 0; i < perShard; i++ {
+				// Global line-interleaved address owned by shard s.
+				addr := ((uint64(i)%linesPerShard)*uint64(shards) + uint64(s)) * 64
+				if i%4 == 3 {
+					if _, _, err := dev.Read(addr); err != nil {
+						b.Error(err)
+						return
+					}
+				} else if _, err := dev.Write(addr, &line); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// BenchmarkDeviceThroughput is the device-layer smoke benchmark the CI
+// bench artifact tracks across 1, 4 and 8 shards.
+func BenchmarkDeviceThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		// "shards=N", not "shards-N": a trailing -N would be parsed as the
+		// GOMAXPROCS suffix by benchparse and collapse the three names.
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchDevice(b, shards)
+		})
+	}
+}

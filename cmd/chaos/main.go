@@ -39,6 +39,8 @@ func main() {
 		shadowFaults = flag.Int("shadow-faults", 2, "shadow entry halves to corrupt before recovery (single runs only when set explicitly)")
 		breakRepair  = flag.Bool("break-half-repair", false, "disable Soteria half repair; the harness must catch the resulting loss")
 		quick        = flag.Bool("quick", false, "smoke-test sizes: writes 60, stride 5, trials 5 (unless set explicitly)")
+		deviceRun    = flag.Bool("device", false, "run against the sharded internal/device service instead of a bare controller")
+		shards       = flag.Int("shards", 4, "shard count for -device")
 		verbose      = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
@@ -73,6 +75,45 @@ func main() {
 	if *verbose {
 		logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
 		base.Logf = logf
+	}
+
+	if *deviceRun {
+		if *campaign != "" || *nested || *crashAt2 >= 0 || set["fault-rate"] || set["shadow-faults"] || *breakRepair {
+			fatal(fmt.Errorf("-device supports single runs and -sweep only (campaigns, nested crashes and fault schedules stay on the single-controller harness)"))
+		}
+		dbase := chaos.DeviceConfig{
+			Seed:    *seed,
+			Writes:  *writes,
+			Shards:  *shards,
+			Mode:    mode,
+			CrashAt: *crashAt,
+			Logf:    base.Logf,
+		}
+		if *sweep {
+			res, err := chaos.DeviceCrashSweep(dbase, *stride, logf)
+			report("device crash sweep", res, err, false)
+			return
+		}
+		res, err := chaos.DeviceRun(dbase)
+		if err != nil {
+			fatal(err)
+		}
+		out := &chaos.CampaignResult{Runs: 1, Boundaries: res.Boundaries}
+		if len(res.Violations) > 0 {
+			out.Failures = []chaos.Failure{{Repro: chaos.DeviceRepro(dbase), Violations: res.Violations}}
+		}
+		if res.Crashed {
+			fmt.Printf("device run: %d shards, %d boundaries, crashed at %d (shard %d)",
+				*shards, res.Boundaries, res.CrashBoundary, res.CrashShard)
+			if res.Report != nil {
+				fmt.Printf(", recovered %d/%d tracked blocks", res.Report.RecoveredBlocks(), res.Report.TrackedEntries())
+			}
+			fmt.Println()
+		} else {
+			fmt.Printf("device run: %d shards, %d boundaries, no crash\n", *shards, res.Boundaries)
+		}
+		report("device run", out, nil, false)
+		return
 	}
 
 	switch {

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles this command into dir and returns the binary path.
+func buildCLI(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "experiments")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Stdout carries only the markdown tables; commentary like the Fig 11
+// geo-mean summary and the sweep progress lines live on stderr, keeping
+// stdout safe to pipe into a parser.
+func TestStdoutIsMachineParsable(t *testing.T) {
+	bin := buildCLI(t, t.TempDir())
+	for _, tc := range []struct {
+		args   []string
+		stderr string // substring the human-facing stream must carry
+	}{
+		{[]string{"-run", "table2,table3,mtbf"}, ""},
+		{[]string{"-run", "fig11", "-trials", "2000"}, "geo-mean UDR reduction"},
+		{[]string{"-run", "fig4", "-ops", "2000", "-warmup", "500", "-workloads", "hashmap"}, "1 workloads x 3 modes"},
+	} {
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, tc.args...)
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\nstderr:\n%s", tc.args, err, stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if line == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "|") {
+				t.Errorf("%v: non-table stdout line: %q", tc.args, line)
+			}
+		}
+		if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+			t.Errorf("%v: stderr missing %q:\n%s", tc.args, tc.stderr, stderr.String())
+		}
+	}
+}

@@ -83,6 +83,7 @@ func main() {
 		Workers:    *workers,
 		CacheDir:   *cacheDir,
 		OnProgress: progressSink(*progress),
+		Logf:       logf,
 	})
 	start := time.Now()
 	results, err := eng.RunFaultSweep(runner.FaultSweep{
@@ -114,7 +115,9 @@ func main() {
 
 	if len(points) == 1 {
 		res := results[0]
-		fmt.Printf("%d trials at FIT=%g over %.0f years (%v); importance weight %.3g\n\n",
+		// Run headers carry wall-clock time and belong on stderr; stdout
+		// stays machine-parsable (markdown tables only).
+		logf("%d trials at FIT=%g over %.0f years (%v); importance weight %.3g",
 			res.Trials, res.TotalFIT, cfg.Years, elapsed, res.Weight)
 		t := stats.NewTable("per-scheme expected loss over one DIMM lifetime",
 			"scheme", "data capacity", "UE trials", "unverifiable trials", "L_error ratio", "UDR")
@@ -128,7 +131,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("%d trials per FIT point over %.0f years (%v total)\n\n",
+	logf("%d trials per FIT point over %.0f years (%v total)",
 		results[0].Trials, cfg.Years, elapsed)
 	headers := []string{"FIT/chip"}
 	for _, s := range schemes {
@@ -155,6 +158,12 @@ func progressSink(enabled bool) func(runner.Progress) {
 		return nil
 	}
 	return runner.WriteProgress(os.Stderr)
+}
+
+// logf writes human-facing status to stderr, keeping stdout reserved for
+// the machine-parsable tables.
+func logf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 func fatal(err error) {

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles this command into dir and returns the binary path.
+func buildCLI(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "faultsim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Stdout carries only the markdown tables — every run header, progress
+// line, and wall-clock figure goes to stderr, so piping stdout into a
+// parser (or diffing two runs) never sees nondeterministic text.
+func TestStdoutIsMachineParsable(t *testing.T) {
+	bin := buildCLI(t, t.TempDir())
+	for _, args := range [][]string{
+		{"-fit", "40", "-trials", "3000", "-seed", "5"},
+		{"-fits", "20,80", "-trials", "2000", "-seed", "5", "-progress"},
+	} {
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\nstderr:\n%s", args, err, stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if line == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "|") {
+				t.Errorf("%v: non-table stdout line: %q", args, line)
+			}
+		}
+		if !strings.Contains(stderr.String(), "trials") {
+			t.Errorf("%v: run header missing from stderr:\n%s", args, stderr.String())
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command soteria-serve runs the sharded secure-NVM device as a network
+// service: a TCP front-end speaking the devnet length-prefixed binary
+// protocol, plus an optional live metrics endpoint and a telemetry
+// snapshot on shutdown. Pair it with cmd/loadgen.
+//
+// Typical invocations:
+//
+//	soteria-serve -addr 127.0.0.1:9650 -shards 4 -mode src
+//	soteria-serve -shards 8 -metrics-addr 127.0.0.1:9651 -metrics final.prom
+//
+// SIGINT/SIGTERM shuts down gracefully: in-flight requests are answered,
+// connections drained, the device flushed, and the -metrics snapshot
+// written before exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"soteria/internal/chaos"
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/devnet"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:9650", "TCP listen address for the device protocol")
+		shards      = flag.Int("shards", 4, "independent controller shards (line count must divide evenly)")
+		modeName    = flag.String("mode", "src", "protection scheme: nonsecure|baseline|src|sac")
+		queueDepth  = flag.Int("queue", 64, "per-shard request queue bound (full queue = busy reject)")
+		batchSize   = flag.Int("batch", 8, "per-shard write batching/coalescing bound")
+		capacity    = flag.Uint64("capacity", config.TestSystem().NVM.CapacityBytes, "device data capacity in bytes")
+		metricsFile = flag.String("metrics", "", "write the final telemetry snapshot here on shutdown (.prom = Prometheus text, else JSON, - = stdout)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics over HTTP at this address (/metrics Prometheus, /metrics.json JSON)")
+		verbose     = flag.Bool("v", false, "log connection lifecycle")
+	)
+	flag.Parse()
+
+	mode, err := chaos.ParseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := config.TestSystem()
+	cfg.NVM.CapacityBytes = *capacity
+
+	dev, err := device.New(device.Options{
+		System:     cfg,
+		Mode:       mode,
+		Key:        []byte("soteria-serve-key"),
+		Shards:     *shards,
+		QueueDepth: *queueDepth,
+		BatchSize:  *batchSize,
+		Telemetry:  true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := devnet.NewServer(dev)
+	if *verbose {
+		srv.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	info := dev.Info()
+	fmt.Fprintf(os.Stderr, "soteria-serve: %s device, %d shards, %d bytes, listening on %s\n",
+		info.Mode, info.Shards, info.CapacityBytes, ln.Addr())
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			dev.Snapshot().WritePrometheus(w, "")
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			dev.Snapshot().WriteJSON(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "soteria-serve: metrics endpoint: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "soteria-serve: metrics on http://%s/metrics\n", *metricsAddr)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "soteria-serve: %v, draining\n", s)
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "soteria-serve: accept loop ended: %v\n", err)
+	}
+
+	srv.Shutdown()
+	if err := dev.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "soteria-serve: final flush: %v\n", err)
+	}
+	if *metricsFile != "" {
+		if err := dev.Snapshot().WriteFile(*metricsFile, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "soteria-serve: write metrics: %v\n", err)
+		} else if *metricsFile != "-" {
+			fmt.Fprintf(os.Stderr, "soteria-serve: telemetry snapshot written to %s\n", *metricsFile)
+		}
+	}
+	if err := dev.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "soteria-serve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,418 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/inject"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+)
+
+// DeviceInjector is the sharded-device counterpart of Injector: one
+// device-wide write-boundary counter fed by per-shard hooks. Each shard
+// worker gets its own hook (with its own SealTracker, since seal nesting
+// is per-controller state), and the hooks funnel boundary crossings into
+// this shared, mutex-guarded counter. Crashing "at boundary k" therefore
+// means the k-th persistent write boundary the device as a whole crosses,
+// whichever shard crosses it.
+//
+// Boundary numbering is deterministic exactly when the device's request
+// order is — i.e. under the closed-loop drive DeviceRun uses. Concurrent
+// drivers (the recovery tests in internal/device) still get a valid crash
+// at *some* boundary; they must not assume which.
+type DeviceInjector struct {
+	mu         sync.Mutex
+	boundary   int
+	crashAt    int
+	fired      bool
+	firedShard int
+	disarmed   bool
+}
+
+// NewDeviceInjector builds an injector that cuts power at the given
+// device-wide boundary (negative: never).
+func NewDeviceInjector(crashAt int) *DeviceInjector {
+	return &DeviceInjector{crashAt: crashAt, firedShard: -1}
+}
+
+// ShardHooks returns one hook per shard, suitable for
+// device.SetShardHooks. Each hook tracks its own shard's seal depth and
+// reports boundary crossings to the shared counter.
+func (in *DeviceInjector) ShardHooks(n int) []inject.Hook {
+	hooks := make([]inject.Hook, n)
+	for i := range hooks {
+		hooks[i] = &deviceShardHook{in: in, shard: i}
+	}
+	return hooks
+}
+
+// Boundaries returns the number of boundaries counted so far.
+func (in *DeviceInjector) Boundaries() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.boundary
+}
+
+// Fired reports whether the crash trigger went off, and on which shard.
+func (in *DeviceInjector) Fired() (bool, int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired, in.firedShard
+}
+
+// Disarm stops crash targeting; boundary counting continues.
+func (in *DeviceInjector) Disarm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.disarmed = true
+	in.crashAt = -1
+}
+
+// hit is called by a shard hook at each boundary crossing; it panics with
+// inject.PowerLoss (unwinding that shard's in-flight operation) when the
+// crossing is the armed one.
+func (in *DeviceInjector) hit(shard int) {
+	in.mu.Lock()
+	b := in.boundary
+	in.boundary++
+	fire := !in.disarmed && in.crashAt >= 0 && b == in.crashAt
+	if fire {
+		in.fired = true
+		in.firedShard = shard
+	}
+	in.mu.Unlock()
+	if fire {
+		panic(inject.PowerLoss{Boundary: b})
+	}
+}
+
+// deviceShardHook adapts one shard's event stream to the shared counter.
+// It is only ever called from its shard's worker goroutine, so the seal
+// tracker needs no locking.
+type deviceShardHook struct {
+	in    *DeviceInjector
+	shard int
+	seals inject.SealTracker
+}
+
+// Event implements inject.Hook. Same ordering as Injector.Event: act
+// before Advance so a panic at an outermost SealBegin leaves the tracker
+// balanced.
+func (h *deviceShardHook) Event(ev inject.Event) {
+	if h.seals.IsBoundary(ev) {
+		h.in.hit(h.shard)
+	}
+	h.seals.Advance(ev)
+}
+
+// DeviceConfig fully determines one sharded-device chaos scenario.
+// Nested crash-during-recovery sweeps stay on the single-controller
+// harness (Config.NestedCrashAt): device recovery runs the shards
+// concurrently, so a nested boundary index would not name a reproducible
+// point.
+type DeviceConfig struct {
+	Seed   int64
+	Writes int // workload operations (roughly 3/4 writes, 1/4 reads)
+	Shards int
+	Mode   memctrl.Mode
+	// CrashAt cuts power at this device-wide write boundary; negative
+	// never.
+	CrashAt int
+	// Logf, when non-nil, receives per-phase progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DeviceResult is what one sharded-device scenario observed.
+type DeviceResult struct {
+	Boundaries    int
+	Crashed       bool
+	CrashBoundary int
+	// CrashShard is the shard whose in-flight operation the power loss
+	// unwound (-1 when no crash fired).
+	CrashShard int
+	Report     *device.RecoveryReport
+	OpErrors   int
+	Violations []string
+}
+
+func (r *DeviceResult) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// DeviceRepro renders the cmd/chaos invocation that replays cfg.
+func DeviceRepro(cfg DeviceConfig) string {
+	s := fmt.Sprintf("go run ./cmd/chaos -device -shards %d -seed %d -writes %d -mode %s",
+		cfg.Shards, cfg.Seed, cfg.Writes, ModeFlag(cfg.Mode))
+	if cfg.CrashAt >= 0 {
+		s += fmt.Sprintf(" -crash-at %d", cfg.CrashAt)
+	}
+	return s
+}
+
+// DeviceRun executes one scenario against a sharded device, closed-loop
+// (one request in flight device-wide, so boundary numbering is
+// deterministic), and checks the same invariants as Run: every committed
+// write reads back after recovery, the one in-flight write is old-or-new,
+// every shard's recovery report accounts for its tracked blocks, and a
+// clean crash/recover round-trip on the settled image loses nothing.
+func DeviceRun(cfg DeviceConfig) (*DeviceResult, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	res := &DeviceResult{CrashBoundary: -1, CrashShard: -1}
+
+	dev, err := device.New(device.Options{
+		System: config.TestSystem(),
+		Mode:   cfg.Mode,
+		Key:    []byte("chaos-harness-key"),
+		Shards: cfg.Shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer dev.Close()
+
+	// Deterministic workload over the device's global data space, same
+	// shape as the single-controller harness: a working set that thrashes
+	// the (per-shard) metadata caches, ops drawn from it.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dataLines := dev.Info().CapacityBytes / nvm.LineSize
+	wsSize := cfg.Writes/2 + 1
+	if wsSize > 96 {
+		wsSize = 96
+	}
+	seen := make(map[uint64]bool, wsSize)
+	ws := make([]uint64, 0, wsSize)
+	for len(ws) < wsSize {
+		blk := uint64(rng.Int63n(int64(dataLines)))
+		if !seen[blk] {
+			seen[blk] = true
+			ws = append(ws, blk*nvm.LineSize)
+		}
+	}
+	ops := make([]wop, cfg.Writes)
+	for i := range ops {
+		k := opWrite
+		if i > 0 && rng.Float64() < 0.25 {
+			k = opRead
+		}
+		ops[i] = wop{kind: k, addr: ws[rng.Intn(len(ws))]}
+	}
+
+	inj := NewDeviceInjector(cfg.CrashAt)
+	if err := dev.SetShardHooks(inj.ShardHooks(cfg.Shards)); err != nil {
+		return nil, err
+	}
+
+	committed := make(map[uint64]int) // addr -> op index of last durable write
+	inFlight := -1
+	var inFlightAddr uint64
+	crashOp := -1
+
+	runOp := func(i int) error {
+		o := ops[i]
+		if o.kind == opWrite {
+			line := lineFor(cfg.Seed, i)
+			_, err := dev.Write(o.addr, &line)
+			return err
+		}
+		_, _, err := dev.Read(o.addr)
+		return err
+	}
+
+	var powerErr *device.PowerError
+	for i := 0; i < len(ops); i++ {
+		opErr := runOp(i)
+		if errors.As(opErr, &powerErr) {
+			res.Crashed = true
+			res.CrashBoundary = powerErr.Boundary
+			res.CrashShard = powerErr.Shard
+			crashOp = i
+			if ops[i].kind == opWrite {
+				inFlight = i
+				inFlightAddr = ops[i].addr
+			}
+			break
+		}
+		if opErr != nil {
+			res.OpErrors++
+			res.violate("op %d (%v %#x): unexpected error: %v", i, ops[i].kind, ops[i].addr, opErr)
+			continue
+		}
+		if ops[i].kind == opWrite {
+			committed[ops[i].addr] = i
+		}
+	}
+	res.Boundaries = inj.Boundaries()
+
+	if res.Crashed {
+		logf("power loss at device boundary %d (op %d, shard %d)", res.CrashBoundary, crashOp, res.CrashShard)
+		// The power loss already took the device down and fenced the
+		// epoch; Crash() drops every shard's volatile state.
+		if err := dev.Crash(); err != nil {
+			res.violate("Crash() after power loss: %v", err)
+			return res, nil
+		}
+		inj.Disarm()
+		rep, rerr := dev.Recover()
+		if rerr != nil {
+			res.violate("Recover failed: %v", rerr)
+			return res, nil
+		}
+		res.Report = rep
+		if len(rep.Shards) != cfg.Shards {
+			res.violate("recovery report covers %d of %d shards", len(rep.Shards), cfg.Shards)
+		}
+		for sid, sr := range rep.Shards {
+			if sr == nil {
+				res.violate("shard %d: recovery report missing", sid)
+				continue
+			}
+			if sr.RecoveredBlocks+len(sr.FailedBlocks) > sr.TrackedEntries {
+				res.violate("shard %d report accounting: %d recovered + %d failed > %d tracked",
+					sid, sr.RecoveredBlocks, len(sr.FailedBlocks), sr.TrackedEntries)
+			}
+			// Crash-only scenario: every tracked block must come back.
+			for _, fb := range sr.FailedBlocks {
+				res.violate("shard %d: recovery lost tracked block %#x: %s", sid, fb.Addr, fb.Reason)
+			}
+			for _, s := range sr.LostSlots {
+				res.violate("shard %d: recovery lost shadow slot %d entirely", sid, s)
+			}
+		}
+	} else {
+		inj.Disarm()
+	}
+
+	readCheck := func(phase string, inFlightExempt bool) {
+		addrs := make([]uint64, 0, len(committed))
+		for a := range committed {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			got, _, rdErr := dev.Read(a)
+			if rdErr != nil {
+				res.violate("%s: read %#x (committed op %d) failed: %v", phase, a, committed[a], rdErr)
+				continue
+			}
+			want := lineFor(cfg.Seed, committed[a])
+			if inFlightExempt && inFlight >= 0 && a == inFlightAddr {
+				if got != want && got != lineFor(cfg.Seed, inFlight) {
+					res.violate("%s: in-flight block %#x holds neither the old value (op %d) nor the new (op %d)",
+						phase, a, committed[a], inFlight)
+				}
+				continue
+			}
+			if got != want {
+				res.violate("%s: silent corruption at %#x: committed op %d does not read back", phase, a, committed[a])
+			}
+		}
+		if inFlightExempt && inFlight >= 0 {
+			if _, ok := committed[inFlightAddr]; !ok {
+				got, _, rdErr := dev.Read(inFlightAddr)
+				switch {
+				case rdErr != nil:
+					res.violate("%s: read in-flight %#x failed: %v", phase, inFlightAddr, rdErr)
+				case got != (nvm.Line{}) && got != lineFor(cfg.Seed, inFlight):
+					res.violate("%s: in-flight cold block %#x is neither zero nor the new value", phase, inFlightAddr)
+				}
+			}
+		}
+	}
+
+	if res.Crashed {
+		readCheck("post-recovery", true)
+		// Replay the interrupted operation and the rest of the workload
+		// with injection disarmed.
+		for i := crashOp; i >= 0 && i < len(ops); i++ {
+			if opErr := runOp(i); opErr != nil {
+				res.OpErrors++
+				res.violate("replay op %d (%v %#x): unexpected error: %v", i, ops[i].kind, ops[i].addr, opErr)
+				continue
+			}
+			if ops[i].kind == opWrite {
+				committed[ops[i].addr] = i
+			}
+		}
+	} else {
+		readCheck("post-workload", false)
+	}
+
+	// Settle and verify every shard's full image.
+	if err := dev.Flush(); err != nil {
+		res.violate("Flush: %v", err)
+		return res, nil
+	}
+	if err := dev.VerifyAll(); err != nil {
+		res.violate("VerifyAll after replay: %v", err)
+	}
+
+	// A clean crash/recover round-trip on the flushed image must be
+	// lossless on every shard.
+	if err := dev.Crash(); err != nil {
+		res.violate("clean-round Crash: %v", err)
+	} else {
+		rep, err := dev.Recover()
+		switch {
+		case err != nil:
+			res.violate("clean-round Recover: %v", err)
+		case !rep.Clean():
+			res.violate("clean-round recovery lost blocks: %d failed, %d lost slots",
+				rep.FailedBlocks(), rep.LostSlots())
+		}
+	}
+	readCheck("final", false)
+	return res, nil
+}
+
+// DeviceCrashSweep probes the workload for its device-wide boundary
+// count, then replays it crashing at every stride-th boundary — the
+// sharded-device version of CrashSweep.
+func DeviceCrashSweep(base DeviceConfig, stride int, logf func(string, ...any)) (*CampaignResult, error) {
+	if stride <= 0 {
+		stride = 1
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	probe := base
+	probe.CrashAt = -1
+	pres, err := DeviceRun(probe)
+	if err != nil {
+		return nil, err
+	}
+	out := &CampaignResult{Boundaries: pres.Boundaries}
+	out.collectDevice(probe, pres)
+	logf("device crash sweep: %d shards, %d workload boundaries, stride %d", base.Shards, pres.Boundaries, stride)
+	for k := 0; k < pres.Boundaries; k += stride {
+		cfg := base
+		cfg.CrashAt = k
+		res, err := DeviceRun(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Crashed {
+			logf("note: crash-at %d never fired (run saw %d boundaries)", k, res.Boundaries)
+		}
+		out.collectDevice(cfg, res)
+	}
+	return out, nil
+}
+
+func (c *CampaignResult) collectDevice(cfg DeviceConfig, res *DeviceResult) {
+	c.Runs++
+	if len(res.Violations) > 0 {
+		c.Failures = append(c.Failures, Failure{Repro: DeviceRepro(cfg), Violations: res.Violations})
+	}
+}

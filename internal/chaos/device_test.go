@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"testing"
+
+	"soteria/internal/memctrl"
+)
+
+// TestDeviceCrashSweepQuick is the sharded-device analogue of the
+// single-controller sweep tests: crash at every stride-th device-wide
+// boundary, recover, verify — zero violations expected.
+func TestDeviceCrashSweepQuick(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		res, err := DeviceCrashSweep(DeviceConfig{
+			Seed:    1,
+			Writes:  40,
+			Shards:  shards,
+			Mode:    memctrl.ModeSRC,
+			CrashAt: -1,
+		}, 5, t.Logf)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Boundaries == 0 {
+			t.Fatalf("shards=%d: probe saw no boundaries", shards)
+		}
+		for _, f := range res.Failures {
+			t.Errorf("shards=%d: %s: %v", shards, f.Repro, f.Violations)
+		}
+	}
+}
+
+// TestDeviceRunDeterministic pins the closed-loop determinism contract:
+// the same DeviceConfig crashes at the same boundary on the same shard
+// and observes the same counts, every time.
+func TestDeviceRunDeterministic(t *testing.T) {
+	cfg := DeviceConfig{Seed: 7, Writes: 50, Shards: 4, Mode: memctrl.ModeSAC, CrashAt: 20}
+	first, err := DeviceRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Crashed {
+		t.Fatalf("crash-at %d never fired (%d boundaries)", cfg.CrashAt, first.Boundaries)
+	}
+	if len(first.Violations) > 0 {
+		t.Fatalf("violations: %v", first.Violations)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := DeviceRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.CrashBoundary != first.CrashBoundary || again.CrashShard != first.CrashShard ||
+			again.Boundaries != first.Boundaries {
+			t.Fatalf("run %d diverged: crash %d/shard %d/%d boundaries, want %d/%d/%d",
+				i, again.CrashBoundary, again.CrashShard, again.Boundaries,
+				first.CrashBoundary, first.CrashShard, first.Boundaries)
+		}
+	}
+}

@@ -1,0 +1,502 @@
+package device_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/inject"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+)
+
+func newTestDevice(t *testing.T, mutate func(*device.Options)) *device.Device {
+	t.Helper()
+	opts := device.Options{
+		System: config.TestSystem(),
+		Mode:   memctrl.ModeSRC,
+		Key:    []byte("device-test-key"),
+		Shards: 4,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	d, err := device.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// fill derives deterministic line content from an address and a salt.
+func fill(addr uint64, salt uint64) nvm.Line {
+	var l nvm.Line
+	x := addr*0x9e3779b97f4a7c15 + salt*0xbf58476d1ce4e5b9 + 1
+	for off := 0; off < nvm.LineSize; off += 8 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		for k := 0; k < 8; k++ {
+			l[off+k] = byte(x >> (8 * uint(k)))
+		}
+	}
+	return l
+}
+
+func TestAddressMappingRoundTrip(t *testing.T) {
+	d := newTestDevice(t, nil)
+	for _, addr := range []uint64{0, 64, 128, 192, 256, 64 * 12345, 4<<20 - 64} {
+		s := d.ShardOf(addr)
+		if s != int(addr/64%4) {
+			t.Fatalf("ShardOf(%#x) = %d, want line interleave", addr, s)
+		}
+	}
+	// Global -> (shard, local) -> global must be the identity.
+	for line := uint64(0); line < 64; line++ {
+		addr := line * 64
+		got := d.GlobalAddr(d.ShardOf(addr), (line/4)*64)
+		if got != addr {
+			t.Fatalf("mapping round trip: %#x -> %#x", addr, got)
+		}
+	}
+}
+
+func TestReadWriteAcrossShards(t *testing.T) {
+	d := newTestDevice(t, nil)
+	const n = 64 // touches every shard repeatedly
+	for i := uint64(0); i < n; i++ {
+		addr := i * 64
+		line := fill(addr, 1)
+		if _, err := d.Write(addr, &line); err != nil {
+			t.Fatalf("write %#x: %v", addr, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		addr := i * 64
+		got, lat, err := d.Read(addr)
+		if err != nil {
+			t.Fatalf("read %#x: %v", addr, err)
+		}
+		if want := fill(addr, 1); got != want {
+			t.Fatalf("read %#x returned wrong data", addr)
+		}
+		if lat < 0 {
+			t.Fatalf("read %#x: negative latency %v", addr, lat)
+		}
+	}
+	st := d.Stats()
+	if st.DataWrites != n || st.DataReads != n {
+		t.Fatalf("stats: %d writes, %d reads; want %d each", st.DataWrites, st.DataReads, n)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := d.VerifyAll(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestRejectsBadAddresses(t *testing.T) {
+	d := newTestDevice(t, nil)
+	if _, _, err := d.Read(7); err == nil {
+		t.Fatal("unaligned read accepted")
+	}
+	if _, _, err := d.Read(4 << 20); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+// gateHook blocks the first write boundary it sees until released, so
+// tests can hold a shard worker mid-batch while they stuff its queue.
+type gateHook struct {
+	once    sync.Once
+	started chan struct{}
+	release chan struct{}
+}
+
+func newGateHook() *gateHook {
+	return &gateHook{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateHook) Event(ev inject.Event) {
+	if ev.Kind != inject.DeviceWrite {
+		return
+	}
+	g.once.Do(func() {
+		close(g.started)
+		<-g.release
+	})
+}
+
+func TestBackpressureTypedBusy(t *testing.T) {
+	const depth = 4
+	d := newTestDevice(t, func(o *device.Options) {
+		o.Shards = 1
+		o.QueueDepth = depth
+	})
+	gate := newGateHook()
+	hooks := []inject.Hook{gate}
+	if err := d.SetShardHooks(hooks); err != nil {
+		t.Fatal(err)
+	}
+
+	// First write parks the worker inside the gate...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		line := fill(0, 2)
+		if _, err := d.Write(0, &line); err != nil {
+			t.Errorf("gated write: %v", err)
+		}
+	}()
+	<-gate.started
+
+	// ...then fill the queue with spaced submissions (the worker already
+	// holds its batch, so nothing drains until the gate opens). Each
+	// waiter blocks on its response; the last ones may bounce.
+	for i := 1; i <= depth+1; i++ {
+		addr := uint64(i) * 64
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			line := fill(addr, 2)
+			_, err := d.Write(addr, &line)
+			if err != nil && !errors.Is(err, device.ErrBusy) {
+				t.Errorf("queued write %#x: %v", addr, err)
+			}
+		}()
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The queue is now full: one more submission must bounce with the
+	// typed error instead of blocking.
+	var busy *device.BusyError
+	line := fill((depth+10)*64, 2)
+	_, err := d.Write((depth+10)*64, &line)
+	if err == nil {
+		t.Fatal("submission on a full queue succeeded; backpressure did not engage")
+	}
+	if !errors.As(err, &busy) {
+		t.Fatalf("want *BusyError, got %v", err)
+	}
+	if !errors.Is(busy, device.ErrBusy) {
+		t.Fatal("BusyError does not match ErrBusy sentinel")
+	}
+	if busy.Shard != 0 || busy.Pending == 0 || busy.RetryAfter <= 0 {
+		t.Fatalf("busy hint incomplete: %+v", busy)
+	}
+	close(gate.release)
+	wg.Wait()
+}
+
+func TestWriteCoalescingInBatch(t *testing.T) {
+	d := newTestDevice(t, func(o *device.Options) {
+		o.Shards = 1
+		o.QueueDepth = 16
+		o.BatchSize = 8
+		o.Telemetry = true
+	})
+	gate := newGateHook()
+	if err := d.SetShardHooks([]inject.Hook{gate}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		line := fill(64, 3)
+		if _, err := d.Write(64, &line); err != nil {
+			t.Errorf("gated write: %v", err)
+		}
+	}()
+	<-gate.started
+
+	// Three writes to the same line queue up behind the gate; when the
+	// worker drains them in one batch, the first two coalesce into the
+	// third.
+	results := make(chan error, 3)
+	for v := uint64(0); v < 3; v++ {
+		line := fill(0, 10+v)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := d.Write(0, &line)
+			results <- err
+		}()
+		// Space the submissions so they enqueue in salt order and the
+		// worker drains all three in a single batch.
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if len(results) > 0 {
+		t.Fatal("writes completed before gate release")
+	}
+	close(gate.release)
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if err != nil {
+			t.Fatalf("coalesced write: %v", err)
+		}
+	}
+
+	got, _, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fill(0, 12); got != want {
+		t.Fatal("last write did not win after coalescing")
+	}
+	snap := d.Snapshot()
+	if snap.Counters["device_coalesced_writes_total"] == 0 {
+		t.Fatal("no writes were coalesced (batch never formed?)")
+	}
+}
+
+func TestCrashRetiresQueuedRequests(t *testing.T) {
+	d := newTestDevice(t, func(o *device.Options) {
+		o.Shards = 1
+		o.QueueDepth = 8
+	})
+	line := fill(0, 4)
+	if _, err := d.Write(0, &line); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := newGateHook()
+	if err := d.SetShardHooks([]inject.Hook{gate}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l := fill(64, 4)
+		d.Write(64, &l) // parks the worker
+	}()
+	<-gate.started
+
+	// Queue three more writes behind the gate, then crash: the barrier
+	// must retire them unexecuted.
+	errs := make([]error, 3)
+	for i := range errs {
+		i := i
+		addr := uint64(2+i) * 64
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := fill(addr, 4)
+			_, errs[i] = d.Write(addr, &l)
+		}()
+	}
+	// Let the writes enqueue behind the gate, then start the crash; the
+	// epoch advances (and opCrash lands in the queue) before the gate
+	// opens, so the queued writes must retire.
+	time.Sleep(100 * time.Millisecond)
+	crashDone := make(chan error, 1)
+	go func() { crashDone <- d.Crash() }()
+	time.Sleep(100 * time.Millisecond)
+	close(gate.release)
+	if err := <-crashDone; err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	wg.Wait()
+	retired := 0
+	for _, err := range errs {
+		if errors.Is(err, device.ErrRetired) {
+			retired++
+		} else if err != nil && !errors.Is(err, memctrl.ErrCrashed) {
+			t.Fatalf("queued write after crash: %v", err)
+		}
+	}
+	if retired == 0 {
+		t.Fatal("crash barrier retired nothing (gate raced the crash?)")
+	}
+
+	// Down until recovery.
+	if _, _, err := d.Read(0); !errors.Is(err, memctrl.ErrCrashed) {
+		t.Fatalf("read while down: %v", err)
+	}
+	rep, err := d.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(rep.Shards) != 1 || rep.Shards[0] == nil {
+		t.Fatalf("recovery report incomplete: %+v", rep)
+	}
+	if !rep.Clean() {
+		t.Fatalf("crash-only recovery not clean: %+v", rep.Shards[0])
+	}
+	got, _, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fill(0, 4) {
+		t.Fatal("committed write lost across crash/recover")
+	}
+}
+
+// TestSnapshotDeterministicPerShardStreams locks the core determinism
+// contract: identical per-shard request streams produce byte-identical
+// merged telemetry, whether the shards are driven by one goroutine or by
+// one goroutine per shard.
+func TestSnapshotDeterministicPerShardStreams(t *testing.T) {
+	const shards = 4
+	const opsPerShard = 200
+
+	run := func(concurrent bool) []byte {
+		d := newTestDevice(t, func(o *device.Options) {
+			o.Shards = shards
+			o.Telemetry = true
+		})
+		driveShard := func(s int) {
+			for i := 0; i < opsPerShard; i++ {
+				addr := d.GlobalAddr(s, uint64(i%37)*64)
+				if i%3 == 2 {
+					if _, _, err := d.Read(addr); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+				} else {
+					line := fill(addr, uint64(i))
+					if _, err := d.Write(addr, &line); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				}
+			}
+		}
+		if concurrent {
+			var wg sync.WaitGroup
+			for s := 0; s < shards; s++ {
+				wg.Add(1)
+				go func(s int) { defer wg.Done(); driveShard(s) }(s)
+			}
+			wg.Wait()
+		} else {
+			for s := 0; s < shards; s++ {
+				driveShard(s)
+			}
+		}
+		data, err := d.Snapshot().MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	sequential := run(false)
+	for i := 0; i < 2; i++ {
+		if got := run(true); !bytes.Equal(got, sequential) {
+			t.Fatalf("snapshot differs between sequential and concurrent per-shard drivers (attempt %d)", i)
+		}
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	d := newTestDevice(t, func(o *device.Options) {
+		o.Shards = 4
+		o.Telemetry = true
+		o.QueueDepth = 16
+	})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				addr := uint64((w*151+i*7)%2048) * 64
+				if i%4 == 0 {
+					_, _, err := d.Read(addr)
+					if err != nil && !errors.Is(err, device.ErrBusy) {
+						t.Errorf("read: %v", err)
+					}
+				} else {
+					line := fill(addr, uint64(w))
+					_, err := d.Write(addr, &line)
+					if err != nil && !errors.Is(err, device.ErrBusy) {
+						t.Errorf("write: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	// Snapshots and stats race the load on purpose: both must be safe.
+	for i := 0; i < 10; i++ {
+		_ = d.Snapshot()
+	}
+	wg.Wait()
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseRejectsAndIsIdempotent(t *testing.T) {
+	d := newTestDevice(t, nil)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Read(0); !errors.Is(err, device.ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestShardCountMustDivide(t *testing.T) {
+	_, err := device.New(device.Options{
+		System: config.TestSystem(),
+		Mode:   memctrl.ModeSRC,
+		Key:    []byte("k"),
+		Shards: 3, // 65536 lines % 3 != 0
+	})
+	if err == nil {
+		t.Fatal("uneven shard split accepted")
+	}
+}
+
+func TestInfo(t *testing.T) {
+	d := newTestDevice(t, nil)
+	info := d.Info()
+	if info.Shards != 4 || info.CapacityBytes != 4<<20 || info.Mode != memctrl.ModeSRC.String() {
+		t.Fatalf("info: %+v", info)
+	}
+}
+
+func ExampleDevice() {
+	d, err := device.New(device.Options{
+		System: config.TestSystem(),
+		Mode:   memctrl.ModeSRC,
+		Key:    []byte("example-key"),
+		Shards: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+	line := nvm.Line{1, 2, 3}
+	if _, err := d.Write(0, &line); err != nil {
+		panic(err)
+	}
+	got, _, err := d.Read(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(got[:3])
+	// Output: [1 2 3]
+}

@@ -1,0 +1,74 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors of the device layer. BusyError and PowerError carry
+// detail but match these sentinels through errors.Is, so callers can
+// branch without type assertions.
+var (
+	// ErrBusy: the target shard's request queue is full. The concrete
+	// error is always a *BusyError carrying a retry-after hint.
+	ErrBusy = errors.New("device: shard queue full")
+	// ErrClosed: the device has been shut down.
+	ErrClosed = errors.New("device: closed")
+	// ErrRetired: the request was admitted before a crash barrier and
+	// discarded unexecuted — exactly what a power cut does to queued
+	// commands. The operation never ran; retry after Recover.
+	ErrRetired = errors.New("device: request retired by crash barrier")
+	// ErrPowerLoss: a simulated power loss (inject.PowerLoss) fired while
+	// the request was executing. The concrete error is a *PowerError.
+	ErrPowerLoss = errors.New("device: power loss during operation")
+)
+
+// BusyError is the typed backpressure signal: the shard queue was full at
+// submit time. RetryAfter estimates when a slot will open, extrapolated
+// from the shard's recent wall-clock service rate and its queue depth.
+type BusyError struct {
+	// Shard is the shard whose queue rejected the request.
+	Shard int
+	// Pending is the queue occupancy observed at rejection.
+	Pending int
+	// RetryAfter is the suggested wall-clock backoff before retrying.
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("device: shard %d queue full (%d pending, retry after %v)", e.Shard, e.Pending, e.RetryAfter)
+}
+
+// Is matches ErrBusy.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// PowerError reports that a simulated power loss cut the operation at a
+// write boundary. The device refuses further data operations until
+// Crash()+Recover() bring it back.
+type PowerError struct {
+	// Shard is the shard that was executing when power was lost.
+	Shard int
+	// Boundary is the injector's write-boundary index, for repro lines.
+	Boundary int
+}
+
+func (e *PowerError) Error() string {
+	return fmt.Sprintf("device: power loss on shard %d at write boundary %d", e.Shard, e.Boundary)
+}
+
+// Is matches ErrPowerLoss.
+func (e *PowerError) Is(target error) bool { return target == ErrPowerLoss }
+
+// PanicError wraps a non-PowerLoss panic recovered from a shard worker.
+// The storage stack promises that a simulated power cut is the only
+// legitimate panic, so seeing this error is itself an invariant violation
+// the chaos harness reports.
+type PanicError struct {
+	Shard int
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("device: shard %d worker panicked: %v", e.Shard, e.Value)
+}

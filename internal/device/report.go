@@ -1,0 +1,62 @@
+package device
+
+import "soteria/internal/memctrl"
+
+// RecoveryReport aggregates the per-shard recovery reports of one
+// device-wide Recover. Shards is indexed by shard id; entries are never
+// nil after a successful Recover.
+type RecoveryReport struct {
+	Shards []*memctrl.RecoveryReport `json:"shards"`
+}
+
+// TrackedEntries sums the valid shadow entries found across shards.
+func (r *RecoveryReport) TrackedEntries() int {
+	n := 0
+	for _, s := range r.Shards {
+		if s != nil {
+			n += s.TrackedEntries
+		}
+	}
+	return n
+}
+
+// RecoveredBlocks sums the reconstructed-and-verified blocks across shards.
+func (r *RecoveryReport) RecoveredBlocks() int {
+	n := 0
+	for _, s := range r.Shards {
+		if s != nil {
+			n += s.RecoveredBlocks
+		}
+	}
+	return n
+}
+
+// FailedBlocks counts tracked blocks whose reconstruction failed, summed
+// across shards.
+func (r *RecoveryReport) FailedBlocks() int {
+	n := 0
+	for _, s := range r.Shards {
+		if s != nil {
+			n += len(s.FailedBlocks)
+		}
+	}
+	return n
+}
+
+// LostSlots counts shadow slots that could not be read, summed across
+// shards.
+func (r *RecoveryReport) LostSlots() int {
+	n := 0
+	for _, s := range r.Shards {
+		if s != nil {
+			n += len(s.LostSlots)
+		}
+	}
+	return n
+}
+
+// Clean reports a lossless recovery: every shard reconstructed every
+// tracked block and read every shadow slot.
+func (r *RecoveryReport) Clean() bool {
+	return r.FailedBlocks() == 0 && r.LostSlots() == 0
+}

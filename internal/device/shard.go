@@ -1,0 +1,253 @@
+package device
+
+import (
+	"time"
+
+	"soteria/internal/inject"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+	"soteria/internal/telemetry"
+)
+
+// opcode selects the operation a request carries.
+type opcode uint8
+
+const (
+	opRead opcode = iota
+	opWrite
+	opDrain // per-shard WPQ drain (sfence)
+	// Control plane (broadcast under the device control mutex; these skip
+	// the epoch barrier because they implement it).
+	opFlush
+	opCrash
+	opRecover
+	opVerify
+	opStats
+	opHook
+	opStop
+)
+
+// request is one unit of work on a shard queue. addr is shard-local.
+type request struct {
+	op    opcode
+	addr  uint64
+	data  *nvm.Line
+	hook  inject.Hook
+	epoch uint64
+	resp  chan response // buffered(1): the worker never blocks responding
+}
+
+// response carries everything any opcode can return.
+type response struct {
+	data    nvm.Line
+	latency sim.Time
+	report  *memctrl.RecoveryReport
+	stats   memctrl.Stats
+	err     error
+}
+
+// shard couples one controller with its queue, worker state and metric
+// handles. Everything below the queue is touched only by the worker
+// goroutine, preserving memctrl's single-threaded contract.
+type shard struct {
+	id       int
+	dev      *Device
+	ctrl     *memctrl.Controller
+	reg      *telemetry.Registry
+	reqs     chan *request
+	batchMax int
+
+	// now is the shard's private simulated clock (worker-only).
+	now sim.Time
+
+	// svc estimates wall-clock nanoseconds per request for retry hints.
+	svc ewma
+
+	batches   *telemetry.Counter
+	batched   *telemetry.Histogram
+	coalesced *telemetry.Counter
+	busy      *telemetry.Counter
+	retired   *telemetry.Counter
+	powerLoss *telemetry.Counter
+}
+
+// retryHint converts queue depth into a wall-clock backoff suggestion.
+func (s *shard) retryHint(pending int) time.Duration {
+	per := s.svc.value()
+	if per <= 0 {
+		per = time.Microsecond
+	}
+	return time.Duration(pending+1) * per
+}
+
+// run is the shard worker: drain a batch, coalesce, execute, respond.
+func (s *shard) run() {
+	defer s.dev.wg.Done()
+	batch := make([]*request, 0, s.batchMax)
+	for {
+		req := <-s.reqs
+		batch = append(batch[:0], req)
+		// Opportunistically extend the batch with whatever is already
+		// queued, up to the batch bound; never wait for more.
+	fill:
+		for len(batch) < s.batchMax {
+			select {
+			case r := <-s.reqs:
+				batch = append(batch, r)
+			default:
+				break fill
+			}
+		}
+		if !s.runBatch(batch) {
+			return
+		}
+	}
+}
+
+// runBatch coalesces and executes one batch; false means opStop was seen
+// and the worker must exit (any requests after the stop are answered with
+// ErrClosed — Close has already fenced out new senders, so the tail is
+// finite and fully drained here).
+func (s *shard) runBatch(batch []*request) bool {
+	s.batches.Inc()
+	s.batched.Observe(uint64(len(batch)))
+
+	// Write coalescing before WPQ admission: a write superseded by a
+	// later write to the same line — with no read of that line and no
+	// barrier-like operation in between — is dropped and acknowledged
+	// with its superseder's outcome, exactly the semantics of an ADR
+	// write-combining buffer. supersededBy[i] holds the absorbing index.
+	supersededBy := make(map[int]int)
+	lastWrite := make(map[uint64]int) // local line addr -> pending write index
+	for i, r := range batch {
+		switch r.op {
+		case opWrite:
+			if j, ok := lastWrite[r.addr]; ok {
+				supersededBy[j] = i
+			}
+			lastWrite[r.addr] = i
+		case opRead:
+			delete(lastWrite, r.addr)
+		default:
+			// Drains, flushes and control ops order against every write.
+			lastWrite = map[uint64]int{}
+		}
+	}
+
+	results := make([]response, len(batch))
+	stopAt := -1
+	for i, r := range batch {
+		if _, dropped := supersededBy[i]; dropped {
+			s.coalesced.Inc()
+			continue
+		}
+		if stopAt >= 0 {
+			results[i] = response{err: ErrClosed}
+			continue
+		}
+		if r.op == opStop {
+			stopAt = i
+			continue
+		}
+		start := time.Now()
+		results[i] = s.exec(r)
+		s.svc.observe(time.Since(start))
+	}
+	for i, r := range batch {
+		if j, dropped := supersededBy[i]; dropped {
+			// The absorbing write carries this one's durability; mirror
+			// its outcome with zero added latency. Chains resolve because
+			// a superseder is never itself superseded by an earlier index.
+			res := results[j]
+			for {
+				if k, again := supersededBy[j]; again {
+					j, res = k, results[k]
+					continue
+				}
+				break
+			}
+			results[i] = response{err: res.err}
+		}
+		r.resp <- results[i]
+	}
+	if stopAt >= 0 {
+		// Drain the finite tail left by senders that raced Close's fence.
+		for {
+			select {
+			case r := <-s.reqs:
+				r.resp <- response{err: ErrClosed}
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// exec runs one request on the controller, converting an inject.PowerLoss
+// unwind into a typed error and a device-wide crash barrier.
+func (s *shard) exec(r *request) (res response) {
+	// Data-plane requests admitted before the last crash barrier are
+	// retired unexecuted: power was lost while they sat in the queue.
+	switch r.op {
+	case opRead, opWrite, opDrain:
+		if r.epoch < s.dev.epoch.Load() {
+			s.retired.Inc()
+			return response{err: ErrRetired}
+		}
+		if s.dev.down.Load() {
+			return response{err: memctrl.ErrCrashed}
+		}
+	}
+
+	defer func() {
+		if p := recover(); p != nil {
+			if pl, ok := p.(inject.PowerLoss); ok {
+				// Simulated power cut mid-operation: take the whole device
+				// down and retire everything still queued behind us.
+				s.powerLoss.Inc()
+				s.dev.down.Store(true)
+				s.dev.epoch.Add(1)
+				res = response{err: &PowerError{Shard: s.id, Boundary: pl.Boundary}}
+				return
+			}
+			res = response{err: &PanicError{Shard: s.id, Value: p}}
+		}
+	}()
+
+	switch r.op {
+	case opRead:
+		before := s.now
+		data, now, err := s.ctrl.ReadBlock(s.now, r.addr)
+		s.now = now
+		return response{data: data, latency: now - before, err: err}
+	case opWrite:
+		before := s.now
+		now, err := s.ctrl.WriteBlock(s.now, r.addr, r.data)
+		s.now = now
+		return response{latency: now - before, err: err}
+	case opDrain:
+		before := s.now
+		s.now = s.ctrl.DrainWPQ(s.now)
+		return response{latency: s.now - before}
+	case opFlush:
+		before := s.now
+		s.now = s.ctrl.FlushAll(s.now)
+		return response{latency: s.now - before}
+	case opCrash:
+		return response{err: s.ctrl.Crash()}
+	case opRecover:
+		rep, err := s.ctrl.Recover()
+		return response{report: rep, err: err}
+	case opVerify:
+		return response{err: s.ctrl.VerifyAll()}
+	case opStats:
+		return response{stats: s.ctrl.Stats()}
+	case opHook:
+		s.ctrl.SetHook(r.hook)
+		return response{}
+	default:
+		return response{err: ErrClosed}
+	}
+}

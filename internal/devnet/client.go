@@ -1,0 +1,173 @@
+package devnet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"soteria/internal/device"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// Client drives a remote device over one TCP connection. It satisfies
+// device.Client, reconstructing the device's typed error surface from the
+// wire statuses, so code written against the in-process device runs
+// unchanged against a server. A Client serializes its requests (the
+// protocol is strict request/response); open several clients for
+// concurrency.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ device.Client = (*Client)(nil)
+
+// Dial connects to a devnet server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection. The remote device keeps running.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request payload and decodes the response header,
+// returning the simulated latency, the response body, and the decoded
+// device error (nil on StatusOK).
+func (c *Client) roundTrip(req []byte) (sim.Time, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return 0, nil, fmt.Errorf("devnet: send: %w", err)
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return 0, nil, fmt.Errorf("devnet: receive: %w", err)
+	}
+	if len(resp) < 9 {
+		return 0, nil, fmt.Errorf("devnet: short response (%d bytes)", len(resp))
+	}
+	status := resp[0]
+	lat := sim.Time(binary.BigEndian.Uint64(resp[1:9]))
+	body := resp[9:]
+	switch status {
+	case StatusOK:
+		return lat, body, nil
+	case StatusBusy:
+		if len(body) != 16 {
+			return 0, nil, fmt.Errorf("devnet: malformed busy body (%d bytes)", len(body))
+		}
+		return 0, nil, &device.BusyError{
+			Shard:      int(binary.BigEndian.Uint32(body)),
+			Pending:    int(binary.BigEndian.Uint32(body[4:])),
+			RetryAfter: time.Duration(binary.BigEndian.Uint64(body[8:])) * time.Nanosecond,
+		}
+	case StatusCrashed:
+		return 0, nil, memctrl.ErrCrashed
+	case StatusClosed:
+		return 0, nil, device.ErrClosed
+	case StatusPowerLoss:
+		if len(body) != 12 {
+			return 0, nil, fmt.Errorf("devnet: malformed power-loss body (%d bytes)", len(body))
+		}
+		return 0, nil, &device.PowerError{
+			Shard:    int(binary.BigEndian.Uint32(body)),
+			Boundary: int(binary.BigEndian.Uint64(body[4:])),
+		}
+	case StatusRetired:
+		return 0, nil, device.ErrRetired
+	case StatusError:
+		return 0, nil, fmt.Errorf("devnet: server: %s", body)
+	default:
+		return 0, nil, fmt.Errorf("devnet: unknown status %d", status)
+	}
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	_, _, err := c.roundTrip([]byte{OpPing})
+	return err
+}
+
+// Info fetches the remote device description.
+func (c *Client) Info() (device.Info, error) {
+	var info device.Info
+	_, body, err := c.roundTrip([]byte{OpInfo})
+	if err != nil {
+		return info, err
+	}
+	return info, json.Unmarshal(body, &info)
+}
+
+// Read services one 64-byte read.
+func (c *Client) Read(addr uint64) (nvm.Line, sim.Time, error) {
+	var line nvm.Line
+	lat, body, err := c.roundTrip(putU64([]byte{OpRead}, addr))
+	if err != nil {
+		return line, 0, err
+	}
+	if len(body) != nvm.LineSize {
+		return line, 0, fmt.Errorf("devnet: read returned %d bytes", len(body))
+	}
+	copy(line[:], body)
+	return line, lat, nil
+}
+
+// Write services one 64-byte write.
+func (c *Client) Write(addr uint64, data *nvm.Line) (sim.Time, error) {
+	req := putU64([]byte{OpWrite}, addr)
+	req = append(req, data[:]...)
+	lat, _, err := c.roundTrip(req)
+	return lat, err
+}
+
+// Drain waits until the shard owning addr has drained its WPQ.
+func (c *Client) Drain(addr uint64) error {
+	_, _, err := c.roundTrip(putU64([]byte{OpDrain}, addr))
+	return err
+}
+
+// Flush is the device-wide durability barrier.
+func (c *Client) Flush() error {
+	_, _, err := c.roundTrip([]byte{OpFlush})
+	return err
+}
+
+// Crash cuts power across the whole remote device.
+func (c *Client) Crash() error {
+	_, _, err := c.roundTrip([]byte{OpCrash})
+	return err
+}
+
+// Recover rebuilds the remote device and returns its report.
+func (c *Client) Recover() (*device.RecoveryReport, error) {
+	_, body, err := c.roundTrip([]byte{OpRecover})
+	if err != nil {
+		return nil, err
+	}
+	rep := &device.RecoveryReport{}
+	if err := json.Unmarshal(body, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// SnapshotJSON fetches the remote device's merged telemetry snapshot in
+// its canonical JSON rendering (byte-identical to a local
+// Snapshot().MarshalIndentJSON()).
+func (c *Client) SnapshotJSON() ([]byte, error) {
+	_, body, err := c.roundTrip([]byte{OpSnapshot})
+	return body, err
+}

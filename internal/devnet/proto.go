@@ -1,0 +1,105 @@
+// Package devnet puts a sharded internal/device behind a TCP socket with
+// a small length-prefixed binary protocol, so load generators and other
+// processes can drive a live secure-NVM device service. The wire client
+// satisfies device.Client, making in-process and over-the-wire use
+// interchangeable.
+//
+// Framing: every message is [u32 big-endian payload length][payload].
+// A request payload is [u8 op][op-specific body]; a response payload is
+// [u8 status][u64 latency in simulated picoseconds][status/op-specific
+// body]. All integers are big-endian. Request bodies:
+//
+//	OpPing     —
+//	OpInfo     —                       response body: device.Info JSON
+//	OpRead     [u64 addr]              response body: 64-byte line
+//	OpWrite    [u64 addr][64B line]
+//	OpDrain    [u64 addr]
+//	OpFlush    —
+//	OpCrash    —
+//	OpRecover  —                       response body: device.RecoveryReport JSON
+//	OpSnapshot —                       response body: telemetry snapshot JSON
+//
+// Error statuses carry typed bodies so the client can reconstruct the
+// device's error surface exactly (see StatusBusy etc.).
+package devnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol ops.
+const (
+	OpPing uint8 = iota + 1
+	OpInfo
+	OpRead
+	OpWrite
+	OpDrain
+	OpFlush
+	OpCrash
+	OpRecover
+	OpSnapshot
+)
+
+// Response statuses.
+const (
+	// StatusOK: body is op-specific.
+	StatusOK uint8 = iota
+	// StatusBusy: body is [u32 shard][u32 pending][u64 retry-after ns].
+	StatusBusy
+	// StatusCrashed: the device is down; Recover it. Empty body.
+	StatusCrashed
+	// StatusClosed: the device is shut down. Empty body.
+	StatusClosed
+	// StatusPowerLoss: body is [u32 shard][u64 boundary].
+	StatusPowerLoss
+	// StatusRetired: the request was queued when power was cut. Empty body.
+	StatusRetired
+	// StatusError: body is a UTF-8 error string.
+	StatusError
+)
+
+// maxFrame bounds a frame payload; snapshots of big registries are the
+// largest legitimate message, and 16 MiB is far beyond any of them.
+const maxFrame = 16 << 20
+
+// writeFrame sends one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("devnet: frame of %d bytes exceeds the %d-byte cap", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func putU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func putU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}

@@ -1,0 +1,248 @@
+package devnet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"soteria/internal/device"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// Server serves one device over TCP. Connections are handled
+// concurrently; requests on one connection are sequential (the protocol
+// is strict request/response), so each connection behaves as one
+// closed-loop client — the regime under which the device is
+// deterministic.
+type Server struct {
+	dev *device.Device
+	ln  net.Listener
+
+	// Logf, when non-nil, receives connection lifecycle lines.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	draining bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a device. The caller keeps ownership of the device:
+// Shutdown stops serving but does not Close it.
+func NewServer(dev *device.Device) *Server {
+	return &Server{dev: dev, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, let every in-flight request
+// finish, then close the connections. The device itself is left running.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// serveConn runs the request/response loop for one connection. Reads poll
+// with a short deadline so a drain is noticed between requests; a request
+// already received is always answered before the connection closes.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	s.logf("devnet: %v connected", conn.RemoteAddr())
+	for {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			s.logf("devnet: %v drained", conn.RemoteAddr())
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		req, err := readFrame(conn)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			s.logf("devnet: %v gone: %v", conn.RemoteAddr(), err)
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		if err := writeFrame(conn, s.handle(req)); err != nil {
+			s.logf("devnet: %v write: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// handle executes one request payload and builds the response payload.
+func (s *Server) handle(req []byte) []byte {
+	if len(req) < 1 {
+		return respErr(fmt.Errorf("empty request"))
+	}
+	op, body := req[0], req[1:]
+	switch op {
+	case OpPing:
+		return respOK(0, nil)
+	case OpInfo:
+		data, err := json.Marshal(s.dev.Info())
+		if err != nil {
+			return respErr(err)
+		}
+		return respOK(0, data)
+	case OpRead:
+		addr, ok := bodyAddr(body)
+		if !ok {
+			return respErr(fmt.Errorf("read: want 8-byte address, got %d bytes", len(body)))
+		}
+		line, lat, err := s.dev.Read(addr)
+		if err != nil {
+			return respFromErr(err)
+		}
+		return respOK(lat, line[:])
+	case OpWrite:
+		if len(body) != 8+nvm.LineSize {
+			return respErr(fmt.Errorf("write: want address + %d-byte line, got %d bytes", nvm.LineSize, len(body)))
+		}
+		addr := binary.BigEndian.Uint64(body)
+		var line nvm.Line
+		copy(line[:], body[8:])
+		lat, err := s.dev.Write(addr, &line)
+		if err != nil {
+			return respFromErr(err)
+		}
+		return respOK(lat, nil)
+	case OpDrain:
+		addr, ok := bodyAddr(body)
+		if !ok {
+			return respErr(fmt.Errorf("drain: want 8-byte address, got %d bytes", len(body)))
+		}
+		if err := s.dev.Drain(addr); err != nil {
+			return respFromErr(err)
+		}
+		return respOK(0, nil)
+	case OpFlush:
+		if err := s.dev.Flush(); err != nil {
+			return respFromErr(err)
+		}
+		return respOK(0, nil)
+	case OpCrash:
+		if err := s.dev.Crash(); err != nil {
+			return respFromErr(err)
+		}
+		return respOK(0, nil)
+	case OpRecover:
+		rep, err := s.dev.Recover()
+		if err != nil {
+			return respFromErr(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			return respErr(err)
+		}
+		return respOK(0, data)
+	case OpSnapshot:
+		data, err := s.dev.Snapshot().MarshalIndentJSON()
+		if err != nil {
+			return respErr(err)
+		}
+		return respOK(0, data)
+	default:
+		return respErr(fmt.Errorf("unknown op %d", op))
+	}
+}
+
+func bodyAddr(body []byte) (uint64, bool) {
+	if len(body) != 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(body), true
+}
+
+func respOK(lat sim.Time, body []byte) []byte {
+	out := make([]byte, 0, 9+len(body))
+	out = append(out, StatusOK)
+	out = putU64(out, uint64(lat))
+	return append(out, body...)
+}
+
+func respErr(err error) []byte {
+	out := make([]byte, 0, 9+len(err.Error()))
+	out = append(out, StatusError)
+	out = putU64(out, 0)
+	return append(out, err.Error()...)
+}
+
+// respFromErr maps the device's typed error surface onto wire statuses.
+func respFromErr(err error) []byte {
+	var busy *device.BusyError
+	var power *device.PowerError
+	switch {
+	case errors.As(err, &busy):
+		out := make([]byte, 0, 25)
+		out = append(out, StatusBusy)
+		out = putU64(out, 0)
+		out = putU32(out, uint32(busy.Shard))
+		out = putU32(out, uint32(busy.Pending))
+		return putU64(out, uint64(busy.RetryAfter.Nanoseconds()))
+	case errors.As(err, &power):
+		out := make([]byte, 0, 21)
+		out = append(out, StatusPowerLoss)
+		out = putU64(out, 0)
+		out = putU32(out, uint32(power.Shard))
+		return putU64(out, uint64(power.Boundary))
+	case errors.Is(err, memctrl.ErrCrashed):
+		return []byte{StatusCrashed, 0, 0, 0, 0, 0, 0, 0, 0}
+	case errors.Is(err, device.ErrRetired):
+		return []byte{StatusRetired, 0, 0, 0, 0, 0, 0, 0, 0}
+	case errors.Is(err, device.ErrClosed):
+		return []byte{StatusClosed, 0, 0, 0, 0, 0, 0, 0, 0}
+	default:
+		return respErr(err)
+	}
+}

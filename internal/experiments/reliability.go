@@ -96,13 +96,16 @@ type RelParams struct {
 	// OnPoint receives every completed sweep point with its result and
 	// telemetry snapshot (nil = discard). See runner.Options.OnPoint.
 	OnPoint func(runner.Point)
+	// Logf receives engine warnings, e.g. corrupt cache entries being
+	// invalidated (nil = discard). See runner.Options.Logf.
+	Logf func(format string, args ...interface{})
 }
 
 // engine builds the experiment engine the reliability sweeps share.
 func (p RelParams) engine() *runner.Engine {
 	return runner.New(runner.Options{
 		Workers: p.Workers, CacheDir: p.CacheDir, OnProgress: p.Progress,
-		OnPoint: p.OnPoint,
+		OnPoint: p.OnPoint, Logf: p.Logf,
 	})
 }
 

@@ -1,0 +1,162 @@
+package loadgen_test
+
+import (
+	"bytes"
+	"flag"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/devnet"
+	"soteria/internal/loadgen"
+	"soteria/internal/memctrl"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// compile-time: the wire client is a loadgen connection.
+var _ loadgen.Conn = (*devnet.Client)(nil)
+
+func newDevice(t *testing.T, shards int) *device.Device {
+	t.Helper()
+	dev, err := device.New(device.Options{
+		System:    config.TestSystem(),
+		Mode:      memctrl.ModeSRC,
+		Key:       []byte("loadgen-test-key"),
+		Shards:    shards,
+		Telemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dev.Close() })
+	return dev
+}
+
+func serve(t *testing.T, dev *device.Device) string {
+	t.Helper()
+	srv := devnet.NewServer(dev)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Shutdown(); <-done })
+	return ln.Addr().String()
+}
+
+// TestSnapshotByteIdenticalAcrossWorkers is the acceptance golden test: a
+// fixed seed and op count produce a byte-identical merged telemetry
+// snapshot over the wire at every worker count, and that snapshot matches
+// the checked-in golden file (refresh with go test ./internal/loadgen
+// -run Golden -update).
+func TestSnapshotByteIdenticalAcrossWorkers(t *testing.T) {
+	const shards = 4
+	var first []byte
+	var firstRep *loadgen.Report
+	for _, workers := range []int{1, 2, 4} {
+		dev := newDevice(t, shards)
+		addr := serve(t, dev)
+		rep, snap, err := loadgen.Run(loadgen.Params{
+			Dial:     func() (loadgen.Conn, error) { return devnet.Dial(addr) },
+			Workers:  workers,
+			Ops:      600,
+			Seed:     42,
+			Workload: "hashmap",
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Read.Count == 0 || rep.Write.Count == 0 {
+			t.Fatalf("workers=%d: degenerate run: %+v", workers, rep)
+		}
+		if first == nil {
+			first, firstRep = snap, rep
+			continue
+		}
+		if !bytes.Equal(snap, first) {
+			t.Errorf("workers=%d: telemetry snapshot differs from workers=1", workers)
+		}
+		rep.Workers = firstRep.Workers // the one field allowed to differ
+		if !reflect.DeepEqual(rep, firstRep) {
+			t.Errorf("workers=%d: report differs from workers=1:\n%+v\n%+v", workers, rep, firstRep)
+		}
+	}
+
+	golden := filepath.Join("testdata", "golden_snapshot.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("snapshot deviates from %s (run with -update after intended changes)", golden)
+	}
+}
+
+// TestLocalConnMatchesWire cross-checks the two transports: the same run
+// through an in-process connection and through TCP must observe the same
+// snapshot bytes.
+func TestLocalConnMatchesWire(t *testing.T) {
+	run := func(dial func() (loadgen.Conn, error)) []byte {
+		_, snap, err := loadgen.Run(loadgen.Params{
+			Dial:     dial,
+			Workers:  2,
+			Ops:      300,
+			Seed:     7,
+			Workload: "btree",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	devLocal := newDevice(t, 2)
+	local := run(func() (loadgen.Conn, error) { return loadgen.NewLocalConn(devLocal), nil })
+
+	devWire := newDevice(t, 2)
+	addr := serve(t, devWire)
+	wire := run(func() (loadgen.Conn, error) { return devnet.Dial(addr) })
+
+	if !bytes.Equal(local, wire) {
+		t.Fatal("in-process and wire runs observed different snapshots")
+	}
+}
+
+func TestReportMarkdownIsMachineParsable(t *testing.T) {
+	dev := newDevice(t, 2)
+	rep, _, err := loadgen.Run(loadgen.Params{
+		Dial:     func() (loadgen.Conn, error) { return loadgen.NewLocalConn(dev), nil },
+		Ops:      200,
+		Seed:     3,
+		Workload: "hashmap",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "|") {
+			t.Fatalf("non-table stdout line: %q", line)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package loadgen
+
+import (
+	"soteria/internal/device"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// LocalConn adapts an in-process *device.Device to Conn, so the load
+// generator (and its tests) can drive a device without a socket. Close is
+// a no-op: the caller owns the device.
+type LocalConn struct {
+	dev *device.Device
+}
+
+// NewLocalConn wraps a device.
+func NewLocalConn(dev *device.Device) *LocalConn { return &LocalConn{dev: dev} }
+
+// Info implements Conn.
+func (c *LocalConn) Info() (device.Info, error) { return c.dev.Info(), nil }
+
+// Read implements Conn.
+func (c *LocalConn) Read(addr uint64) (nvm.Line, sim.Time, error) { return c.dev.Read(addr) }
+
+// Write implements Conn.
+func (c *LocalConn) Write(addr uint64, data *nvm.Line) (sim.Time, error) {
+	return c.dev.Write(addr, data)
+}
+
+// Drain implements Conn.
+func (c *LocalConn) Drain(addr uint64) error { return c.dev.Drain(addr) }
+
+// SnapshotJSON implements Conn.
+func (c *LocalConn) SnapshotJSON() ([]byte, error) {
+	return c.dev.Snapshot().MarshalIndentJSON()
+}
+
+// Close implements Conn; the device stays up.
+func (c *LocalConn) Close() error { return nil }

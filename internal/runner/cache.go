@@ -30,18 +30,39 @@ func cacheKey(kind string, parts ...interface{}) string {
 	return kind + "-" + hex.EncodeToString(h.Sum(nil))[:24]
 }
 
-// cacheLoad reads a cached value into v; ok reports a usable hit. Any
-// read or decode error is treated as a miss (the entry is recomputed and
-// rewritten).
-func (e *Engine) cacheLoad(key string, v interface{}) bool {
+// cacheLoad reads a cached value into v; ok reports a usable hit. A
+// missing file is an ordinary miss. A file that exists but is corrupt —
+// truncated mid-write, garbled, or decoding "successfully" into a value
+// the caller's valid check rejects (the JSON literal null does exactly
+// that: it leaves v a zero struct) — is logged through Options.Logf and
+// deleted, so the point is recomputed and the entry rewritten instead of
+// the sweep failing or silently serving a zero-value result.
+func (e *Engine) cacheLoad(key string, v interface{}, valid func() bool) bool {
 	if e.opt.CacheDir == "" {
 		return false
 	}
-	data, err := os.ReadFile(filepath.Join(e.opt.CacheDir, key+".json"))
+	path := filepath.Join(e.opt.CacheDir, key+".json")
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return false
 	}
-	return json.Unmarshal(data, v) == nil
+	if err := json.Unmarshal(data, v); err != nil {
+		e.invalidate(path, key, err.Error())
+		return false
+	}
+	if valid != nil && !valid() {
+		e.invalidate(path, key, "entry decodes to an implausible result")
+		return false
+	}
+	return true
+}
+
+// invalidate logs and removes a corrupt cache entry. Removal failures are
+// tolerated: the next cacheStore rewrites the file through a rename
+// anyway.
+func (e *Engine) invalidate(path, key, reason string) {
+	e.logf("runner: invalidating corrupt cache entry %s: %s", key, reason)
+	os.Remove(path)
 }
 
 // cacheStore persists v under key. Failures are silent: caching is an

@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// A corrupt or truncated cache entry must never fail a sweep or serve a
+// bogus result: the engine logs it, deletes it, recomputes the point, and
+// rewrites the entry. Regression test for the silent-miss era, when a
+// literal "null" entry decoded into a zero-value Result and was served as
+// a hit.
+func TestCorruptCacheEntriesAreInvalidated(t *testing.T) {
+	dir := t.TempDir()
+	sweep := testSweep(t, 400, []float64{10, 20, 40, 80})
+
+	e := New(Options{Workers: 4, CacheDir: dir})
+	fresh, err := e.RunFaultSweep(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(entries)
+	if len(entries) != len(sweep.FITs) {
+		t.Fatalf("cache holds %d entries, want %d", len(entries), len(sweep.FITs))
+	}
+
+	// Garble three of the four entries, each a different way; the fourth
+	// stays intact and must still be served from disk.
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err) // truncated mid-write
+	}
+	if err := os.WriteFile(entries[1], []byte("\x00garbage\xff not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[2], []byte("null"), 0o644); err != nil {
+		t.Fatal(err) // decodes cleanly into a zero-value Result
+	}
+
+	var logs []string
+	var points []Point
+	e2 := New(Options{
+		Workers:  4,
+		CacheDir: dir,
+		Logf:     func(format string, args ...interface{}) { logs = append(logs, fmt.Sprintf(format, args...)) },
+		OnPoint:  func(p Point) { points = append(points, p) },
+	})
+	second, err := e2.RunFaultSweep(sweep)
+	if err != nil {
+		t.Fatalf("sweep failed on corrupt cache: %v", err)
+	}
+	if !reflect.DeepEqual(second, fresh) {
+		t.Fatalf("recomputed results diverged from the fresh run:\n got %+v\nwant %+v", second, fresh)
+	}
+
+	if len(logs) != 3 {
+		t.Fatalf("logged %d warnings, want 3: %q", len(logs), logs)
+	}
+	for _, line := range logs {
+		if !strings.Contains(line, "invalidating corrupt cache entry") {
+			t.Fatalf("unexpected log line: %q", line)
+		}
+	}
+	cachedHits := 0
+	for _, p := range points {
+		if p.Cached {
+			cachedHits++
+		}
+	}
+	if cachedHits != 1 {
+		t.Fatalf("%d points served from cache, want exactly the intact one", cachedHits)
+	}
+
+	// The corrupt entries were rewritten: a third run is all cache hits
+	// and logs nothing.
+	logs = nil
+	points = nil
+	third, err := e2.RunFaultSweep(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(third, fresh) {
+		t.Fatal("rewritten cache served different results")
+	}
+	if len(logs) != 0 {
+		t.Fatalf("third run still logged warnings: %q", logs)
+	}
+	for _, p := range points {
+		if !p.Cached {
+			t.Fatalf("point %d missed the rewritten cache", p.Index)
+		}
+	}
+}

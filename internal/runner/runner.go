@@ -56,6 +56,10 @@ type Options struct {
 	// (including cache hits) with its full result and telemetry
 	// snapshot. Calls are serialized and arrive in point order.
 	OnPoint func(Point)
+	// Logf, when non-nil, receives warnings the engine would otherwise
+	// swallow — corrupt cache entries being invalidated, for example.
+	// Pass log.Printf (or a stderr writer) from a CLI; nil discards.
+	Logf func(format string, args ...interface{})
 }
 
 // Engine executes experiment sweeps through one bounded worker pool.
@@ -66,6 +70,13 @@ type Engine struct {
 // New returns an engine with the given options.
 func New(opt Options) *Engine {
 	return &Engine{opt: opt}
+}
+
+// logf forwards to Options.Logf when set.
+func (e *Engine) logf(format string, args ...interface{}) {
+	if e.opt.Logf != nil {
+		e.opt.Logf(format, args...)
+	}
 }
 
 // Workers returns the effective pool size.

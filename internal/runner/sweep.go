@@ -95,7 +95,9 @@ func (e *Engine) RunFaultSweep(s FaultSweep) ([]*faultsim.Result, error) {
 	for i, fit := range s.FITs {
 		keys[i] = s.pointKey(fit)
 		var cached faultsim.Result
-		if e.cacheLoad(keys[i], &cached) {
+		if e.cacheLoad(keys[i], &cached, func() bool {
+			return cached.Trials > 0 && len(cached.Schemes) > 0
+		}) {
 			results[i] = &cached
 			fromCache[i] = true
 			continue
