@@ -15,6 +15,7 @@ import (
 
 	"soteria/internal/config"
 	"soteria/internal/core"
+	"soteria/internal/ctrenc"
 	"soteria/internal/device"
 	"soteria/internal/experiments"
 	"soteria/internal/faultsim"
@@ -348,6 +349,74 @@ func BenchmarkControllerWrite(b *testing.B) { benchWrite(b, false) }
 // BenchmarkControllerWriteTelemetry is the same path with every counter
 // and span live.
 func BenchmarkControllerWriteTelemetry(b *testing.B) { benchWrite(b, true) }
+
+// benchSink keeps hot-path micro-benchmark results observable so the
+// compiler cannot elide the measured work.
+var benchSink uint64
+
+// BenchmarkMAC measures one keyed 64-bit MAC over a 64-byte line — the
+// single most frequent operation in the controller (data MACs, node MACs,
+// shadow MACs all land here). The CI bench-compare step gates on it.
+func BenchmarkMAC(b *testing.B) {
+	eng := ctrenc.MustNewEngine([]byte("bench-mac-key"))
+	var line [64]byte
+	for i := range line {
+		line[i] = byte(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = eng.MAC(ctrenc.DomainData, uint64(i), 42, line[:])
+	}
+}
+
+// BenchmarkCounterBlockRoundTrip measures the split-counter block codec
+// (serialize + deserialize), the per-metadata-writeback serialization cost.
+func BenchmarkCounterBlockRoundTrip(b *testing.B) {
+	var cb ctrenc.CounterBlock
+	cb.Major = 12345
+	for i := range cb.Minors {
+		cb.Minors[i] = uint8(i % 63)
+	}
+	cb.MAC = 0xDEADBEEF
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := cb.Serialize()
+		out := ctrenc.DeserializeCounterBlock(&line)
+		benchSink = out.Major
+	}
+}
+
+// BenchmarkControllerSteadyState measures the warm-cache secure datapath
+// under a 3:1 write:read mix over a 512-block working set — the
+// steady-state regime of cmd/experiments and the device service. The CI
+// bench-compare step gates on it.
+func BenchmarkControllerSteadyState(b *testing.B) {
+	ctrl, err := memctrl.New(config.TestSystem(), memctrl.ModeSRC, []byte("b"), memctrl.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var line [64]byte
+	now := ctrl.DrainWPQ(0)
+	for i := 0; i < 512; i++ {
+		if now, err = ctrl.WriteBlock(now, uint64(i)*64, &line); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%512) * 64
+		if i%4 == 3 {
+			if _, now, err = ctrl.ReadBlock(now, addr); err != nil {
+				b.Fatal(err)
+			}
+		} else if now, err = ctrl.WriteBlock(now, addr, &line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // benchDevice measures the sharded device service end to end: one
 // closed-loop goroutine per shard issuing a write-heavy mix through the

@@ -61,6 +61,12 @@ type shard struct {
 	// now is the shard's private simulated clock (worker-only).
 	now sim.Time
 
+	// Batch scratch (worker-only), reused across runBatch calls so the
+	// steady-state batch loop performs no per-batch allocations.
+	supersededBy map[int]int
+	lastWrite    map[uint64]int
+	results      []response
+
 	// svc estimates wall-clock nanoseconds per request for retry hints.
 	svc ewma
 
@@ -118,8 +124,13 @@ func (s *shard) runBatch(batch []*request) bool {
 	// barrier-like operation in between — is dropped and acknowledged
 	// with its superseder's outcome, exactly the semantics of an ADR
 	// write-combining buffer. supersededBy[i] holds the absorbing index.
-	supersededBy := make(map[int]int)
-	lastWrite := make(map[uint64]int) // local line addr -> pending write index
+	if s.supersededBy == nil {
+		s.supersededBy = make(map[int]int)
+		s.lastWrite = make(map[uint64]int) // local line addr -> pending write index
+	}
+	supersededBy, lastWrite := s.supersededBy, s.lastWrite
+	clear(supersededBy)
+	clear(lastWrite)
 	for i, r := range batch {
 		switch r.op {
 		case opWrite:
@@ -131,11 +142,17 @@ func (s *shard) runBatch(batch []*request) bool {
 			delete(lastWrite, r.addr)
 		default:
 			// Drains, flushes and control ops order against every write.
-			lastWrite = map[uint64]int{}
+			clear(lastWrite)
 		}
 	}
 
-	results := make([]response, len(batch))
+	if cap(s.results) < len(batch) {
+		s.results = make([]response, len(batch))
+	}
+	results := s.results[:len(batch)]
+	for i := range results {
+		results[i] = response{}
+	}
 	stopAt := -1
 	for i, r := range batch {
 		if _, dropped := supersededBy[i]; dropped {

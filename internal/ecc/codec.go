@@ -31,6 +31,10 @@ type Codec interface {
 	CheckBytes() int
 	// Encode computes fresh check bytes for the line.
 	Encode(data []byte) []byte
+	// EncodeInto computes check bytes into check, which must be
+	// CheckBytes() long. It is Encode without the allocation, for the
+	// device write path.
+	EncodeInto(check, data []byte)
 	// Decode verifies data against check, correcting data in place when
 	// possible.
 	Decode(data, check []byte) Result
@@ -49,6 +53,9 @@ func (NoECC) CheckBytes() int { return 0 }
 
 // Encode implements Codec.
 func (NoECC) Encode([]byte) []byte { return nil }
+
+// EncodeInto implements Codec.
+func (NoECC) EncodeInto([]byte, []byte) {}
 
 // Decode implements Codec.
 func (NoECC) Decode([]byte, []byte) Result { return Result{} }
@@ -82,10 +89,15 @@ func (c *Chipkill) CheckBytes() int { return 16 }
 // Encode implements Codec.
 func (c *Chipkill) Encode(data []byte) []byte {
 	check := make([]byte, 16)
-	for b := 0; b < 8; b++ {
-		copy(check[b*2:], c.rs.Encode(data[b*8:b*8+8]))
-	}
+	c.EncodeInto(check, data)
 	return check
+}
+
+// EncodeInto implements Codec.
+func (c *Chipkill) EncodeInto(check, data []byte) {
+	for b := 0; b < 8; b++ {
+		c.rs.EncodeTo(check[b*2:b*2+2], data[b*8:b*8+8])
+	}
 }
 
 // Decode implements Codec.

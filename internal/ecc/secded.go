@@ -147,10 +147,15 @@ func (SECDED) CheckBytes() int { return 8 }
 // Encode implements Codec.
 func (SECDED) Encode(data []byte) []byte {
 	check := make([]byte, 8)
+	SECDED{}.EncodeInto(check, data)
+	return check
+}
+
+// EncodeInto implements Codec.
+func (SECDED) EncodeInto(check, data []byte) {
 	for w := 0; w < 8; w++ {
 		check[w] = secdedEncode(word(data, w))
 	}
-	return check
 }
 
 // Decode implements Codec. Each word is decoded independently; the line is

@@ -382,8 +382,10 @@ func TestUncorrectableKMatchesPairwise(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	modes := ScaledModes(HopperModes(), 5000)
 	cfg := config.Table4()
+	var buf []Fault
 	for trial := 0; trial < 200; trial++ {
-		faults := SampleTrial(rng, cfg, modes)
+		faults := SampleTrialInto(rng, cfg, modes, buf)
+		buf = faults
 		a := Uncorrectable(d, faults)
 		b := UncorrectableK(d, faults, 1)
 		if len(a) != len(b) {

@@ -243,7 +243,20 @@ type modeDist struct {
 }
 
 func newModeDist(modes []Mode) *modeDist {
-	d := &modeDist{}
+	n := 0
+	for _, m := range modes {
+		if m.TransientFIT > 0 {
+			n++
+		}
+		if m.PermanentFIT > 0 {
+			n++
+		}
+	}
+	d := &modeDist{
+		grans:      make([]Granularity, 0, n),
+		transients: make([]bool, 0, n),
+		cum:        make([]float64, 0, n),
+	}
 	for _, m := range modes {
 		for _, k := range []struct {
 			fit float64
@@ -291,10 +304,18 @@ func sampleN(rng *rand.Rand, cfg config.FaultSimConfig, dist *modeDist, n int, b
 // SampleTrial draws one unconditioned trial's fault set over the configured
 // lifetime.
 func SampleTrial(rng *rand.Rand, cfg config.FaultSimConfig, modes []Mode) []Fault {
+	return SampleTrialInto(rng, cfg, modes, nil)
+}
+
+// SampleTrialInto is SampleTrial with an explicit reusable buffer: the trial's
+// faults are appended into buf[:0] (which may be nil), the same reuse
+// discipline sampleN gives the block runner, so per-trial callers in a loop
+// stop re-allocating the fault slice.
+func SampleTrialInto(rng *rand.Rand, cfg config.FaultSimConfig, modes []Mode, buf []Fault) []Fault {
 	dist := newModeDist(modes)
 	hours := cfg.Years * 365 * 24
 	lambda := dist.total * 1e-9 * hours * float64(cfg.DIMM.Chips)
-	return sampleN(rng, cfg, dist, poisson(rng, lambda), nil)
+	return sampleN(rng, cfg, dist, poisson(rng, lambda), buf[:0])
 }
 
 // blockSeed derives the RNG seed of one trial block from the master seed

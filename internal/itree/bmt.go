@@ -34,6 +34,14 @@ type BMT struct {
 	levelNodes []uint64
 	root       uint64 // on-chip root hash
 	tel        telemetryHooks
+
+	// leafBuf/nodeBuf are Update scratch. WriteLine is an interface
+	// call, so lines routed through it must live somewhere the compiler
+	// can prove heap-resident — these BMT-owned buffers — or every
+	// update would allocate per level. The BMT is single-goroutine,
+	// like the shadow table and controller that drive it.
+	leafBuf [BlockSize]byte
+	nodeBuf [BlockSize]byte
 }
 
 // telemetryHooks holds the BMT's metric handles; nil handles (no registry
@@ -192,20 +200,21 @@ func (b *BMT) Update(index uint64, line *[BlockSize]byte) error {
 		return fmt.Errorf("itree: BMT leaf %d out of range (%d)", index, b.leaves)
 	}
 	b.tel.updates.Inc()
-	b.store.WriteLine(b.leafBase+index*BlockSize, line)
-	h := b.leafHash(index, line)
+	b.leafBuf = *line
+	b.store.WriteLine(b.leafBase+index*BlockSize, &b.leafBuf)
+	h := b.leafHash(index, &b.leafBuf)
 	child := index
 	for lvl := range b.levelBase {
 		nodeIdx := child / 8
 		slot := child % 8
 		addr := b.levelBase[lvl] + nodeIdx*BlockSize
-		nodeLine, err := b.store.ReadLine(addr)
-		if err != nil {
+		var err error
+		if b.nodeBuf, err = b.store.ReadLine(addr); err != nil {
 			return fmt.Errorf("itree: BMT level %d node %d unreadable: %w", lvl, nodeIdx, err)
 		}
-		binary.LittleEndian.PutUint64(nodeLine[slot*8:(slot+1)*8], h)
-		b.store.WriteLine(addr, &nodeLine)
-		h = b.nodeHash(lvl, nodeIdx, &nodeLine)
+		binary.LittleEndian.PutUint64(b.nodeBuf[slot*8:(slot+1)*8], h)
+		b.store.WriteLine(addr, &b.nodeBuf)
+		h = b.nodeHash(lvl, nodeIdx, &b.nodeBuf)
 		child = nodeIdx
 	}
 	b.root = h

@@ -361,12 +361,19 @@ func (l *Layout) CloneAddr(level int, index uint64, c int) uint64 {
 // CopyAddrs returns all copy addresses of a node, home first.
 func (l *Layout) CopyAddrs(level int, index uint64) []uint64 {
 	li := l.Levels[level-1]
-	out := make([]uint64, 0, 1+len(li.CloneBases))
-	out = append(out, l.NodeAddr(level, index))
+	return l.AppendCopyAddrs(make([]uint64, 0, 1+len(li.CloneBases)), level, index)
+}
+
+// AppendCopyAddrs appends all copy addresses of a node, home first, to
+// dst and returns it — CopyAddrs for callers that recycle a scratch
+// slice across write-backs.
+func (l *Layout) AppendCopyAddrs(dst []uint64, level int, index uint64) []uint64 {
+	li := l.Levels[level-1]
+	dst = append(dst, l.NodeAddr(level, index))
 	for c := range li.CloneBases {
-		out = append(out, l.CloneAddr(level, index, c))
+		dst = append(dst, l.CloneAddr(level, index, c))
 	}
-	return out
+	return dst
 }
 
 // CounterBlockOf returns the level-1 node index covering data block b.

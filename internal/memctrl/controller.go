@@ -216,6 +216,12 @@ type Controller struct {
 	// serialized — otherwise a concurrent re-fetch of the stale NVM copy
 	// could roll those bumps back.
 	inflight map[uint64]*metacache.Block
+
+	// wbAddrs/wbWrites are write-back scratch, reused across calls: the
+	// copy-address list and its atomic write group are fully consumed by
+	// PushAtomic before anything can re-enter writebackBlock.
+	wbAddrs  []uint64
+	wbWrites []wpq.Write
 }
 
 // New constructs a controller in the given mode over a fresh NVM device.

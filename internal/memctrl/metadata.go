@@ -60,8 +60,7 @@ func (c *Controller) decodeBlock(level int, index uint64, line *nvm.Line) metaca
 			Kind:           metacache.KindCounter,
 			Level:          1,
 			Index:          index,
-			Counter:        ctrenc.DeserializeCounterBlock(line),
-			UpdatesPerSlot: make([]uint32, ctrenc.CountersPerBlock),
+			Counter: ctrenc.DeserializeCounterBlock(line),
 		}
 	}
 	return metacache.Block{
@@ -304,8 +303,15 @@ func (c *Controller) writebackBlock(blk *metacache.Block) error {
 	}
 	line := serializeBlock(blk)
 
-	addrs := c.layout.CopyAddrs(level, index)
-	writes := make([]wpq.Write, len(addrs))
+	// The addr/write scratch is consumed before any path that could
+	// re-enter writebackBlock (the parent cascade above is done), so one
+	// controller-owned buffer suffices even under nested write-backs.
+	c.wbAddrs = c.layout.AppendCopyAddrs(c.wbAddrs[:0], level, index)
+	addrs := c.wbAddrs
+	if cap(c.wbWrites) < len(addrs) {
+		c.wbWrites = make([]wpq.Write, len(addrs))
+	}
+	writes := c.wbWrites[:len(addrs)]
 	for i, a := range addrs {
 		writes[i] = wpq.Write{Addr: a, Data: line}
 	}

@@ -311,8 +311,7 @@ func (c *Controller) reconstruct(level int, index uint64, e shadow.Entry, line *
 		}
 		blk = metacache.Block{
 			Kind: metacache.KindCounter, Level: 1, Index: index,
-			Counter:        rec,
-			UpdatesPerSlot: make([]uint32, ctrenc.CountersPerBlock),
+			Counter: rec,
 		}
 	} else {
 		stale := itree.DeserializeNode(line)

@@ -1,0 +1,39 @@
+package metacache
+
+import (
+	"testing"
+
+	"soteria/internal/config"
+)
+
+// allocSink keeps lookups observable so the compiler cannot elide them.
+var allocSink uint64
+
+// TestLookupHitZeroAllocs pins the warm-cache hit path at zero heap
+// allocations per lookup: the flat set-indexed backing hands out a
+// pointer into the resident line array, so a hit must touch no
+// allocator at all. A regression here means the backing regrew per-entry
+// heap boxes.
+func TestLookupHitZeroAllocs(t *testing.T) {
+	m, err := New(config.CacheConfig{SizeBytes: 64 * config.BlockSize, Ways: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]uint64, 16)
+	for i := range addrs {
+		addrs[i] = uint64(i) * config.BlockSize
+		m.Insert(addrs[i], Block{Kind: KindCounter, Level: 1, Index: uint64(i)}, false)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		b, ok := m.Lookup(addrs[i%len(addrs)])
+		if !ok {
+			t.Fatal("warm lookup missed")
+		}
+		allocSink += b.Index
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Cache.Lookup hit allocates %.2f objects/op, want 0", avg)
+	}
+}

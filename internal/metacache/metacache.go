@@ -1,9 +1,17 @@
-// Package metacache wraps the generic cache with the security-metadata
+// Package metacache implements the security-metadata cache with the
 // payload types and the per-level eviction statistics that drive Figures 4
 // and 10c of the paper. The metadata cache is the volatile on-chip
 // structure (Table 3: 512 kB, 8-way) holding decoded counter blocks, ToC
 // nodes and packed data-MAC lines; everything in it is trusted (it is
 // inside the processor), and everything in it is lost at a crash.
+//
+// Unlike the data hierarchy (internal/cache), the metadata cache sits on
+// the controller's per-access critical path, so its backing store is a
+// single flat array of sets×ways lines — direct set/way indexing, inline
+// LRU stamps, no per-entry heap boxes — while preserving the generic
+// cache's observable semantics exactly (the differential test drives both
+// against the same reference model). It reuses internal/cache's Stats and
+// Entry types so callers are unchanged.
 package metacache
 
 import (
@@ -61,8 +69,9 @@ type Block struct {
 	// UpdatesPerSlot counts in-cache minor-counter increments since the
 	// block was last written back; the Osiris bound forces a write-back
 	// when any slot reaches the recovery limit. Only used for
-	// KindCounter.
-	UpdatesPerSlot []uint32
+	// KindCounter. A fixed array (not a slice) so a decoded block never
+	// drags a heap allocation into the cache line.
+	UpdatesPerSlot [ctrenc.CountersPerBlock]uint32
 }
 
 // Stats aggregates metadata-cache behaviour for the evaluation figures.
@@ -92,9 +101,26 @@ type telemetryHooks struct {
 	dropAll     *telemetry.Counter
 }
 
-// Cache is the metadata cache.
+// line is one (set, way) slot of the flat backing array.
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64
+	block Block
+}
+
+// Cache is the metadata cache: set-associative, write-back, true-LRU,
+// backed by one flat array indexed as lines[set*ways+way].
 type Cache struct {
-	c      *cache.Cache[Block]
+	lines    []line
+	ways     int
+	setMask  uint64
+	setBits  uint
+	lineBits uint
+	tick     uint64
+
+	cs     cache.Stats
 	levels int
 	st     Stats
 	tel    telemetryHooks
@@ -136,65 +162,195 @@ func noteLevel(ctrs []*telemetry.Counter, level int) {
 // New constructs a metadata cache from its configuration; levels is the
 // number of stored tree levels (for the eviction histogram).
 func New(cfg config.CacheConfig, levels int) (*Cache, error) {
-	c, err := cache.New[Block](cfg)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Cache{
-		c:      c,
-		levels: levels,
-		st:     Stats{EvictionsByLevel: stats.NewHistogram(levels + 1)},
-	}, nil
+	nsets := cfg.Sets()
+	m := &Cache{
+		lines:   make([]line, nsets*cfg.Ways),
+		ways:    cfg.Ways,
+		setMask: uint64(nsets - 1),
+		levels:  levels,
+		st:      Stats{EvictionsByLevel: stats.NewHistogram(levels + 1)},
+	}
+	for s := config.BlockSize; s > 1; s >>= 1 {
+		m.lineBits++
+	}
+	for s := nsets; s > 1; s >>= 1 {
+		m.setBits++
+	}
+	return m, nil
 }
 
-// Lookup probes for the block with the given home address.
-func (m *Cache) Lookup(homeAddr uint64) (*Block, bool) {
-	b, ok := m.c.Lookup(homeAddr)
-	if ok {
-		m.tel.hits.Inc()
-		noteLevel(m.tel.hitsByLevel, b.Level)
-	} else {
-		m.tel.misses.Inc()
+// index splits addr into its set and tag.
+func (m *Cache) index(addr uint64) (set uint64, tag uint64) {
+	l := addr >> m.lineBits
+	return l & m.setMask, l >> m.setBits
+}
+
+// set returns the ways of one set as a subslice of the flat array.
+func (m *Cache) set(set uint64) []line {
+	base := int(set) * m.ways
+	return m.lines[base : base+m.ways]
+}
+
+// addrOf reassembles the line-aligned address of a (set, tag) pair.
+func (m *Cache) addrOf(set, tag uint64) uint64 {
+	return (tag<<m.setBits | set) << m.lineBits
+}
+
+// find returns the way index holding addr within its set, or -1.
+func (m *Cache) find(ws []line, tag uint64) int {
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			return i
+		}
 	}
-	return b, ok
+	return -1
+}
+
+// Lookup probes for the block with the given home address. On a hit it
+// refreshes LRU state and returns a pointer to the payload (callers may
+// mutate it in place).
+func (m *Cache) Lookup(homeAddr uint64) (*Block, bool) {
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	if i := m.find(ws, tag); i >= 0 {
+		m.tick++
+		ws[i].lru = m.tick
+		m.cs.Hits++
+		m.tel.hits.Inc()
+		noteLevel(m.tel.hitsByLevel, ws[i].block.Level)
+		return &ws[i].block, true
+	}
+	m.cs.Misses++
+	m.tel.misses.Inc()
+	return nil, false
 }
 
 // Peek probes without LRU/statistics side effects.
-func (m *Cache) Peek(homeAddr uint64) (*Block, bool) { return m.c.Peek(homeAddr) }
+func (m *Cache) Peek(homeAddr uint64) (*Block, bool) {
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	if i := m.find(ws, tag); i >= 0 {
+		return &ws[i].block, true
+	}
+	return nil, false
+}
 
 // MarkDirty marks a resident block dirty.
-func (m *Cache) MarkDirty(homeAddr uint64) bool { return m.c.MarkDirty(homeAddr) }
+func (m *Cache) MarkDirty(homeAddr uint64) bool {
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	if i := m.find(ws, tag); i >= 0 {
+		ws[i].dirty = true
+		return true
+	}
+	return false
+}
 
 // CleanLine clears a resident block's dirty bit after write-back.
 func (m *Cache) CleanLine(homeAddr uint64) {
 	m.tel.writebacks.Inc()
-	m.c.CleanLine(homeAddr)
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	if i := m.find(ws, tag); i >= 0 {
+		ws[i].dirty = false
+	}
 }
 
 // Insert fills the block, returning any evicted victim. Dirty tree
-// evictions are histogrammed by level.
+// evictions are histogrammed by level. Inserting a resident address
+// replaces its payload in place (dirty bits OR together) and evicts
+// nothing.
 func (m *Cache) Insert(homeAddr uint64, b Block, dirty bool) (cache.Entry[Block], bool) {
-	ev, has := m.c.Insert(homeAddr, b, dirty)
-	if has {
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	m.tick++
+	if i := m.find(ws, tag); i >= 0 {
+		ws[i].block = b
+		ws[i].dirty = ws[i].dirty || dirty
+		ws[i].lru = m.tick
+		return cache.Entry[Block]{}, false
+	}
+	victim := -1
+	for i := range ws {
+		if !ws[i].valid {
+			victim = i
+			break
+		}
+	}
+	var (
+		ev  cache.Entry[Block]
+		has bool
+	)
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(ws); i++ {
+			if ws[i].lru < ws[victim].lru {
+				victim = i
+			}
+		}
+		ev = cache.Entry[Block]{
+			Addr:  m.addrOf(set, ws[victim].tag),
+			Dirty: ws[victim].dirty,
+			Value: ws[victim].block,
+		}
+		has = true
+		m.cs.Evictions++
 		m.tel.evictions.Inc()
+		if ws[victim].dirty {
+			m.cs.Writebacks++
+		}
+		if ws[victim].dirty && ws[victim].block.Kind != KindMAC {
+			m.st.EvictionsByLevel.Observe(ws[victim].block.Level)
+			m.st.DirtyTreeEvictions++
+			m.tel.dirtyEvict.Inc()
+			noteLevel(m.tel.evByLevel, ws[victim].block.Level)
+		}
 	}
-	if has && ev.Dirty && ev.Value.Kind != KindMAC {
-		m.st.EvictionsByLevel.Observe(ev.Value.Level)
-		m.st.DirtyTreeEvictions++
-		m.tel.dirtyEvict.Inc()
-		noteLevel(m.tel.evByLevel, ev.Value.Level)
-	}
+	ws[victim] = line{valid: true, dirty: dirty, tag: tag, lru: m.tick, block: b}
 	return ev, has
 }
 
 // Victim predicts what Insert(homeAddr, ...) would evict, without
-// changing any cache state.
+// changing any cache state: nothing when the address is resident or its
+// set has a free way, otherwise the set's LRU line. The secure controller
+// uses this to write back a dirty victim *before* the insertion so the
+// victim's shadow-table entry stays valid until its contents are durable.
 func (m *Cache) Victim(homeAddr uint64) (cache.Entry[Block], bool) {
-	return m.c.Victim(homeAddr)
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	if m.find(ws, tag) >= 0 {
+		return cache.Entry[Block]{}, false
+	}
+	for i := range ws {
+		if !ws[i].valid {
+			return cache.Entry[Block]{}, false
+		}
+	}
+	victim := 0
+	for i := 1; i < len(ws); i++ {
+		if ws[i].lru < ws[victim].lru {
+			victim = i
+		}
+	}
+	return cache.Entry[Block]{
+		Addr:  m.addrOf(set, ws[victim].tag),
+		Dirty: ws[victim].dirty,
+		Value: ws[victim].block,
+	}, true
 }
 
 // Touch refreshes a resident block's LRU state (no hit is counted).
-func (m *Cache) Touch(homeAddr uint64) { m.c.Touch(homeAddr) }
+func (m *Cache) Touch(homeAddr uint64) {
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	if i := m.find(ws, tag); i >= 0 {
+		m.tick++
+		ws[i].lru = m.tick
+	}
+}
 
 // NoteEvictionWriteback records one dirty tree block written back under
 // eviction pressure. The controller pre-cleans dirty victims (write-back
@@ -210,43 +366,88 @@ func (m *Cache) NoteEvictionWriteback(level int) {
 
 // Invalidate drops one line without write-back.
 func (m *Cache) Invalidate(homeAddr uint64) (cache.Entry[Block], bool) {
-	e, ok := m.c.Invalidate(homeAddr)
-	if ok {
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	if i := m.find(ws, tag); i >= 0 {
+		e := cache.Entry[Block]{
+			Addr:  homeAddr &^ (config.BlockSize - 1),
+			Dirty: ws[i].dirty,
+			Value: ws[i].block,
+		}
+		ws[i] = line{}
 		m.tel.invalidates.Inc()
+		return e, true
 	}
-	return e, ok
+	return cache.Entry[Block]{}, false
 }
 
 // DropAll models power loss: every line vanishes; the dirty ones are
 // returned so tests can reason about what recovery must reconstruct.
 func (m *Cache) DropAll() []cache.Entry[Block] {
 	m.tel.dropAll.Inc()
-	return m.c.DropAll()
+	var dirty []cache.Entry[Block]
+	for i := range m.lines {
+		l := &m.lines[i]
+		if l.valid && l.dirty {
+			set := uint64(i / m.ways)
+			dirty = append(dirty, cache.Entry[Block]{
+				Addr:  m.addrOf(set, l.tag),
+				Dirty: true,
+				Value: l.block,
+			})
+		}
+		*l = line{}
+	}
+	return dirty
 }
 
-// DirtyEntries lists resident dirty blocks.
-func (m *Cache) DirtyEntries() []cache.Entry[Block] { return m.c.DirtyEntries() }
+// DirtyEntries lists resident dirty blocks, in set order.
+func (m *Cache) DirtyEntries() []cache.Entry[Block] {
+	var out []cache.Entry[Block]
+	for i := range m.lines {
+		l := &m.lines[i]
+		if l.valid && l.dirty {
+			set := uint64(i / m.ways)
+			out = append(out, cache.Entry[Block]{
+				Addr:  m.addrOf(set, l.tag),
+				Dirty: true,
+				Value: l.block,
+			})
+		}
+	}
+	return out
+}
 
 // SlotOf returns the shadow-table slot (set*ways + way) of a resident
 // block, or -1. The Anubis shadow table has exactly one entry per cache
 // way.
 func (m *Cache) SlotOf(homeAddr uint64) int {
-	w := m.c.WayOf(homeAddr)
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	w := m.find(ws, tag)
 	if w < 0 {
 		return -1
 	}
-	return m.c.SetOf(homeAddr)*m.c.Ways() + w
+	return int(set)*m.ways + w
 }
 
 // Slots returns the total number of (set, way) slots.
-func (m *Cache) Slots() int { return m.c.Sets() * m.c.Ways() }
+func (m *Cache) Slots() int { return len(m.lines) }
 
 // Stats returns a snapshot of the metadata cache statistics.
 func (m *Cache) Stats() Stats {
 	s := m.st
-	s.Stats = m.c.Stats()
+	s.Stats = m.cs
 	return s
 }
 
 // Len returns the number of resident blocks.
-func (m *Cache) Len() int { return m.c.Len() }
+func (m *Cache) Len() int {
+	n := 0
+	for i := range m.lines {
+		if m.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -69,7 +69,7 @@ func TestSlotOfMatchesSetWay(t *testing.T) {
 
 func TestDirtyLifecycle(t *testing.T) {
 	m := newMC(t)
-	m.Insert(0, Block{Kind: KindCounter, Level: 1, UpdatesPerSlot: make([]uint32, 64)}, false)
+	m.Insert(0, Block{Kind: KindCounter, Level: 1, UpdatesPerSlot: [64]uint32{}}, false)
 	if len(m.DirtyEntries()) != 0 {
 		t.Fatal("clean insert is dirty")
 	}

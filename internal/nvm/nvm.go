@@ -62,6 +62,15 @@ type Device struct {
 	// hook, when set, observes every write boundary (chaos injection).
 	hook inject.Hook
 	tel  telemetryHooks
+
+	// encBuf/rdBuf shield the read/write hot paths from interface-escape
+	// allocations: slices passed through the ecc.Codec interface are
+	// assumed by the compiler to escape, so the device copies line data
+	// through these owned buffers instead of handing out caller (or
+	// stack) pointers. The device, like the controller driving it, is
+	// single-goroutine.
+	encBuf Line
+	rdBuf  Line
 }
 
 // telemetryHooks holds the device's metric handles; nil handles (no
@@ -176,8 +185,13 @@ func (d *Device) Write(addr uint64, data *Line) {
 	l := d.line(idx)
 	// The controller computes ECC over the data it sends; stuck cells
 	// then corrupt the stored copy, so the check bytes reflect the
-	// intended value while the array holds the faulty one.
-	l.check = d.codec.Encode(data[:])
+	// intended value while the array holds the faulty one. The stored
+	// check buffer is reused across writes.
+	d.encBuf = *data
+	if len(l.check) != d.codec.CheckBytes() {
+		l.check = make([]byte, d.codec.CheckBytes())
+	}
+	d.codec.EncodeInto(l.check, d.encBuf[:])
 	l.data = *data
 	if l.stuckMask != nil {
 		for i := range l.data {
@@ -219,8 +233,9 @@ func (d *Device) Read(addr uint64) ReadResult {
 	if !ok {
 		return ReadResult{}
 	}
-	buf := l.data
-	d.ecpApply(idx, &buf)
+	buf := &d.rdBuf
+	*buf = l.data
+	d.ecpApply(idx, buf)
 	res := d.codec.Decode(buf[:], l.check)
 	if res.Corrected {
 		d.stats.CorrectedLines++
@@ -228,15 +243,15 @@ func (d *Device) Read(addr uint64) ReadResult {
 		// A patrol-scrub style write-back of the corrected value keeps
 		// correctable faults from accumulating, mirroring real
 		// controllers (demand scrubbing).
-		l.data = buf
-		l.check = d.codec.Encode(buf[:])
+		l.data = *buf
+		d.codec.EncodeInto(l.check, buf[:])
 	}
 	if res.Uncorrectable {
 		d.stats.UncorrectableHits++
 		d.tel.uncorrectable.Inc()
 	}
 	return ReadResult{
-		Data:          buf,
+		Data:          *buf,
 		Corrected:     res.Corrected,
 		Uncorrectable: res.Uncorrectable,
 		BadWords:      res.BadWords,
