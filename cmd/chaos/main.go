@@ -41,6 +41,10 @@ func main() {
 		quick        = flag.Bool("quick", false, "smoke-test sizes: writes 60, stride 5, trials 5 (unless set explicitly)")
 		deviceRun    = flag.Bool("device", false, "run against the sharded internal/device service instead of a bare controller")
 		shards       = flag.Int("shards", 4, "shard count for -device")
+		netRun       = flag.Bool("net", false, "run the full network stack (server + fault proxy + retrying clients); combine with -sweep for the standard fault sweep")
+		netFault     = flag.String("net-fault", "clean", "fault schedule for -net: clean|latency|throttle|corrupt|reset|truncate|partition|combined")
+		netClients   = flag.Int("net-clients", 3, "concurrent clients for -net")
+		kills        = flag.Int("kills", 0, "server kill/restart cycles mid-workload for -net")
 		verbose      = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
@@ -75,6 +79,50 @@ func main() {
 	if *verbose {
 		logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
 		base.Logf = logf
+	}
+
+	if *netRun {
+		if *campaign != "" || *nested || *crashAt2 >= 0 || *deviceRun {
+			fatal(fmt.Errorf("-net supports single runs and -sweep only"))
+		}
+		nbase := chaos.NetConfig{
+			Seed:    *seed,
+			Ops:     *writes,
+			Clients: *netClients,
+			Shards:  *shards,
+			Mode:    mode,
+			Kills:   *kills,
+			Logf:    base.Logf,
+		}
+		if *quick && !set["writes"] {
+			nbase.Ops = 30
+		}
+		if *sweep {
+			res, err := chaos.NetSweep(nbase, func(format string, a ...any) {
+				// Sweep progress carries wall-clock-dependent counters;
+				// keep stdout deterministic by diverting it to stderr.
+				fmt.Fprintf(os.Stderr, format+"\n", a...)
+			})
+			report("net sweep", res, err, false)
+			return
+		}
+		nbase.FaultName = *netFault
+		sched, err := chaos.NetFaultSchedule(*netFault)
+		if err != nil {
+			fatal(err)
+		}
+		nbase.Schedule = sched
+		res, err := chaos.NetRun(nbase)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Report())
+		fmt.Fprintln(os.Stderr, res.Diagnostics())
+		if len(res.Violations) > 0 {
+			fmt.Printf("REPRO: %s\n", chaos.NetRepro(nbase))
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *deviceRun {

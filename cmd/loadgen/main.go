@@ -19,6 +19,7 @@ import (
 
 	"soteria/internal/devnet"
 	"soteria/internal/loadgen"
+	"soteria/internal/telemetry"
 	"soteria/internal/workload"
 )
 
@@ -31,18 +32,36 @@ func main() {
 		wlName    = flag.String("workload", "hashmap", fmt.Sprintf("access pattern to replay, one of %v", workload.Names()))
 		footprint = flag.Uint64("footprint", 0, "per-shard data footprint in bytes (0 = whole shard)")
 		snapshot  = flag.String("snapshot", "", "write the server's post-run telemetry snapshot here (- = stdout)")
+		opTimeout = flag.Duration("op-timeout", 30*time.Second, "per-attempt request deadline")
+		retries   = flag.Int("retries", 5, "max attempts per operation (-1 = unlimited within -retry-budget)")
+		budget    = flag.Duration("retry-budget", 30*time.Second, "max wall time per operation, backoff included")
 	)
 	flag.Parse()
 
+	// All connections report into one registry so the resilience table
+	// aggregates the whole run.
+	resilience := telemetry.NewRegistry()
+	dial := func() (loadgen.Conn, error) {
+		return devnet.DialWith(*addr, devnet.Options{
+			OpTimeout: *opTimeout,
+			Retry: devnet.RetryPolicy{
+				MaxAttempts: *retries,
+				MaxElapsed:  *budget,
+			},
+			Telemetry: resilience,
+		})
+	}
+
 	start := time.Now()
 	rep, snap, err := loadgen.Run(loadgen.Params{
-		Dial:      func() (loadgen.Conn, error) { return devnet.Dial(*addr) },
-		Workers:   *workers,
-		Ops:       *ops,
-		Seed:      *seed,
-		Workload:  *wlName,
-		Footprint: *footprint,
-		Logf:      func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Dial:       dial,
+		Workers:    *workers,
+		Ops:        *ops,
+		Seed:       *seed,
+		Workload:   *wlName,
+		Footprint:  *footprint,
+		Logf:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Resilience: resilience,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -21,11 +22,13 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"soteria/internal/chaos"
 	"soteria/internal/config"
 	"soteria/internal/device"
 	"soteria/internal/devnet"
+	"soteria/internal/telemetry"
 )
 
 func main() {
@@ -37,7 +40,10 @@ func main() {
 		batchSize   = flag.Int("batch", 8, "per-shard write batching/coalescing bound")
 		capacity    = flag.Uint64("capacity", config.TestSystem().NVM.CapacityBytes, "device data capacity in bytes")
 		metricsFile = flag.String("metrics", "", "write the final telemetry snapshot here on shutdown (.prom = Prometheus text, else JSON, - = stdout)")
-		metricsAddr = flag.String("metrics-addr", "", "serve live metrics over HTTP at this address (/metrics Prometheus, /metrics.json JSON)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics over HTTP at this address (/metrics Prometheus, /metrics.json JSON, /healthz, /readyz)")
+		readStall   = flag.Duration("read-stall", 5*time.Second, "drop a peer that stalls this long mid-frame")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "drop a connection idle this long between requests (negative disables)")
+		maxInFlight = flag.Int("max-inflight", 64, "server-wide cap on concurrently executing requests; excess is shed with a busy/retry-after response (negative disables)")
 		verbose     = flag.Bool("v", false, "log connection lifecycle")
 	)
 	flag.Parse()
@@ -62,10 +68,21 @@ func main() {
 		fatal(err)
 	}
 
-	srv := devnet.NewServer(dev)
-	if *verbose {
-		srv.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	// The server's own resilience counters (shed, panics, dedup hits) live
+	// in a separate registry from the device's, so wire telemetry
+	// snapshots stay byte-identical to local ones; the metrics endpoint
+	// exposes both.
+	serverReg := telemetry.NewRegistry()
+	sopts := devnet.ServerOptions{
+		ReadStall:   *readStall,
+		IdleTimeout: *idleTimeout,
+		MaxInFlight: *maxInFlight,
+		Telemetry:   serverReg,
 	}
+	if *verbose {
+		sopts.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	srv := devnet.NewServerWith(dev, sopts)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -84,6 +101,24 @@ func main() {
 		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			dev.Snapshot().WriteJSON(w)
+		})
+		mux.HandleFunc("/server-metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			serverReg.Snapshot().WritePrometheus(w, "")
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			// Liveness: the process answers.
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			// Readiness: serving and the device is up.
+			h := srv.Health()
+			w.Header().Set("Content-Type", "application/json")
+			if !h.Ready {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			json.NewEncoder(w).Encode(h)
 		})
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {

@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"soteria/internal/memctrl"
+)
+
+func TestNetRunCleanSchedule(t *testing.T) {
+	res, err := NetRun(NetConfig{
+		Seed:    11,
+		Ops:     20,
+		Clients: 2,
+		Shards:  2,
+		Mode:    memctrl.ModeSRC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("clean run violated: %v", res.Violations)
+	}
+	if res.AckedWrites+res.AckedReads != 40 {
+		t.Fatalf("acked %d ops, want 40", res.AckedWrites+res.AckedReads)
+	}
+	if res.AppliedWrites != uint64(res.AckedWrites) {
+		t.Fatalf("applied %d != acked %d", res.AppliedWrites, res.AckedWrites)
+	}
+}
+
+func TestNetRunCombinedWithKill(t *testing.T) {
+	sched, err := NetFaultSchedule("combined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NetConfig{
+		Seed:      5,
+		Ops:       25,
+		Clients:   3,
+		Shards:    2,
+		Mode:      memctrl.ModeSRC,
+		Kills:     1,
+		Schedule:  sched,
+		FaultName: "combined",
+	}
+	res, err := NetRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("combined+kill run violated: %v\nrepro: %s", res.Violations, NetRepro(cfg))
+	}
+	if res.Kills != 1 {
+		t.Fatalf("kills = %d, want 1", res.Kills)
+	}
+	if res.AppliedWrites != uint64(res.AckedWrites) {
+		t.Fatalf("exactly-once broken: applied %d != acked %d", res.AppliedWrites, res.AckedWrites)
+	}
+}
+
+func TestNetReportDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := NetRun(NetConfig{Seed: 9, Ops: 15, Clients: 2, Shards: 2, Mode: memctrl.ModeSRC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same config produced different reports:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "oracle:") {
+		t.Fatalf("report missing oracle verdict:\n%s", a)
+	}
+}
+
+func TestNetFaultScheduleNames(t *testing.T) {
+	for _, name := range []string{"clean", "latency", "throttle", "corrupt", "reset", "truncate", "partition", "combined"} {
+		if _, err := NetFaultSchedule(name); err != nil {
+			t.Errorf("schedule %q: %v", name, err)
+		}
+	}
+	if _, err := NetFaultSchedule("bogus"); err == nil {
+		t.Error("bogus schedule accepted")
+	}
+}

@@ -175,6 +175,13 @@ func (d *Device) Info() Info {
 	}
 }
 
+// Down reports whether the device is in the post-crash/power-loss state
+// where data operations are rejected until Recover — the readiness bit
+// health probes expose.
+func (d *Device) Down() bool {
+	return d.down.Load()
+}
+
 // ShardOf maps a device data address to its shard: global line g lives on
 // shard g mod Shards (line interleaving, so sequential streams spread
 // across all controllers).

@@ -1,9 +1,12 @@
 package devnet
 
 import (
+	"crypto/rand"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"sync"
 	"time"
@@ -12,148 +15,391 @@ import (
 	"soteria/internal/memctrl"
 	"soteria/internal/nvm"
 	"soteria/internal/sim"
+	"soteria/internal/telemetry"
 )
 
-// Client drives a remote device over one TCP connection. It satisfies
-// device.Client, reconstructing the device's typed error surface from the
-// wire statuses, so code written against the in-process device runs
-// unchanged against a server. A Client serializes its requests (the
-// protocol is strict request/response); open several clients for
-// concurrency.
+// RetryPolicy governs how a Client reacts to retryable failures. Every
+// retry re-sends the same (session, seq), so the server's dedup window
+// guarantees a retried operation whose original already committed is
+// acknowledged without being applied twice.
+type RetryPolicy struct {
+	// MaxAttempts caps total attempts per operation. 0 selects the
+	// default (5); negative means unlimited (bounded by MaxElapsed).
+	MaxAttempts int
+	// MaxElapsed caps the wall-clock time spent on one operation,
+	// backoff waits included. 0 selects the default (30s).
+	MaxElapsed time.Duration
+	// BaseBackoff is the first retry's wait (default 5ms); each further
+	// retry doubles it, capped at MaxBackoff (default 500ms), plus up to
+	// 50% seeded jitter so a fleet of retrying clients decorrelates.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryDown also retries ClassDown errors (device crashed / power
+	// lost). Only safe in supervised deployments where something will
+	// run recovery; otherwise a crashed device retries forever.
+	RetryDown bool
+}
+
+func (p *RetryPolicy) fill() {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 5
+	}
+	if p.MaxElapsed <= 0 {
+		p.MaxElapsed = 30 * time.Second
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+}
+
+// Options configures a resilient client.
+type Options struct {
+	// DialTimeout bounds each (re)connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// OpTimeout is the per-attempt round-trip deadline: send the request
+	// and receive the full response within it or the attempt counts as a
+	// transport timeout and is retried. Default 30s.
+	OpTimeout time.Duration
+	// Retry is the retry policy; its zero value selects the defaults.
+	Retry RetryPolicy
+	// Session identifies this client in the server's dedup window. 0
+	// (the default) draws a random non-zero id.
+	Session uint64
+	// Seed drives backoff jitter; 0 derives it from the session id.
+	Seed int64
+	// Telemetry, when non-nil, receives the client's resilience counters
+	// (devnet_client_*) and the retry-backoff histogram.
+	Telemetry *telemetry.Registry
+	// Logf, when non-nil, receives reconnect/retry diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Client drives a remote device over TCP and satisfies device.Client,
+// reconstructing the device's typed error surface from the wire statuses
+// so code written against the in-process device runs unchanged against a
+// server. It is self-healing: every operation runs under a deadline, a
+// broken connection is replaced automatically with capped exponential
+// backoff, and failed attempts are retried idempotently (the server
+// deduplicates by session and sequence). A Client serializes its
+// requests (the protocol is strict stop-and-wait); open several clients
+// for concurrency.
 type Client struct {
+	addr string
+	opts Options
+
 	mu   sync.Mutex
 	conn net.Conn
+	seq  uint64
+	rng  *mrand.Rand
+
+	retries    *telemetry.Counter
+	reconnects *telemetry.Counter
+	timeouts   *telemetry.Counter
+	busyWaits  *telemetry.Counter
+	gaveUp     *telemetry.Counter
+	backoffNS  *telemetry.Histogram
 }
 
 var _ device.Client = (*Client)(nil)
 
-// Dial connects to a devnet server.
+// Dial connects to a devnet server with default options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, Options{})
+}
+
+// DialWith connects with explicit resilience options. The first
+// connection is established eagerly so an unreachable server fails
+// fast; later reconnects happen inside the retry loop.
+func DialWith(addr string, opts Options) (*Client, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.OpTimeout <= 0 {
+		opts.OpTimeout = 30 * time.Second
+	}
+	opts.Retry.fill()
+	if opts.Session == 0 {
+		opts.Session = randomSession()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = int64(opts.Session)
+	}
+	c := &Client{addr: addr, opts: opts, rng: mrand.New(mrand.NewSource(opts.Seed))}
+	reg := opts.Telemetry
+	c.retries = reg.Counter("devnet_client_retries_total")
+	c.reconnects = reg.Counter("devnet_client_reconnects_total")
+	c.timeouts = reg.Counter("devnet_client_timeouts_total")
+	c.busyWaits = reg.Counter("devnet_client_busy_waits_total")
+	c.gaveUp = reg.Counter("devnet_client_gave_up_total")
+	c.backoffNS = reg.Histogram("devnet_client_retry_backoff_ns", telemetry.ExpBounds(40))
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c.conn = conn
+	return c, nil
 }
+
+func randomSession() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			// Crypto randomness is best-effort uniqueness, not security;
+			// fall back to the wall clock.
+			return uint64(time.Now().UnixNano()) | 1
+		}
+		if v := binary.BigEndian.Uint64(b[:]); v != 0 {
+			return v
+		}
+	}
+}
+
+// Session returns the client's dedup session id.
+func (c *Client) Session() uint64 { return c.opts.Session }
 
 // Close closes the connection. The remote device keeps running.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
 }
 
-// roundTrip sends one request payload and decodes the response header,
-// returning the simulated latency, the response body, and the decoded
-// device error (nil on StatusOK).
-func (c *Client) roundTrip(req []byte) (sim.Time, []byte, error) {
+func (c *Client) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// do runs one logical operation: assign a sequence number, then attempt
+// and retry under the policy until it succeeds, fails fatally, or the
+// budget runs out.
+func (c *Client) do(opName string, op uint8, body []byte) (sim.Time, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.seq++
+	seq := c.seq
+	req := append(encodeRequest(op, c.opts.Session, seq, len(body)), body...)
+
+	start := time.Now()
+	pol := c.opts.Retry
+	backoff := pol.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		lat, respBody, err := c.attempt(req, seq)
+		if err == nil {
+			return lat, respBody, nil
+		}
+		class := ClassOf(err)
+		retryable := class == ClassTransport || class == ClassBusy || class == ClassRetired ||
+			(class == ClassDown && pol.RetryDown)
+		if !retryable {
+			return 0, nil, err
+		}
+		if class == ClassTransport {
+			c.dropConn()
+		}
+		exhausted := pol.MaxAttempts > 0 && attempt >= pol.MaxAttempts
+		if elapsed := time.Since(start); exhausted || elapsed+backoff > pol.MaxElapsed {
+			c.gaveUp.Inc()
+			return 0, nil, &OpError{Op: opName, Attempts: attempt, Elapsed: time.Since(start), Err: err}
+		}
+		wait := backoff
+		if backoff < pol.MaxBackoff {
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+		if class == ClassBusy {
+			// Honor the server's retry-after estimate when it is more
+			// conservative than our own schedule.
+			c.busyWaits.Inc()
+			var be *device.BusyError
+			if errors.As(err, &be) && be.RetryAfter > wait {
+				wait = be.RetryAfter
+				if wait > pol.MaxBackoff {
+					wait = pol.MaxBackoff
+				}
+			}
+		}
+		wait += time.Duration(c.rng.Int63n(int64(wait/2) + 1))
+		c.backoffNS.Observe(uint64(wait))
+		c.retries.Inc()
+		c.logf("devnet: %s attempt %d failed (%s: %v), retrying in %v", opName, attempt, class, err, wait)
+		time.Sleep(wait)
+	}
+}
+
+// dropConn discards a connection the retry loop no longer trusts.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// attempt performs one request/response exchange, reconnecting first if
+// the previous attempt poisoned the connection. Called with c.mu held.
+func (c *Client) attempt(req []byte, seq uint64) (sim.Time, []byte, error) {
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		if err != nil {
+			return 0, nil, err
+		}
+		c.conn = conn
+		c.reconnects.Inc()
+		c.logf("devnet: reconnected to %s", c.addr)
+	}
+	c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+	defer c.conn.SetDeadline(time.Time{})
 	if err := writeFrame(c.conn, req); err != nil {
-		return 0, nil, fmt.Errorf("devnet: send: %w", err)
+		return 0, nil, c.noteTimeout(fmt.Errorf("devnet: send: %w", err))
 	}
-	resp, err := readFrame(c.conn)
+	payload, err := readFrame(c.conn)
 	if err != nil {
-		return 0, nil, fmt.Errorf("devnet: receive: %w", err)
+		return 0, nil, c.noteTimeout(fmt.Errorf("devnet: receive: %w", err))
 	}
-	if len(resp) < 9 {
-		return 0, nil, fmt.Errorf("devnet: short response (%d bytes)", len(resp))
+	resp, err := parseResponse(payload)
+	if err != nil {
+		return 0, nil, err
 	}
-	status := resp[0]
-	lat := sim.Time(binary.BigEndian.Uint64(resp[1:9]))
-	body := resp[9:]
+	if resp.seq != seq {
+		return 0, nil, &FrameError{Reason: fmt.Sprintf("response for sequence %d, want %d", resp.seq, seq)}
+	}
+	if derr := statusError(resp.status, resp.body); derr != nil {
+		return 0, nil, derr
+	}
+	return sim.Time(resp.latPS), resp.body, nil
+}
+
+// noteTimeout counts deadline expirations for the resilience report.
+func (c *Client) noteTimeout(err error) error {
+	if ne, ok := errAsNet(err); ok && ne.Timeout() {
+		c.timeouts.Inc()
+	}
+	return err
+}
+
+func errAsNet(err error) (net.Error, bool) {
+	var ne net.Error
+	return ne, errors.As(err, &ne)
+}
+
+// statusError reconstructs the device's typed error surface from a wire
+// status (nil for StatusOK).
+func statusError(status uint8, body []byte) error {
 	switch status {
 	case StatusOK:
-		return lat, body, nil
+		return nil
 	case StatusBusy:
 		if len(body) != 16 {
-			return 0, nil, fmt.Errorf("devnet: malformed busy body (%d bytes)", len(body))
+			return &FrameError{Reason: fmt.Sprintf("malformed busy body (%d bytes)", len(body))}
 		}
-		return 0, nil, &device.BusyError{
-			Shard:      int(binary.BigEndian.Uint32(body)),
+		return &device.BusyError{
+			Shard:      int(int32(binary.BigEndian.Uint32(body))),
 			Pending:    int(binary.BigEndian.Uint32(body[4:])),
 			RetryAfter: time.Duration(binary.BigEndian.Uint64(body[8:])) * time.Nanosecond,
 		}
 	case StatusCrashed:
-		return 0, nil, memctrl.ErrCrashed
+		return memctrl.ErrCrashed
 	case StatusClosed:
-		return 0, nil, device.ErrClosed
+		return device.ErrClosed
 	case StatusPowerLoss:
 		if len(body) != 12 {
-			return 0, nil, fmt.Errorf("devnet: malformed power-loss body (%d bytes)", len(body))
+			return &FrameError{Reason: fmt.Sprintf("malformed power-loss body (%d bytes)", len(body))}
 		}
-		return 0, nil, &device.PowerError{
-			Shard:    int(binary.BigEndian.Uint32(body)),
+		return &device.PowerError{
+			Shard:    int(int32(binary.BigEndian.Uint32(body))),
 			Boundary: int(binary.BigEndian.Uint64(body[4:])),
 		}
 	case StatusRetired:
-		return 0, nil, device.ErrRetired
+		return device.ErrRetired
 	case StatusError:
-		return 0, nil, fmt.Errorf("devnet: server: %s", body)
+		return fmt.Errorf("devnet: server: %s", body)
 	default:
-		return 0, nil, fmt.Errorf("devnet: unknown status %d", status)
+		return &FrameError{Reason: fmt.Sprintf("unknown status %d", status)}
 	}
 }
 
 // Ping round-trips an empty request.
 func (c *Client) Ping() error {
-	_, _, err := c.roundTrip([]byte{OpPing})
+	_, _, err := c.do("ping", OpPing, nil)
 	return err
 }
 
 // Info fetches the remote device description.
 func (c *Client) Info() (device.Info, error) {
 	var info device.Info
-	_, body, err := c.roundTrip([]byte{OpInfo})
+	_, body, err := c.do("info", OpInfo, nil)
 	if err != nil {
 		return info, err
 	}
 	return info, json.Unmarshal(body, &info)
 }
 
+// Health fetches the server's readiness probe.
+func (c *Client) Health() (Health, error) {
+	var h Health
+	_, body, err := c.do("health", OpHealth, nil)
+	if err != nil {
+		return h, err
+	}
+	return h, json.Unmarshal(body, &h)
+}
+
 // Read services one 64-byte read.
 func (c *Client) Read(addr uint64) (nvm.Line, sim.Time, error) {
 	var line nvm.Line
-	lat, body, err := c.roundTrip(putU64([]byte{OpRead}, addr))
+	lat, body, err := c.do("read", OpRead, putU64(nil, addr))
 	if err != nil {
 		return line, 0, err
 	}
 	if len(body) != nvm.LineSize {
-		return line, 0, fmt.Errorf("devnet: read returned %d bytes", len(body))
+		return line, 0, &FrameError{Reason: fmt.Sprintf("read returned %d bytes", len(body))}
 	}
 	copy(line[:], body)
 	return line, lat, nil
 }
 
-// Write services one 64-byte write.
+// Write services one 64-byte write. Retries are safe: the request
+// carries this client's session and a fresh sequence number, and the
+// server acknowledges a duplicate of an already-committed write from
+// its dedup window without applying it again.
 func (c *Client) Write(addr uint64, data *nvm.Line) (sim.Time, error) {
-	req := putU64([]byte{OpWrite}, addr)
-	req = append(req, data[:]...)
-	lat, _, err := c.roundTrip(req)
+	body := putU64(make([]byte, 0, 8+nvm.LineSize), addr)
+	body = append(body, data[:]...)
+	lat, _, err := c.do("write", OpWrite, body)
 	return lat, err
 }
 
 // Drain waits until the shard owning addr has drained its WPQ.
 func (c *Client) Drain(addr uint64) error {
-	_, _, err := c.roundTrip(putU64([]byte{OpDrain}, addr))
+	_, _, err := c.do("drain", OpDrain, putU64(nil, addr))
 	return err
 }
 
 // Flush is the device-wide durability barrier.
 func (c *Client) Flush() error {
-	_, _, err := c.roundTrip([]byte{OpFlush})
+	_, _, err := c.do("flush", OpFlush, nil)
 	return err
 }
 
 // Crash cuts power across the whole remote device.
 func (c *Client) Crash() error {
-	_, _, err := c.roundTrip([]byte{OpCrash})
+	_, _, err := c.do("crash", OpCrash, nil)
 	return err
 }
 
 // Recover rebuilds the remote device and returns its report.
 func (c *Client) Recover() (*device.RecoveryReport, error) {
-	_, body, err := c.roundTrip([]byte{OpRecover})
+	_, body, err := c.do("recover", OpRecover, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +414,6 @@ func (c *Client) Recover() (*device.RecoveryReport, error) {
 // its canonical JSON rendering (byte-identical to a local
 // Snapshot().MarshalIndentJSON()).
 func (c *Client) SnapshotJSON() ([]byte, error) {
-	_, body, err := c.roundTrip([]byte{OpSnapshot})
+	_, body, err := c.do("snapshot", OpSnapshot, nil)
 	return body, err
 }

@@ -1,0 +1,109 @@
+package devnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// frameBytes renders a valid frame for the seed corpus.
+func frameBytes(payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame throws arbitrary byte streams at the full inbound
+// decode path — framing, request parsing, response parsing. The
+// invariants: no panic, no over-allocation from a lying length header
+// (readFramePayload grows with the bytes that actually arrive), and a
+// frame that decodes must re-encode to the same payload.
+func FuzzDecodeFrame(f *testing.F) {
+	// Valid frames: ping request, write-shaped request, OK response,
+	// busy response.
+	f.Add(frameBytes(encodeRequest(OpPing, 1, 1, 0)))
+	f.Add(frameBytes(append(encodeRequest(OpWrite, 42, 9, 72), make([]byte, 72)...)))
+	f.Add(frameBytes(respOK(9, 0, []byte("body"))))
+	f.Add(frameBytes(respErr(3, bytes.ErrTooLarge)))
+	// Truncated frame: header promises more than the stream holds.
+	f.Add(frameBytes(encodeRequest(OpRead, 7, 2, 8))[:10])
+	// Lying length header: claims 1 GiB.
+	f.Add([]byte{0x40, 0x00, 0x00, 0x00, 0, 0, 0, 0})
+	// Bad checksum.
+	f.Add(func() []byte {
+		b := frameBytes(encodeRequest(OpPing, 1, 1, 0))
+		b[len(b)-1] ^= 0xff
+		return b
+	}())
+	// Empty and tiny inputs.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A frame that decoded must survive a round trip bit-for-bit.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		reread, err := readFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(payload, reread) {
+			t.Fatal("frame payload not stable across re-encode")
+		}
+		// Both interpretations of the payload must be panic-free.
+		if req, err := parseRequest(payload); err == nil {
+			_ = req.op
+			_ = req.body
+		}
+		if resp, err := parseResponse(payload); err == nil {
+			_ = resp.status
+			_ = resp.body
+		}
+	})
+}
+
+// FuzzParseRequest hits the request parser directly, bypassing framing,
+// so short and malformed payloads are explored densely.
+func FuzzParseRequest(f *testing.F) {
+	f.Add(encodeRequest(OpPing, 1, 1, 0))
+	f.Add(append(encodeRequest(OpWrite, 2, 2, 72), make([]byte, 72)...))
+	f.Add([]byte{})
+	f.Add(make([]byte, reqHeaderSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := parseRequest(data)
+		if err != nil {
+			return
+		}
+		if len(req.body) > len(data) {
+			t.Fatal("parsed body longer than input")
+		}
+	})
+}
+
+// FuzzParseResponse mirrors FuzzParseRequest for the client side.
+func FuzzParseResponse(f *testing.F) {
+	f.Add(respOK(1, 0, nil))
+	f.Add(respErr(2, bytes.ErrTooLarge))
+	f.Add([]byte{})
+	f.Add(make([]byte, respHeaderSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := parseResponse(data)
+		if err != nil {
+			return
+		}
+		if len(resp.body) > len(data) {
+			t.Fatal("parsed body longer than input")
+		}
+		// statusError must map any status/body combination without
+		// panicking — this is what a corrupted-but-CRC-colliding response
+		// would hit.
+		_ = statusError(resp.status, resp.body)
+	})
+}

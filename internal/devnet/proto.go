@@ -2,12 +2,27 @@
 // a small length-prefixed binary protocol, so load generators and other
 // processes can drive a live secure-NVM device service. The wire client
 // satisfies device.Client, making in-process and over-the-wire use
-// interchangeable.
+// interchangeable, and is self-healing: per-operation deadlines,
+// automatic reconnect with capped exponential backoff, and idempotent
+// retries keyed by a (session, sequence) pair the server deduplicates.
 //
-// Framing: every message is [u32 big-endian payload length][payload].
-// A request payload is [u8 op][op-specific body]; a response payload is
-// [u8 status][u64 latency in simulated picoseconds][status/op-specific
-// body]. All integers are big-endian. Request bodies:
+// Framing: every message is [u32 big-endian payload length][u32 CRC-32C
+// of the payload][payload]. The checksum makes corruption on the wire a
+// typed *FrameError instead of silent protocol desync — a corrupted
+// frame poisons only its connection, and the client retries over a
+// fresh one.
+//
+// A request payload is [u8 op][u64 session][u64 seq][op-specific body].
+// A non-zero session enrolls the request in the server's dedup window:
+// a retransmitted (session, seq) whose original already executed and
+// succeeded is answered from the cached response without re-executing,
+// which is what makes blind client retries of writes safe. Session 0
+// opts out (stateless tooling).
+//
+// A response payload is [u8 status][u64 seq echo][u64 latency in
+// simulated picoseconds][status/op-specific body]. The echoed sequence
+// lets the client reject a response that does not answer the request it
+// has in flight. All integers are big-endian. Request bodies:
 //
 //	OpPing     —
 //	OpInfo     —                       response body: device.Info JSON
@@ -18,6 +33,7 @@
 //	OpCrash    —
 //	OpRecover  —                       response body: device.RecoveryReport JSON
 //	OpSnapshot —                       response body: telemetry snapshot JSON
+//	OpHealth   —                       response body: Health JSON
 //
 // Error statuses carry typed bodies so the client can reconstruct the
 // device's error surface exactly (see StatusBusy etc.).
@@ -26,6 +42,7 @@ package devnet
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -40,19 +57,22 @@ const (
 	OpCrash
 	OpRecover
 	OpSnapshot
+	OpHealth
 )
 
 // Response statuses.
 const (
 	// StatusOK: body is op-specific.
 	StatusOK uint8 = iota
-	// StatusBusy: body is [u32 shard][u32 pending][u64 retry-after ns].
+	// StatusBusy: body is [i32 shard][u32 pending][u64 retry-after ns].
+	// Shard -1 means the server itself shed the request (max-in-flight
+	// cap), not a device shard queue.
 	StatusBusy
 	// StatusCrashed: the device is down; Recover it. Empty body.
 	StatusCrashed
 	// StatusClosed: the device is shut down. Empty body.
 	StatusClosed
-	// StatusPowerLoss: body is [u32 shard][u64 boundary].
+	// StatusPowerLoss: body is [i32 shard][u64 boundary].
 	StatusPowerLoss
 	// StatusRetired: the request was queued when power was cut. Empty body.
 	StatusRetired
@@ -64,10 +84,27 @@ const (
 // largest legitimate message, and 16 MiB is far beyond any of them.
 const maxFrame = 16 << 20
 
-// writeFrame sends one length-prefixed payload.
+// frameChunk bounds how much readFrame allocates ahead of bytes actually
+// received, so a lying length header cannot make the receiver allocate
+// maxFrame from a 8-byte prefix.
+const frameChunk = 64 << 10
+
+// Header sizes: frame = [u32 len][u32 crc]; request payload starts
+// [u8 op][u64 session][u64 seq]; response payload starts
+// [u8 status][u64 seq][u64 latency].
+const (
+	frameHeaderSize = 8
+	reqHeaderSize   = 17
+	respHeaderSize  = 17
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeFrame sends one checksummed length-prefixed payload.
 func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -75,21 +112,91 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame receives one length-prefixed payload.
+// readFrame receives one frame: header, then payload, then CRC check.
 func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	return readFramePayload(r, hdr)
+}
+
+// readFramePayload reads and verifies a frame body whose header has
+// already been consumed. The payload buffer grows in bounded chunks as
+// bytes actually arrive, so a header claiming maxFrame costs at most one
+// frameChunk allocation before the stream has to deliver.
+func readFramePayload(r io.Reader, hdr [frameHeaderSize]byte) ([]byte, error) {
+	n := binary.BigEndian.Uint32(hdr[:4])
+	want := binary.BigEndian.Uint32(hdr[4:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("devnet: frame of %d bytes exceeds the %d-byte cap", n, maxFrame)
+		return nil, &FrameError{Reason: fmt.Sprintf("frame of %d bytes exceeds the %d-byte cap", n, maxFrame)}
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	payload := make([]byte, 0, min(int(n), frameChunk))
+	for len(payload) < int(n) {
+		chunk := min(int(n)-len(payload), frameChunk)
+		off := len(payload)
+		payload = append(payload, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, &FrameError{Reason: fmt.Sprintf("payload checksum %08x does not match header %08x", got, want)}
 	}
 	return payload, nil
+}
+
+// wireRequest is one parsed request payload.
+type wireRequest struct {
+	op      uint8
+	session uint64
+	seq     uint64
+	body    []byte
+}
+
+// encodeRequest builds a request payload with room for body bytes.
+func encodeRequest(op uint8, session, seq uint64, bodyCap int) []byte {
+	out := make([]byte, 0, reqHeaderSize+bodyCap)
+	out = append(out, op)
+	out = putU64(out, session)
+	return putU64(out, seq)
+}
+
+// parseRequest splits a request payload into its header and body.
+func parseRequest(payload []byte) (wireRequest, error) {
+	if len(payload) < reqHeaderSize {
+		return wireRequest{}, &FrameError{Reason: fmt.Sprintf("short request (%d bytes, want >= %d)", len(payload), reqHeaderSize)}
+	}
+	return wireRequest{
+		op:      payload[0],
+		session: binary.BigEndian.Uint64(payload[1:9]),
+		seq:     binary.BigEndian.Uint64(payload[9:17]),
+		body:    payload[17:],
+	}, nil
+}
+
+// wireResponse is one parsed response payload.
+type wireResponse struct {
+	status uint8
+	seq    uint64
+	latPS  uint64
+	body   []byte
+}
+
+// parseResponse splits a response payload into its header and body.
+func parseResponse(payload []byte) (wireResponse, error) {
+	if len(payload) < respHeaderSize {
+		return wireResponse{}, &FrameError{Reason: fmt.Sprintf("short response (%d bytes, want >= %d)", len(payload), respHeaderSize)}
+	}
+	return wireResponse{
+		status: payload[0],
+		seq:    binary.BigEndian.Uint64(payload[1:9]),
+		latPS:  binary.BigEndian.Uint64(payload[9:17]),
+		body:   payload[17:],
+	}, nil
 }
 
 func putU64(b []byte, v uint64) []byte {

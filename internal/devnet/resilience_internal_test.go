@@ -1,0 +1,247 @@
+package devnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/telemetry"
+)
+
+// rawServer brings up a device and a hardened server, returning the
+// dial address plus the server's telemetry registry so tests can read
+// the resilience counters.
+func rawServer(t *testing.T, sopts ServerOptions) (*device.Device, *telemetry.Registry, string) {
+	t.Helper()
+	dev, err := device.New(device.Options{
+		System: config.TestSystem(),
+		Mode:   memctrl.ModeSRC,
+		Key:    []byte("devnet-raw-test-key"),
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sopts.Telemetry = reg
+	srv := NewServerWith(dev, sopts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		<-done
+		dev.Close()
+	})
+	return dev, reg, ln.Addr().String()
+}
+
+// exchange writes one request frame and reads the response payload.
+func exchange(t *testing.T, conn net.Conn, req []byte) []byte {
+	t.Helper()
+	if err := writeFrame(conn, req); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	return resp
+}
+
+// TestDedupWindowAnswersRetriedWrite replays the exact bytes of a
+// committed write — what a client that lost the first response does —
+// and checks the server acknowledges from the dedup window without
+// applying the write a second time.
+func TestDedupWindowAnswersRetriedWrite(t *testing.T) {
+	_, reg, addr := rawServer(t, ServerOptions{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var line nvm.Line
+	for i := range line {
+		line[i] = byte(i) ^ 0xa5
+	}
+	body := putU64(make([]byte, 0, 8+nvm.LineSize), 3*nvm.LineSize)
+	body = append(body, line[:]...)
+	req := append(encodeRequest(OpWrite, 42, 7, len(body)), body...)
+
+	first := exchange(t, conn, req)
+	if first[0] != StatusOK {
+		t.Fatalf("first write status %d", first[0])
+	}
+	second := exchange(t, conn, req)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("retried write answered differently:\n first %x\nsecond %x", first, second)
+	}
+	if got := reg.Counter("devnet_server_applied_writes_total").Value(); got != 1 {
+		t.Fatalf("write applied %d times, want exactly once", got)
+	}
+	if got := reg.Counter("devnet_server_dedup_hits_total").Value(); got != 1 {
+		t.Fatalf("dedup hits = %d, want 1", got)
+	}
+
+	// A fresh sequence number from the same session must execute.
+	req2 := append(encodeRequest(OpWrite, 42, 8, len(body)), body...)
+	if resp := exchange(t, conn, req2); resp[0] != StatusOK {
+		t.Fatalf("fresh seq status %d", resp[0])
+	}
+	if got := reg.Counter("devnet_server_applied_writes_total").Value(); got != 2 {
+		t.Fatalf("applied writes after fresh seq = %d, want 2", got)
+	}
+}
+
+// TestSessionZeroBypassesDedup: session 0 marks a client that opted out
+// of idempotency; identical frames must re-execute.
+func TestSessionZeroBypassesDedup(t *testing.T) {
+	_, reg, addr := rawServer(t, ServerOptions{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var line nvm.Line
+	body := putU64(make([]byte, 0, 8+nvm.LineSize), 0)
+	body = append(body, line[:]...)
+	req := append(encodeRequest(OpWrite, 0, 1, len(body)), body...)
+	exchange(t, conn, req)
+	exchange(t, conn, req)
+	if got := reg.Counter("devnet_server_applied_writes_total").Value(); got != 2 {
+		t.Fatalf("session-0 writes applied %d times, want 2", got)
+	}
+}
+
+// TestCorruptFrameRejected flips one payload byte in an otherwise valid
+// frame; the CRC must catch it before the request executes.
+func TestCorruptFrameRejected(t *testing.T) {
+	_, reg, addr := rawServer(t, ServerOptions{ReadStall: 200 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var buf bytes.Buffer
+	req := encodeRequest(OpPing, 9, 1, 0)
+	if err := writeFrame(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[frameHeaderSize] ^= 0x40 // corrupt the first payload byte
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFrame(conn); err == nil {
+		t.Fatal("server answered a corrupt frame instead of dropping the connection")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("devnet_server_frame_errors_total").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("frame error never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStalledPeerDropped sends part of a frame and then goes silent; the
+// stall deadline must kill the connection instead of pinning a handler
+// goroutine forever.
+func TestStalledPeerDropped(t *testing.T) {
+	_, reg, addr := rawServer(t, ServerOptions{ReadStall: 100 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, encodeRequest(OpPing, 0, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(buf.Bytes()[:frameHeaderSize+3]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	one := make([]byte, 1)
+	if _, err := conn.Read(one); err == nil {
+		t.Fatal("read succeeded; server should have dropped the stalled connection")
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("stall drop took %v, want well under the 5s default", waited)
+	}
+	if got := reg.Counter("devnet_server_stall_drops_total").Value(); got == 0 {
+		t.Fatal("stall drop not counted")
+	}
+}
+
+// TestIdleConnectionDropped: a connection that never sends anything is
+// reaped once the idle budget runs out.
+func TestIdleConnectionDropped(t *testing.T) {
+	_, reg, addr := rawServer(t, ServerOptions{IdleTimeout: 150 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	one := make([]byte, 1)
+	if _, err := conn.Read(one); err == nil {
+		t.Fatal("idle connection survived")
+	}
+	if got := reg.Counter("devnet_server_idle_drops_total").Value(); got == 0 {
+		t.Fatal("idle drop not counted")
+	}
+}
+
+// TestFrameLengthCapped: a header claiming more than maxFrame bytes is a
+// typed frame error, not an allocation.
+func TestFrameLengthCapped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0], raw[1], raw[2], raw[3] = 0xff, 0xff, 0xff, 0xff
+	_, err := readFrame(bytes.NewReader(raw))
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("huge length header: got %v, want *FrameError", err)
+	}
+}
+
+// TestTruncatedFrameIsTransportError: a frame whose stream ends mid-
+// payload surfaces as unexpected EOF, which the client taxonomy
+// classifies as retryable transport.
+func TestTruncatedFrameIsTransportError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:frameHeaderSize+20]
+	_, err := readFrame(bytes.NewReader(raw))
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("truncated frame: got %v, want unexpected EOF", err)
+	}
+	if ClassOf(err) != ClassTransport {
+		t.Fatalf("truncated frame classed %v, want transport", ClassOf(err))
+	}
+	if !Retryable(err) {
+		t.Fatal("truncated frame should be retryable")
+	}
+}

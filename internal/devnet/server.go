@@ -7,36 +7,135 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"soteria/internal/device"
 	"soteria/internal/memctrl"
 	"soteria/internal/nvm"
 	"soteria/internal/sim"
+	"soteria/internal/telemetry"
 )
+
+// ServerOptions harden one server against misbehaving peers and
+// overload. The zero value selects production-shaped defaults; tests
+// shrink the timeouts to keep regression runs fast.
+type ServerOptions struct {
+	// ReadStall bounds the gap between consecutive bytes of one frame
+	// once its first byte has arrived: a peer that stalls mid-frame is
+	// disconnected, a slow-but-moving peer is not. Default 5s.
+	ReadStall time.Duration
+	// WriteTimeout bounds writing one response frame. Default 10s.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a connection may sit between requests
+	// before it is dropped (half-dead peers cannot pin a goroutine
+	// forever). Default 2 minutes; negative disables.
+	IdleTimeout time.Duration
+	// MaxInFlight caps concurrently executing requests server-wide;
+	// excess requests are shed with StatusBusy and a retry-after hint
+	// instead of queueing without bound. Default 64; negative disables.
+	MaxInFlight int
+	// Sessions is the idempotency window. Nil builds a private table; a
+	// supervisor that restarts the server passes the same table to the
+	// replacement so retries straddling the restart stay exactly-once.
+	Sessions *SessionTable
+	// Telemetry, when non-nil, receives the server's own resilience
+	// counters (devnet_server_*). It is kept separate from the device's
+	// registries so wire snapshots stay byte-identical to local ones.
+	Telemetry *telemetry.Registry
+	// Logf, when non-nil, receives connection lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *ServerOptions) fill() {
+	if o.ReadStall <= 0 {
+		o.ReadStall = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 64
+	}
+	if o.Sessions == nil {
+		o.Sessions = NewSessionTable(0, 0)
+	}
+}
+
+// Health is the readiness probe served by OpHealth.
+type Health struct {
+	// Ready: accepting connections and the device is up.
+	Ready bool `json:"ready"`
+	// Draining: a graceful shutdown is in progress.
+	Draining bool `json:"draining"`
+	// DeviceDown: the device crashed (or lost power) and awaits recovery.
+	DeviceDown bool `json:"device_down"`
+	// InFlight is the number of requests currently executing.
+	InFlight int `json:"in_flight"`
+	// Sessions is the dedup table occupancy.
+	Sessions int `json:"sessions"`
+	// Shards is the device shard count.
+	Shards int `json:"shards"`
+}
 
 // Server serves one device over TCP. Connections are handled
 // concurrently; requests on one connection are sequential (the protocol
 // is strict request/response), so each connection behaves as one
 // closed-loop client — the regime under which the device is
-// deterministic.
+// deterministic. Each connection handler is panic-isolated and bounded
+// by read/write deadlines, and a server-wide in-flight cap sheds load
+// with typed backpressure instead of queueing without bound.
 type Server struct {
-	dev *device.Device
-	ln  net.Listener
+	dev  *device.Device
+	opts ServerOptions
+	ln   net.Listener
 
-	// Logf, when non-nil, receives connection lifecycle lines.
+	// Logf, when non-nil, receives connection lifecycle lines (kept for
+	// callers predating ServerOptions.Logf).
 	Logf func(format string, args ...any)
+
+	sessions *SessionTable
+	inflight atomic.Int64
 
 	mu       sync.Mutex
 	draining bool
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
+
+	connsTotal    *telemetry.Counter
+	shed          *telemetry.Counter
+	panics        *telemetry.Counter
+	dedupHits     *telemetry.Counter
+	frameErrors   *telemetry.Counter
+	idleDrops     *telemetry.Counter
+	stallDrops    *telemetry.Counter
+	appliedWrites *telemetry.Counter
 }
 
-// NewServer wraps a device. The caller keeps ownership of the device:
-// Shutdown stops serving but does not Close it.
+// NewServer wraps a device with default hardening options. The caller
+// keeps ownership of the device: Shutdown stops serving but does not
+// Close it.
 func NewServer(dev *device.Device) *Server {
-	return &Server{dev: dev, conns: map[net.Conn]struct{}{}}
+	return NewServerWith(dev, ServerOptions{})
+}
+
+// NewServerWith wraps a device with explicit hardening options.
+func NewServerWith(dev *device.Device, opts ServerOptions) *Server {
+	opts.fill()
+	s := &Server{dev: dev, opts: opts, sessions: opts.Sessions, conns: map[net.Conn]struct{}{}}
+	reg := opts.Telemetry
+	s.connsTotal = reg.Counter("devnet_server_conns_total")
+	s.shed = reg.Counter("devnet_server_shed_total")
+	s.panics = reg.Counter("devnet_server_handler_panics_total")
+	s.dedupHits = reg.Counter("devnet_server_dedup_hits_total")
+	s.frameErrors = reg.Counter("devnet_server_frame_errors_total")
+	s.idleDrops = reg.Counter("devnet_server_idle_drops_total")
+	s.stallDrops = reg.Counter("devnet_server_stall_drops_total")
+	s.appliedWrites = reg.Counter("devnet_server_applied_writes_total")
+	return s
 }
 
 // Serve accepts connections on ln until Shutdown. It always returns a
@@ -59,6 +158,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.connsTotal.Inc()
 		go s.serveConn(conn)
 	}
 }
@@ -76,17 +176,90 @@ func (s *Server) Shutdown() {
 	s.wg.Wait()
 }
 
+// Abort is the non-graceful sibling of Shutdown: stop accepting and
+// sever every connection immediately (RST where the platform allows),
+// as a process kill would. Requests already executing still finish —
+// their responses just never reach the peer — so by the time Abort
+// returns no handler is touching the device and a supervisor may Crash
+// it. The dedup table survives for the replacement server.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		hardClose(c)
+	}
+	s.wg.Wait()
+}
+
+// hardClose severs a connection abruptly: linger 0 turns the close into
+// a reset instead of an orderly FIN, which is what a dying process does.
+func hardClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// Health reports the server's readiness.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	down := s.dev != nil && s.dev.Down()
+	shards := 0
+	if s.dev != nil {
+		shards = s.dev.Info().Shards
+	}
+	return Health{
+		Ready:      !draining && !down,
+		Draining:   draining,
+		DeviceDown: down,
+		InFlight:   int(s.inflight.Load()),
+		Sessions:   s.sessions.Sessions(),
+		Shards:     shards,
+	}
+}
+
 func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	} else if s.Logf != nil {
 		s.Logf(format, args...)
 	}
 }
 
-// serveConn runs the request/response loop for one connection. Reads poll
-// with a short deadline so a drain is noticed between requests; a request
-// already received is always answered before the connection closes.
+// stallConn re-arms the read deadline before every Read, so a transfer
+// that keeps making progress never times out while a stalled peer does.
+type stallConn struct {
+	net.Conn
+	stall time.Duration
+}
+
+func (c stallConn) Read(p []byte) (int, error) {
+	c.Conn.SetReadDeadline(time.Now().Add(c.stall))
+	return c.Conn.Read(p)
+}
+
+// serveConn runs the request/response loop for one connection. Waiting
+// for a request polls with a short deadline so a drain is noticed
+// between requests and an idle budget can expire; once a frame starts
+// arriving, stall-based deadlines take over. A panic anywhere in the
+// loop takes down only this connection.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Inc()
+			s.logf("devnet: %v connection panic: %v", conn.RemoteAddr(), p)
+		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -95,105 +268,207 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	s.logf("devnet: %v connected", conn.RemoteAddr())
 	for {
+		hdr, err := s.awaitHeader(conn)
+		if err != nil {
+			s.logf("devnet: %v gone: %v", conn.RemoteAddr(), err)
+			return
+		}
+		payload, err := readFramePayload(stallConn{conn, s.opts.ReadStall}, hdr)
+		if err != nil {
+			var fe *FrameError
+			if errors.As(err, &fe) {
+				s.frameErrors.Inc()
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				s.stallDrops.Inc()
+			}
+			s.logf("devnet: %v bad frame: %v", conn.RemoteAddr(), err)
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		resp := s.dispatch(payload)
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		if err := writeFrame(conn, resp); err != nil {
+			s.logf("devnet: %v write: %v", conn.RemoteAddr(), err)
+			return
+		}
+		conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// awaitHeader blocks until a full frame header arrives, the idle budget
+// expires, or the server drains. The wait polls in short slices so a
+// drain is honored promptly; once the first byte is in, the peer is
+// mid-frame and the stall rule applies to the header's remainder.
+func (s *Server) awaitHeader(conn net.Conn) ([frameHeaderSize]byte, error) {
+	var hdr [frameHeaderSize]byte
+	const poll = 250 * time.Millisecond
+	idleDeadline := time.Now().Add(s.opts.IdleTimeout)
+	got := 0
+	for got < frameHeaderSize {
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()
 		if draining {
-			s.logf("devnet: %v drained", conn.RemoteAddr())
-			return
+			return hdr, errors.New("draining")
 		}
-		conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
-		req, err := readFrame(conn)
+		wait := poll
+		if got > 0 && s.opts.ReadStall < wait {
+			wait = s.opts.ReadStall
+		}
+		conn.SetReadDeadline(time.Now().Add(wait))
+		n, err := conn.Read(hdr[got:])
+		got += n
 		if err != nil {
 			var nerr net.Error
-			if errors.As(err, &nerr) && nerr.Timeout() {
+			if !errors.As(err, &nerr) || !nerr.Timeout() {
+				return hdr, err
+			}
+			// Timeout slice. Mid-header, a single stall window is the
+			// whole budget; idle (no bytes yet) runs down IdleTimeout.
+			if got > 0 {
+				if n == 0 {
+					s.stallDrops.Inc()
+					return hdr, fmt.Errorf("peer stalled mid-header after %d bytes", got)
+				}
 				continue
 			}
-			s.logf("devnet: %v gone: %v", conn.RemoteAddr(), err)
-			return
-		}
-		conn.SetReadDeadline(time.Time{})
-		if err := writeFrame(conn, s.handle(req)); err != nil {
-			s.logf("devnet: %v write: %v", conn.RemoteAddr(), err)
-			return
+			if s.opts.IdleTimeout >= 0 && time.Now().After(idleDeadline) {
+				s.idleDrops.Inc()
+				return hdr, fmt.Errorf("idle for %v", s.opts.IdleTimeout)
+			}
 		}
 	}
+	return hdr, nil
 }
 
-// handle executes one request payload and builds the response payload.
-func (s *Server) handle(req []byte) []byte {
-	if len(req) < 1 {
-		return respErr(fmt.Errorf("empty request"))
+// dispatch parses one request payload, applies the dedup window and the
+// in-flight cap, and executes it panic-isolated.
+func (s *Server) dispatch(payload []byte) []byte {
+	req, err := parseRequest(payload)
+	if err != nil {
+		s.frameErrors.Inc()
+		return respErr(0, err)
 	}
-	op, body := req[0], req[1:]
+	if req.session != 0 {
+		if cached, ok := s.sessions.Cached(req.session, req.seq); ok {
+			s.dedupHits.Inc()
+			return cached
+		}
+	}
+	if s.opts.MaxInFlight > 0 {
+		if n := s.inflight.Add(1); n > int64(s.opts.MaxInFlight) {
+			s.inflight.Add(-1)
+			s.shed.Inc()
+			return respFromErr(req.seq, &device.BusyError{
+				Shard:      -1,
+				Pending:    int(n - 1),
+				RetryAfter: time.Duration(n) * 100 * time.Microsecond,
+			})
+		}
+		defer s.inflight.Add(-1)
+	}
+	resp := s.handleSafe(req)
+	// Only successful responses enter the dedup window: a failure did
+	// not commit, so the retry must re-execute.
+	if req.session != 0 && len(resp) > 0 && resp[0] == StatusOK {
+		s.sessions.Store(req.session, req.seq, resp)
+	}
+	return resp
+}
+
+// handleSafe confines a handler panic to an error response, keeping the
+// connection (and every other connection) alive.
+func (s *Server) handleSafe(req wireRequest) (resp []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Inc()
+			s.logf("devnet: handler panic on op %d: %v", req.op, p)
+			resp = respErr(req.seq, fmt.Errorf("internal: handler panic: %v", p))
+		}
+	}()
+	return s.handle(req)
+}
+
+// handle executes one request and builds the response payload.
+func (s *Server) handle(req wireRequest) []byte {
+	op, body, seq := req.op, req.body, req.seq
 	switch op {
 	case OpPing:
-		return respOK(0, nil)
+		return respOK(seq, 0, nil)
 	case OpInfo:
 		data, err := json.Marshal(s.dev.Info())
 		if err != nil {
-			return respErr(err)
+			return respErr(seq, err)
 		}
-		return respOK(0, data)
+		return respOK(seq, 0, data)
+	case OpHealth:
+		data, err := json.Marshal(s.Health())
+		if err != nil {
+			return respErr(seq, err)
+		}
+		return respOK(seq, 0, data)
 	case OpRead:
 		addr, ok := bodyAddr(body)
 		if !ok {
-			return respErr(fmt.Errorf("read: want 8-byte address, got %d bytes", len(body)))
+			return respErr(seq, fmt.Errorf("read: want 8-byte address, got %d bytes", len(body)))
 		}
 		line, lat, err := s.dev.Read(addr)
 		if err != nil {
-			return respFromErr(err)
+			return respFromErr(seq, err)
 		}
-		return respOK(lat, line[:])
+		return respOK(seq, lat, line[:])
 	case OpWrite:
 		if len(body) != 8+nvm.LineSize {
-			return respErr(fmt.Errorf("write: want address + %d-byte line, got %d bytes", nvm.LineSize, len(body)))
+			return respErr(seq, fmt.Errorf("write: want address + %d-byte line, got %d bytes", nvm.LineSize, len(body)))
 		}
 		addr := binary.BigEndian.Uint64(body)
 		var line nvm.Line
 		copy(line[:], body[8:])
 		lat, err := s.dev.Write(addr, &line)
 		if err != nil {
-			return respFromErr(err)
+			return respFromErr(seq, err)
 		}
-		return respOK(lat, nil)
+		s.appliedWrites.Inc()
+		return respOK(seq, lat, nil)
 	case OpDrain:
 		addr, ok := bodyAddr(body)
 		if !ok {
-			return respErr(fmt.Errorf("drain: want 8-byte address, got %d bytes", len(body)))
+			return respErr(seq, fmt.Errorf("drain: want 8-byte address, got %d bytes", len(body)))
 		}
 		if err := s.dev.Drain(addr); err != nil {
-			return respFromErr(err)
+			return respFromErr(seq, err)
 		}
-		return respOK(0, nil)
+		return respOK(seq, 0, nil)
 	case OpFlush:
 		if err := s.dev.Flush(); err != nil {
-			return respFromErr(err)
+			return respFromErr(seq, err)
 		}
-		return respOK(0, nil)
+		return respOK(seq, 0, nil)
 	case OpCrash:
 		if err := s.dev.Crash(); err != nil {
-			return respFromErr(err)
+			return respFromErr(seq, err)
 		}
-		return respOK(0, nil)
+		return respOK(seq, 0, nil)
 	case OpRecover:
 		rep, err := s.dev.Recover()
 		if err != nil {
-			return respFromErr(err)
+			return respFromErr(seq, err)
 		}
 		data, err := json.Marshal(rep)
 		if err != nil {
-			return respErr(err)
+			return respErr(seq, err)
 		}
-		return respOK(0, data)
+		return respOK(seq, 0, data)
 	case OpSnapshot:
 		data, err := s.dev.Snapshot().MarshalIndentJSON()
 		if err != nil {
-			return respErr(err)
+			return respErr(seq, err)
 		}
-		return respOK(0, data)
+		return respOK(seq, 0, data)
 	default:
-		return respErr(fmt.Errorf("unknown op %d", op))
+		return respErr(seq, fmt.Errorf("unknown op %d", op))
 	}
 }
 
@@ -204,45 +479,42 @@ func bodyAddr(body []byte) (uint64, bool) {
 	return binary.BigEndian.Uint64(body), true
 }
 
-func respOK(lat sim.Time, body []byte) []byte {
-	out := make([]byte, 0, 9+len(body))
-	out = append(out, StatusOK)
-	out = putU64(out, uint64(lat))
-	return append(out, body...)
+func respHeader(status uint8, seq uint64, lat sim.Time, bodyCap int) []byte {
+	out := make([]byte, 0, respHeaderSize+bodyCap)
+	out = append(out, status)
+	out = putU64(out, seq)
+	return putU64(out, uint64(lat))
 }
 
-func respErr(err error) []byte {
-	out := make([]byte, 0, 9+len(err.Error()))
-	out = append(out, StatusError)
-	out = putU64(out, 0)
-	return append(out, err.Error()...)
+func respOK(seq uint64, lat sim.Time, body []byte) []byte {
+	return append(respHeader(StatusOK, seq, lat, len(body)), body...)
+}
+
+func respErr(seq uint64, err error) []byte {
+	return append(respHeader(StatusError, seq, 0, len(err.Error())), err.Error()...)
 }
 
 // respFromErr maps the device's typed error surface onto wire statuses.
-func respFromErr(err error) []byte {
+func respFromErr(seq uint64, err error) []byte {
 	var busy *device.BusyError
 	var power *device.PowerError
 	switch {
 	case errors.As(err, &busy):
-		out := make([]byte, 0, 25)
-		out = append(out, StatusBusy)
-		out = putU64(out, 0)
-		out = putU32(out, uint32(busy.Shard))
+		out := respHeader(StatusBusy, seq, 0, 16)
+		out = putU32(out, uint32(int32(busy.Shard)))
 		out = putU32(out, uint32(busy.Pending))
 		return putU64(out, uint64(busy.RetryAfter.Nanoseconds()))
 	case errors.As(err, &power):
-		out := make([]byte, 0, 21)
-		out = append(out, StatusPowerLoss)
-		out = putU64(out, 0)
-		out = putU32(out, uint32(power.Shard))
+		out := respHeader(StatusPowerLoss, seq, 0, 12)
+		out = putU32(out, uint32(int32(power.Shard)))
 		return putU64(out, uint64(power.Boundary))
 	case errors.Is(err, memctrl.ErrCrashed):
-		return []byte{StatusCrashed, 0, 0, 0, 0, 0, 0, 0, 0}
+		return respHeader(StatusCrashed, seq, 0, 0)
 	case errors.Is(err, device.ErrRetired):
-		return []byte{StatusRetired, 0, 0, 0, 0, 0, 0, 0, 0}
+		return respHeader(StatusRetired, seq, 0, 0)
 	case errors.Is(err, device.ErrClosed):
-		return []byte{StatusClosed, 0, 0, 0, 0, 0, 0, 0, 0}
+		return respHeader(StatusClosed, seq, 0, 0)
 	default:
-		return respErr(err)
+		return respErr(seq, err)
 	}
 }

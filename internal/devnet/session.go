@@ -1,0 +1,135 @@
+package devnet
+
+import "sync"
+
+// SessionTable is the server's idempotency state: for every client
+// session it keeps a sliding window of recently executed sequence
+// numbers and their successful response payloads. A retransmitted
+// (session, seq) whose original already succeeded is answered from the
+// cache without touching the device — that is what makes a blind client
+// retry of a write exactly-once.
+//
+// Only successful (StatusOK) responses are cached: a failed operation
+// did not commit anything, so re-executing it on retry is both safe and
+// required (the failure may have been transient, e.g. a crash barrier
+// that recovery has since cleared).
+//
+// The table is deliberately a standalone object rather than a Server
+// field: a supervisor that kills and restarts the server hands the same
+// table to the replacement, modeling dedup state that lives in the
+// persistence domain alongside the data it protects. An acknowledged
+// write survives a power cut; so must the record that it was
+// acknowledged, or a retry straddling the crash double-applies.
+type SessionTable struct {
+	mu          sync.Mutex
+	window      int
+	maxSessions int
+	clock       uint64
+	sessions    map[uint64]*sessionState
+
+	hits, misses, stores, evictions uint64
+}
+
+type sessionState struct {
+	lastUsed uint64
+	entries  map[uint64][]byte
+	order    []uint64 // insertion ring, oldest first
+}
+
+// NewSessionTable builds a table keeping the last window responses per
+// session across at most maxSessions sessions (LRU-evicted). Zero or
+// negative arguments select the defaults (16 entries, 1024 sessions);
+// the client is stop-and-wait, so even a window of 1 is correct — the
+// slack absorbs future pipelined clients.
+func NewSessionTable(window, maxSessions int) *SessionTable {
+	if window <= 0 {
+		window = 16
+	}
+	if maxSessions <= 0 {
+		maxSessions = 1024
+	}
+	return &SessionTable{
+		window:      window,
+		maxSessions: maxSessions,
+		sessions:    make(map[uint64]*sessionState),
+	}
+}
+
+// Cached returns the stored response for (session, seq), if any.
+func (t *SessionTable) Cached(session, seq uint64) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock++
+	s, ok := t.sessions[session]
+	if !ok {
+		t.misses++
+		return nil, false
+	}
+	s.lastUsed = t.clock
+	resp, ok := s.entries[seq]
+	if !ok {
+		t.misses++
+		return nil, false
+	}
+	t.hits++
+	return resp, true
+}
+
+// Store records a successful response for (session, seq), evicting the
+// oldest window entry and, if a new session pushes the table over its
+// session cap, the least-recently-used session.
+func (t *SessionTable) Store(session, seq uint64, resp []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock++
+	t.stores++
+	s, ok := t.sessions[session]
+	if !ok {
+		if len(t.sessions) >= t.maxSessions {
+			t.evictLRU()
+		}
+		s = &sessionState{entries: make(map[uint64][]byte, t.window)}
+		t.sessions[session] = s
+	}
+	s.lastUsed = t.clock
+	if _, dup := s.entries[seq]; !dup && len(s.order) >= t.window {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.entries, oldest)
+	}
+	if _, dup := s.entries[seq]; !dup {
+		s.order = append(s.order, seq)
+	}
+	s.entries[seq] = resp
+}
+
+// evictLRU drops the least-recently-used session. Called with t.mu held.
+func (t *SessionTable) evictLRU() {
+	var victim uint64
+	var oldest uint64
+	first := true
+	for id, s := range t.sessions {
+		if first || s.lastUsed < oldest {
+			victim, oldest, first = id, s.lastUsed, false
+		}
+	}
+	if !first {
+		delete(t.sessions, victim)
+		t.evictions++
+	}
+}
+
+// Sessions returns the number of live sessions.
+func (t *SessionTable) Sessions() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}
+
+// Hits returns how many lookups were answered from the cache — each one
+// is a retry that would otherwise have re-executed.
+func (t *SessionTable) Hits() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits
+}

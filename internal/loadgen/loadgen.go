@@ -18,12 +18,14 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"sort"
 	"sync"
 
 	"soteria/internal/device"
 	"soteria/internal/nvm"
 	"soteria/internal/sim"
 	"soteria/internal/stats"
+	"soteria/internal/telemetry"
 	"soteria/internal/trace"
 	"soteria/internal/workload"
 )
@@ -60,6 +62,19 @@ type Params struct {
 	Footprint uint64
 	// Logf, when non-nil, receives progress lines (stderr material).
 	Logf func(format string, args ...any)
+	// Resilience, when non-nil, is the registry the run's connections
+	// report their devnet_client_* counters into (the caller wires it
+	// through its Dial). After the run the counters appear in the report
+	// as a sorted table — on a healthy network they are all zero, so the
+	// table stays deterministic; under faults they quantify the retry
+	// traffic the run absorbed.
+	Resilience *telemetry.Registry
+}
+
+// ResilienceCounter is one named client-resilience counter in a report.
+type ResilienceCounter struct {
+	Name  string
+	Value uint64
 }
 
 // LatencySummary describes one operation class's simulated latencies in
@@ -84,6 +99,9 @@ type Report struct {
 	// SimNanos is the busiest shard's total simulated service time — the
 	// run's simulated makespan under perfect shard parallelism.
 	SimNanos float64
+	// Resilience holds the run's client retry/timeout/reconnect counters
+	// (sorted by name) when Params.Resilience was set.
+	Resilience []ResilienceCounter
 }
 
 // classHist is a worker-local latency histogram: log2 buckets over
@@ -342,6 +360,13 @@ func Run(p Params) (*Report, []byte, error) {
 	}
 	rep.Read = reads.summary()
 	rep.Write = writes.summary()
+	if p.Resilience != nil {
+		snap := p.Resilience.Snapshot()
+		for name, v := range snap.Counters {
+			rep.Resilience = append(rep.Resilience, ResilienceCounter{Name: name, Value: v})
+		}
+		sort.Slice(rep.Resilience, func(i, j int) bool { return rep.Resilience[i].Name < rep.Resilience[j].Name })
+	}
 	return rep, snapshot, nil
 }
 
@@ -375,5 +400,15 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 		opsDone := float64(r.Read.Count + r.Write.Count)
 		tp.AddRow("ops per sim-ms", stats.FormatFloat(opsDone/(r.SimNanos/1e6)))
 	}
-	return tp.WriteMarkdown(w)
+	if err := tp.WriteMarkdown(w); err != nil {
+		return err
+	}
+	if len(r.Resilience) > 0 {
+		tr := stats.NewTable("client resilience", "counter", "value")
+		for _, c := range r.Resilience {
+			tr.AddRow(c.Name, c.Value)
+		}
+		return tr.WriteMarkdown(w)
+	}
+	return nil
 }

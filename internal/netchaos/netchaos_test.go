@@ -1,0 +1,252 @@
+package netchaos_test
+
+import (
+	"testing"
+	"time"
+
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/devnet"
+	"soteria/internal/memctrl"
+	"soteria/internal/netchaos"
+	"soteria/internal/nvm"
+	"soteria/internal/telemetry"
+)
+
+func newDevice(t *testing.T) *device.Device {
+	t.Helper()
+	dev, err := device.New(device.Options{
+		System: config.TestSystem(),
+		Mode:   memctrl.ModeSRC,
+		Key:    []byte("netchaos-test-key"),
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dev.Close() })
+	return dev
+}
+
+// rig is a full stack: device, supervised server, fault proxy, and a
+// resilient client dialing through the proxy.
+type rig struct {
+	dev   *device.Device
+	sup   *netchaos.Supervisor
+	proxy *netchaos.Proxy
+	c     *devnet.Client
+	reg   *telemetry.Registry
+}
+
+func newRig(t *testing.T, seed int64) *rig {
+	t.Helper()
+	dev := newDevice(t)
+	sup := netchaos.NewSupervisor(dev, devnet.ServerOptions{
+		ReadStall:   500 * time.Millisecond,
+		IdleTimeout: 5 * time.Second,
+	}, t.Logf)
+	addr, err := sup.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Stop)
+	proxy, err := netchaos.New(addr, seed, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	reg := telemetry.NewRegistry()
+	c, err := devnet.DialWith(proxy.Addr(), devnet.Options{
+		OpTimeout: 2 * time.Second,
+		Retry: devnet.RetryPolicy{
+			MaxAttempts: -1,
+			MaxElapsed:  20 * time.Second,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+			RetryDown:   true,
+		},
+		Telemetry: reg,
+		Seed:      seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &rig{dev: dev, sup: sup, proxy: proxy, c: c, reg: reg}
+}
+
+func chaosLine(i uint64) nvm.Line {
+	var l nvm.Line
+	for j := range l {
+		l[j] = byte(i*131 + uint64(j)*17 + 5)
+	}
+	return l
+}
+
+// writeRead pushes n lines through the client and reads each back,
+// failing on any error or mismatch — under every fault schedule the
+// client's retry loop must make this loop complete and correct.
+func (r *rig) writeRead(t *testing.T, n uint64) {
+	t.Helper()
+	for i := uint64(0); i < n; i++ {
+		addr := i * nvm.LineSize
+		line := chaosLine(i)
+		if _, err := r.c.Write(addr, &line); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		addr := i * nvm.LineSize
+		got, _, err := r.c.Read(addr)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if want := chaosLine(i); got != want {
+			t.Fatalf("line %d corrupted end-to-end", i)
+		}
+	}
+}
+
+func TestProxyTransparentPassthrough(t *testing.T) {
+	r := newRig(t, 1)
+	r.writeRead(t, 16)
+	if s := r.proxy.Stats(); s.FramesRelayed == 0 {
+		t.Fatal("proxy relayed nothing")
+	}
+	if got := r.reg.Counter("devnet_client_retries_total").Value(); got != 0 {
+		t.Fatalf("clean passthrough needed %d retries", got)
+	}
+}
+
+func TestProxyCorruptionIsDetectedAndRetried(t *testing.T) {
+	r := newRig(t, 2)
+	r.proxy.SetFaults(netchaos.Faults{Name: "corrupt", CorruptEvery: 600})
+	r.writeRead(t, 24)
+	s := r.proxy.Stats()
+	if s.CorruptedBytes == 0 {
+		t.Fatal("fault schedule injected no corruption")
+	}
+	if got := r.reg.Counter("devnet_client_retries_total").Value(); got == 0 {
+		t.Fatal("corruption detected but nothing was retried")
+	}
+}
+
+func TestProxyResetsAreRiddenOut(t *testing.T) {
+	r := newRig(t, 3)
+	r.proxy.SetFaults(netchaos.Faults{Name: "reset", ResetAfterBytes: 1500})
+	r.writeRead(t, 24)
+	if s := r.proxy.Stats(); s.Resets == 0 {
+		t.Fatal("fault schedule injected no resets")
+	}
+	if got := r.reg.Counter("devnet_client_reconnects_total").Value(); got == 0 {
+		t.Fatal("client survived resets without reconnecting?")
+	}
+}
+
+func TestProxyMidFrameTruncation(t *testing.T) {
+	r := newRig(t, 4)
+	r.proxy.SetFaults(netchaos.Faults{Name: "truncate", TruncateEveryNthFrame: 7})
+	r.writeRead(t, 24)
+	if s := r.proxy.Stats(); s.TruncatedFrames == 0 {
+		t.Fatal("fault schedule truncated no frames")
+	}
+}
+
+func TestPartitionHeals(t *testing.T) {
+	r := newRig(t, 5)
+	r.writeRead(t, 4)
+
+	r.proxy.SetFaults(netchaos.Faults{Name: "partition", Partition: true})
+	done := make(chan error, 1)
+	go func() {
+		line := chaosLine(100)
+		_, err := r.c.Write(100*nvm.LineSize, &line)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("write completed during partition: %v", err)
+	case <-time.After(300 * time.Millisecond):
+	}
+	r.proxy.Clear()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("write never completed after partition healed")
+	}
+	got, _, err := r.c.Read(100 * nvm.LineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := chaosLine(100); got != want {
+		t.Fatal("post-partition line corrupted")
+	}
+}
+
+func TestSupervisorKillRestart(t *testing.T) {
+	r := newRig(t, 6)
+	r.writeRead(t, 8)
+
+	if err := r.sup.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if err := r.sup.Restart(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if r.sup.Kills() != 1 {
+		t.Fatalf("kills = %d", r.sup.Kills())
+	}
+
+	// Every write acknowledged before the kill must read back after the
+	// restart — the device recovery path ran under the covers.
+	for i := uint64(0); i < 8; i++ {
+		got, _, err := r.c.Read(i * nvm.LineSize)
+		if err != nil {
+			t.Fatalf("read %d after restart: %v", i, err)
+		}
+		if want := chaosLine(i); got != want {
+			t.Fatalf("line %d lost across kill/restart", i)
+		}
+	}
+	// And the stack keeps working.
+	r.writeRead(t, 8)
+}
+
+func TestKillDuringWorkload(t *testing.T) {
+	r := newRig(t, 7)
+	done := make(chan error, 1)
+	go func() {
+		for i := uint64(0); i < 64; i++ {
+			addr := i * nvm.LineSize
+			line := chaosLine(i)
+			if _, err := r.c.Write(addr, &line); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := r.sup.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := r.sup.Restart(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("workload did not ride through the kill: %v", err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		got, _, err := r.c.Read(i * nvm.LineSize)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if want := chaosLine(i); got != want {
+			t.Fatalf("acknowledged line %d wrong after kill mid-workload", i)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package netchaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"soteria/internal/device"
+	"soteria/internal/devnet"
+)
+
+// Supervisor runs a devnet.Server in-process and models a process kill
+// plus restart: Kill aborts the server (connections reset, listener
+// gone) and crashes the device (volatile state lost, exactly as a power
+// cut at the wall); Restart recovers the device and rebinds a fresh
+// server on the same address. The session/dedup table and the server's
+// telemetry registry are owned by the supervisor and handed to every
+// incarnation — they model state in the persistence domain, which is
+// what keeps a retry that straddles the kill exactly-once.
+type Supervisor struct {
+	dev  *device.Device
+	opts devnet.ServerOptions
+	logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	srv   *devnet.Server
+	addr  string
+	up    bool
+	kills int
+}
+
+// NewSupervisor wraps a device. opts.Sessions and opts.Telemetry are
+// created if nil so they can be shared across restarts.
+func NewSupervisor(dev *device.Device, opts devnet.ServerOptions, logf func(format string, args ...any)) *Supervisor {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opts.Sessions == nil {
+		opts.Sessions = devnet.NewSessionTable(0, 0)
+	}
+	return &Supervisor{dev: dev, opts: opts, logf: logf}
+}
+
+// Start binds an ephemeral loopback port and begins serving. The
+// address stays stable across Kill/Restart cycles.
+func (s *Supervisor) Start() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.up {
+		return s.addr, nil
+	}
+	addr := s.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := s.listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.addr = ln.Addr().String()
+	s.srv = devnet.NewServerWith(s.dev, s.opts)
+	s.up = true
+	srv := s.srv
+	go func() {
+		srv.Serve(ln)
+	}()
+	s.logf("supervisor: serving on %s", s.addr)
+	return s.addr, nil
+}
+
+// listen retries briefly: after a kill the old port can linger for a
+// moment before the kernel lets us rebind it.
+func (s *Supervisor) listen(addr string) (net.Listener, error) {
+	var err error
+	for i := 0; i < 50; i++ {
+		var ln net.Listener
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("supervisor: rebind %s: %w", addr, err)
+}
+
+// Kill models the process dying: the server aborts (every connection
+// reset, in-flight responses lost) and then the device crashes. Abort
+// waits for executing handlers before returning, so the crash never
+// overlaps a device operation — acknowledged writes are durable, the
+// rest of the volatile state is gone.
+func (s *Supervisor) Kill() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.up {
+		return fmt.Errorf("supervisor: not running")
+	}
+	s.srv.Abort()
+	s.srv = nil
+	s.up = false
+	s.kills++
+	if err := s.dev.Crash(); err != nil {
+		return fmt.Errorf("supervisor: crash after abort: %w", err)
+	}
+	s.logf("supervisor: killed (total %d)", s.kills)
+	return nil
+}
+
+// Restart recovers the device and brings a fresh server up on the same
+// address.
+func (s *Supervisor) Restart() error {
+	s.mu.Lock()
+	up := s.up
+	s.mu.Unlock()
+	if up {
+		return fmt.Errorf("supervisor: already running")
+	}
+	if _, err := s.dev.Recover(); err != nil {
+		return fmt.Errorf("supervisor: recover: %w", err)
+	}
+	if _, err := s.Start(); err != nil {
+		return err
+	}
+	s.logf("supervisor: restarted on %s", s.addr)
+	return nil
+}
+
+// Stop shuts the current server down gracefully (if one is running)
+// without touching the device.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.up = false
+	s.mu.Unlock()
+	if srv != nil {
+		srv.Shutdown()
+	}
+}
+
+// Kills reports how many kill cycles have run.
+func (s *Supervisor) Kills() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kills
+}
+
+// Addr reports the bound address ("" before Start).
+func (s *Supervisor) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Sessions exposes the shared dedup table (for reports).
+func (s *Supervisor) Sessions() *devnet.SessionTable {
+	return s.opts.Sessions
+}
