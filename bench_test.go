@@ -10,6 +10,7 @@ package soteria
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -388,12 +389,12 @@ func BenchmarkCounterBlockRoundTrip(b *testing.B) {
 	}
 }
 
-// BenchmarkControllerSteadyState measures the warm-cache secure datapath
-// under a 3:1 write:read mix over a 512-block working set — the
-// steady-state regime of cmd/experiments and the device service. The CI
-// bench-compare step gates on it.
-func BenchmarkControllerSteadyState(b *testing.B) {
-	ctrl, err := memctrl.New(config.TestSystem(), memctrl.ModeSRC, []byte("b"), memctrl.Options{})
+// benchSteadyState measures the warm-cache secure datapath under a 3:1
+// write:read mix over a 512-block working set — the steady-state regime of
+// cmd/experiments and the device service — for one metadata-persistence
+// strategy ("" = default).
+func benchSteadyState(b *testing.B, strategy string) {
+	ctrl, err := memctrl.New(config.TestSystem(), memctrl.ModeSRC, []byte("b"), memctrl.Options{Strategy: strategy})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -415,6 +416,25 @@ func BenchmarkControllerSteadyState(b *testing.B) {
 		} else if now, err = ctrl.WriteBlock(now, addr, &line); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkControllerSteadyState is the default-strategy steady state. The
+// CI bench-compare step gates on it.
+func BenchmarkControllerSteadyState(b *testing.B) {
+	benchSteadyState(b, "")
+}
+
+// BenchmarkControllerSteadyStateScheme runs the same steady-state regime
+// once per registered metadata-persistence strategy, so the cost of each
+// scheme's persistence hooks shows up side by side in the CI bench
+// artifact. Dashes in strategy names become underscores: a bench name
+// ending in "-2" would be mis-parsed as a GOMAXPROCS suffix by the
+// benchmark tooling.
+func BenchmarkControllerSteadyStateScheme(b *testing.B) {
+	for _, name := range memctrl.Strategies() {
+		sub := "strategy=" + strings.ReplaceAll(name, "-", "_")
+		b.Run(sub, func(b *testing.B) { benchSteadyState(b, name) })
 	}
 }
 

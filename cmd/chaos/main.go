@@ -12,6 +12,8 @@
 //	go run ./cmd/chaos -seed 7 -campaign fault -trials 20
 //	go run ./cmd/chaos -seed 7 -campaign shadow -break-half-repair
 //	go run ./cmd/chaos -seed 3 -writes 60 -mode src -crash-at 30 -crash-at2 12
+//	go run ./cmd/chaos -seed 2 -writes 80 -strategy triad-nvm -sweep
+//	go run ./cmd/chaos -seed 1 -quick -schemes
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"soteria/internal/chaos"
+	"soteria/internal/memctrl"
 )
 
 func main() {
@@ -28,6 +31,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "master seed for workload, fault schedule and crash points")
 		writes       = flag.Int("writes", 200, "workload length in data operations")
 		modeName     = flag.String("mode", "src", "controller mode: nonsecure|baseline|src|sac")
+		strategyName = flag.String("strategy", "", "metadata-persistence strategy: "+strings.Join(memctrl.Strategies(), "|")+" (default soteria)")
+		schemes      = flag.Bool("schemes", false, "run the cross-scheme conformance suite: every registered strategy through crash sweep, nested sweep and fault campaign")
 		sweep        = flag.Bool("sweep", false, "crash at every stride-th workload boundary")
 		nested       = flag.Bool("nested", false, "sweep a second crash over the recovery's own boundaries")
 		stride       = flag.Int("stride", 1, "boundary step for -sweep and -nested")
@@ -71,6 +76,7 @@ func main() {
 		Seed:            *seed,
 		Writes:          *writes,
 		Mode:            mode,
+		Strategy:        *strategyName,
 		CrashAt:         *crashAt,
 		NestedCrashAt:   *crashAt2,
 		BreakHalfRepair: *breakRepair,
@@ -161,6 +167,45 @@ func main() {
 			fmt.Printf("device run: %d shards, %d boundaries, no crash\n", *shards, res.Boundaries)
 		}
 		report("device run", out, nil, false)
+		return
+	}
+
+	if *schemes {
+		if *campaign != "" || *nested || *sweep || *crashAt >= 0 || *breakRepair || set["shadow-faults"] {
+			fatal(fmt.Errorf("-schemes is a self-contained suite; combine only with -seed/-writes/-stride/-trials/-fault-rate/-quick"))
+		}
+		cfg := chaos.ConformanceConfig{
+			Seed:        *seed,
+			Writes:      *writes,
+			Mode:        mode,
+			Stride:      *stride,
+			FaultTrials: *trials,
+			FaultRate:   *faultRate,
+			Logf:        base.Logf,
+		}
+		results, err := chaos.ConformanceAll(nil, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bad := false
+		for _, r := range results {
+			fails := r.Failures()
+			for _, f := range fails {
+				for _, v := range f.Violations {
+					fmt.Printf("VIOLATION: %s\n", v)
+				}
+				fmt.Printf("REPRO: %s\n", f.Repro)
+			}
+			status := "ok"
+			if len(fails) > 0 {
+				status = fmt.Sprintf("%d FAILED runs", len(fails))
+				bad = true
+			}
+			fmt.Printf("schemes %-13s %4d runs, %s\n", r.Strategy+":", r.Runs(), status)
+		}
+		if bad {
+			os.Exit(1)
+		}
 		return
 	}
 

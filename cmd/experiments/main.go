@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run (comma-separated): table2,table3,table4,fig3,fig4,fig10a,fig10b,fig10c,fig11,fig12,mtbf,perf,all")
+		run       = flag.String("run", "all", "experiment to run (comma-separated): table2,table3,table4,fig3,fig4,fig10a,fig10b,fig10c,fig11,fig12,mtbf,perf,schemes,all (schemes is not part of all)")
 		ops       = flag.Uint64("ops", 150_000, "measured memory operations per workload (performance experiments)")
 		warmup    = flag.Uint64("warmup", 30_000, "warm-up memory operations per workload")
 		footprint = flag.Uint64("footprint", 64<<20, "workload data footprint in bytes")
@@ -216,6 +216,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		emit(t)
+	}
+	if want["schemes"] {
+		p := experiments.DefaultSchemeZooParams()
+		p.Trials, p.Seed, p.Workers = *trials, *seed, *workers
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running scheme-zoo comparison (%d Monte Carlo trials)...\n", p.Trials)
+		t, err := experiments.SchemeZoo(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "scheme zoo done in %v\n", time.Since(start).Round(time.Second))
 		emit(t)
 	}
 	if all || want["wear"] {

@@ -17,6 +17,10 @@ type Config struct {
 	Seed   int64
 	Writes int // workload operations (roughly 3/4 writes, 1/4 reads)
 	Mode   memctrl.Mode
+	// Strategy selects the metadata-persistence scheme under test (empty =
+	// memctrl.DefaultStrategy). Every strategy faces the identical workload,
+	// crash schedule and acknowledged-write oracle.
+	Strategy string
 	// CrashAt cuts power at this workload write boundary; negative never.
 	CrashAt int
 	// NestedCrashAt cuts power again at this boundary of the recovery
@@ -130,8 +134,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res := &Result{CrashBoundary: -1}
 
+	if cfg.Strategy != "" && cfg.Strategy != "soteria" {
+		// Shadow-entry faults and the half-repair kill switch target the
+		// Soteria duplicated-entry table specifically.
+		if cfg.ShadowFaults > 0 {
+			return nil, fmt.Errorf("chaos: ShadowFaults requires the soteria strategy (got %q)", cfg.Strategy)
+		}
+		if cfg.BreakHalfRepair {
+			return nil, fmt.Errorf("chaos: BreakHalfRepair requires the soteria strategy (got %q)", cfg.Strategy)
+		}
+	}
+
 	ctrl, err := memctrl.New(config.TestSystem(), cfg.Mode, []byte("chaos-harness-key"),
-		memctrl.Options{DisableShadowHalfRepair: cfg.BreakHalfRepair})
+		memctrl.Options{DisableShadowHalfRepair: cfg.BreakHalfRepair, Strategy: cfg.Strategy})
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +157,13 @@ func Run(cfg Config) (*Result, error) {
 	var dataLines, faultCeil uint64
 	if l := ctrl.Layout(); l != nil {
 		dataLines = l.DataBlocks
+		// Faults land anywhere below the shadow BMT (an SRAM stand-in).
+		// Strategies without a shadow region leave ShadowTreeBase at 0;
+		// their whole layout is fault-eligible.
 		faultCeil = l.ShadowTreeBase
+		if l.ShadowEntries == 0 {
+			faultCeil = l.Total
+		}
 	} else {
 		dataLines = ctrl.Device().Capacity() / nvm.LineSize
 	}

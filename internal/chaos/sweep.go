@@ -41,7 +41,12 @@ func ParseMode(s string) (memctrl.Mode, error) {
 // parameter that shapes the scenario (seed, crash points, fault schedule)
 // is on the line, so a reported failure is a one-command repro.
 func Repro(cfg Config) string {
-	s := fmt.Sprintf("go run ./cmd/chaos -seed %d -writes %d -mode %s", cfg.Seed, cfg.Writes, ModeFlag(cfg.Mode))
+	strategy := cfg.Strategy
+	if strategy == "" {
+		strategy = memctrl.DefaultStrategy
+	}
+	s := fmt.Sprintf("go run ./cmd/chaos -seed %d -writes %d -mode %s -strategy %s",
+		cfg.Seed, cfg.Writes, ModeFlag(cfg.Mode), strategy)
 	if cfg.CrashAt >= 0 {
 		s += fmt.Sprintf(" -crash-at %d", cfg.CrashAt)
 	}

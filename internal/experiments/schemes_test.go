@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"soteria/internal/memctrl"
+)
+
+// TestSchemeZooGoldenStructure runs the cross-scheme table at a small scale
+// and asserts its shape and the scheme-defining signatures: every
+// registered strategy gets a row, tracking-table schemes pay shadow writes
+// where Triad pays none, and the recomputable Triad levels can only lower
+// the UDR relative to full-persistence Soteria.
+func TestSchemeZooGoldenStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	p := DefaultSchemeZooParams()
+	p.Ops, p.Warmup, p.Trials = 2_000, 400, 5_000
+	tab, err := SchemeZoo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := memctrl.Strategies()
+	assertShape(t, tab, len(names))
+
+	cell := func(row int, col string) string {
+		t.Helper()
+		for i, h := range tab.Headers() {
+			if h == col {
+				return tab.Row(row)[i]
+			}
+		}
+		t.Fatalf("no column %q in %v", col, tab.Headers())
+		return ""
+	}
+	num := func(row int, col string) float64 {
+		t.Helper()
+		v, err := strconv.ParseFloat(cell(row, col), 64)
+		if err != nil {
+			t.Fatalf("row %d %s = %q: %v", row, col, cell(row, col), err)
+		}
+		return v
+	}
+
+	rowOf := map[string]int{}
+	for i := range names {
+		if got := cell(i, "scheme"); got != names[i] {
+			t.Fatalf("row %d scheme = %q, want %q (registry order)", i, got, names[i])
+		}
+		rowOf[names[i]] = i
+	}
+	for name, i := range rowOf {
+		if ns := num(i, "steady ns/op"); ns <= 0 {
+			t.Errorf("%s: steady ns/op = %g, want > 0", name, ns)
+		}
+		if amp := num(i, "NVM write amp"); amp <= 1 {
+			t.Errorf("%s: write amplification = %g, want > 1 (metadata always rides along)", name, amp)
+		}
+		if udr := num(i, "UDR"); udr <= 0 {
+			t.Errorf("%s: UDR = %g, want > 0 at this trial count", name, udr)
+		}
+		shadow := num(i, "shadow wr/op")
+		isTriad := strings.HasPrefix(name, "triad")
+		if isTriad && shadow != 0 {
+			t.Errorf("%s: shadow wr/op = %g, want 0 (no tracking table)", name, shadow)
+		}
+		if !isTriad && shadow <= 0 {
+			t.Errorf("%s: shadow wr/op = %g, want > 0 (tracking table)", name, shadow)
+		}
+	}
+	// Anubis writes two shadow lines per update to Soteria's one.
+	if a, s := num(rowOf["anubis-shadow"], "shadow wr/op"), num(rowOf["soteria"], "shadow wr/op"); a <= s {
+		t.Errorf("anubis shadow wr/op %g <= soteria %g, want more (2 lines per update)", a, s)
+	}
+	// Recomputable relaxed levels only remove loss modes: triad UDR can
+	// never exceed the full-persistence soteria UDR on the same DIMM, and
+	// persisting one more level (triad-nvm-2) can only add loss modes
+	// relative to triad-nvm.
+	sot := num(rowOf["soteria"], "UDR")
+	t1 := num(rowOf["triad-nvm"], "UDR")
+	t2 := num(rowOf["triad-nvm-2"], "UDR")
+	if t1 > sot {
+		t.Errorf("triad-nvm UDR %g exceeds soteria %g", t1, sot)
+	}
+	if t2 > sot {
+		t.Errorf("triad-nvm-2 UDR %g exceeds soteria %g", t2, sot)
+	}
+	if t1 > t2 {
+		t.Errorf("triad-nvm UDR %g exceeds triad-nvm-2 %g (more persisted levels, fewer recomputable)", t1, t2)
+	}
+}

@@ -430,6 +430,18 @@ func TestLossOrderingProperty(t *testing.T) {
 		if mUnv > bUnv {
 			t.Fatalf("trial %d: BMT (%d) lost more than ToC (%d)", trial, mUnv, bUnv)
 		}
+		// Triad-style selective persistence sits between the two: with
+		// persisted levels 1..N, levels above N+1 are recomputable — more
+		// levels at risk than a BMT (level > 1), fewer than the plain ToC.
+		triad := *base
+		triad.RecomputableAbove = 2 // persistLevels=1
+		_, tUnv := triad.Loss(d, rects)
+		if tUnv > bUnv {
+			t.Fatalf("trial %d: triad (%d) lost more than ToC (%d)", trial, tUnv, bUnv)
+		}
+		if mUnv > tUnv {
+			t.Fatalf("trial %d: BMT (%d) lost more than triad (%d)", trial, mUnv, tUnv)
+		}
 	}
 }
 

@@ -165,6 +165,27 @@ type Scheme struct {
 	// stronger replay resistance, which is exactly the gap Soteria's
 	// clones fill.
 	RecomputableIntermediates bool
+	// RecomputableAbove generalizes RecomputableIntermediates to Triad-style
+	// selective persistence: tree levels strictly above this threshold are
+	// re-derived at recovery (relaxed levels rebuilt by bounded counter
+	// search), so their faults do not lose coverage. For persisted levels N,
+	// set N+1: level N+1's stored counters seed the recovery search and so
+	// still matter, while everything above it is rewritten wholesale.
+	// 0 means no levels are recomputable (unless RecomputableIntermediates).
+	RecomputableAbove int
+}
+
+// recomputableAbove resolves the two recomputability knobs into one level
+// threshold (0 = none).
+func (s *Scheme) recomputableAbove() int {
+	above := 0
+	if s.RecomputableIntermediates {
+		above = 1
+	}
+	if s.RecomputableAbove > above {
+		above = s.RecomputableAbove
+	}
+	return above
 }
 
 // NonSecureScheme is the conventional memory: the whole DIMM is data.
@@ -260,9 +281,10 @@ func (s *Scheme) Loss(d config.DIMMConfig, rects []Rect) (lErr, lUnv uint64) {
 	// home-lost node are then probed individually — the candidate set is
 	// already narrowed to the home losses, so enumeration stays small.
 	var lost intervalSet
+	above := s.recomputableAbove()
 	for _, li := range s.Layout.Levels {
-		if s.RecomputableIntermediates && li.Level > 1 {
-			continue // BMT: regenerate from children instead of losing coverage
+		if above > 0 && li.Level > above {
+			continue // regenerate from children instead of losing coverage
 		}
 		lostIdx := lostNodeIndices(&u, li.Base, li.Nodes)
 		for _, ix := range lostIdx {

@@ -14,26 +14,30 @@ import (
 // pure datapath — encrypt, MAC, tree update, WPQ admission — which must
 // run entirely out of controller-owned scratch.
 func TestWriteBlockSteadyStateZeroAllocs(t *testing.T) {
-	ctrl, err := New(config.TestSystem(), ModeSRC, []byte("alloc-test"), Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var line [64]byte
-	now := ctrl.DrainWPQ(0)
-	for i := 0; i < 512; i++ {
-		if now, err = ctrl.WriteBlock(now, uint64(i)*64, &line); err != nil {
-			t.Fatal(err)
-		}
-	}
-	i := 0
-	avg := testing.AllocsPerRun(256, func() {
-		if now, err = ctrl.WriteBlock(now, uint64(i%512)*64, &line); err != nil {
-			t.Fatal(err)
-		}
-		i++
-	})
-	if avg != 0 {
-		t.Fatalf("steady-state WriteBlock allocates %.2f objects/op, want 0", avg)
+	for _, strategy := range Strategies() {
+		t.Run("strategy="+strategy, func(t *testing.T) {
+			ctrl, err := New(config.TestSystem(), ModeSRC, []byte("alloc-test"), Options{Strategy: strategy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var line [64]byte
+			now := ctrl.DrainWPQ(0)
+			for i := 0; i < 512; i++ {
+				if now, err = ctrl.WriteBlock(now, uint64(i)*64, &line); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			avg := testing.AllocsPerRun(256, func() {
+				if now, err = ctrl.WriteBlock(now, uint64(i%512)*64, &line); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state WriteBlock allocates %.2f objects/op, want 0", avg)
+			}
+		})
 	}
 }
 

@@ -156,6 +156,11 @@ type Options struct {
 	// through: recovery skips the duplicated-half repair, deliberately
 	// breaking Soteria's shadow resilience. Debug/chaos-harness only.
 	DisableShadowHalfRepair bool
+	// Strategy selects the metadata-persistence scheme (what is persisted
+	// on metadata mutations, what survives a crash, how recovery rebuilds
+	// a verified image). Empty selects DefaultStrategy ("soteria"); see
+	// Strategies() for the registered schemes.
+	Strategy string
 }
 
 // Controller is the secure memory controller front-end. It is not
@@ -172,6 +177,7 @@ type Controller struct {
 	mcache *metacache.Cache
 	shadow *shadow.Table
 	fh     *core.FaultHandler
+	strat  strategy
 
 	// Persistent on-chip registers (survive power loss in the ADR
 	// domain): the ToC root node and the shadow-BMT root.
@@ -262,6 +268,14 @@ func newController(cfg config.SystemConfig, mode Mode, policy core.ClonePolicy, 
 	if c.osirisLimit <= 0 {
 		c.osirisLimit = defaultOsirisLimit
 	}
+	strat, err := newStrategy(opt.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateStrategyOptions(strat, opt); err != nil {
+		return nil, err
+	}
+	c.strat = strat
 	c.banks = sim.NewBanks(cfg.NVM.Banks)
 
 	if mode == ModeNonSecure {
@@ -279,7 +293,7 @@ func newController(cfg config.SystemConfig, mode Mode, policy core.ClonePolicy, 
 	}
 
 	mcfg := cfg.Security.MetadataCache
-	shadowSlots := uint64(mcfg.Sets() * mcfg.Ways)
+	shadowLines := c.strat.shadowLines(uint64(mcfg.Sets() * mcfg.Ways))
 
 	// First pass to learn the level count, second to size clone regions.
 	probe, err := itree.NewLayout(itree.Params{
@@ -295,7 +309,7 @@ func newController(cfg config.SystemConfig, mode Mode, policy core.ClonePolicy, 
 		CounterArity:  cfg.Security.CounterArity,
 		TreeArity:     cfg.Security.TreeArity,
 		CloneDepths:   policy.Depths(probe.TopLevel()),
-		ShadowEntries: shadowSlots,
+		ShadowEntries: shadowLines,
 	})
 	if err != nil {
 		return nil, err
@@ -328,18 +342,15 @@ func newController(cfg config.SystemConfig, mode Mode, policy core.ClonePolicy, 
 	}
 	c.mcache = mc
 
-	// Table construction initializes every slot and builds the shadow
-	// BMT; those boot-time writes go straight to the device without
-	// timing charges or statistics.
+	// Strategy installation initializes its tracking structures (e.g. the
+	// shadow table and its BMT); those boot-time writes go straight to the
+	// device without timing charges or statistics.
 	c.bootstrap = true
-	tbl, err := shadow.NewTable(eng, c.shadowStore(), layout.ShadowBase, layout.ShadowEntries,
-		layout.ShadowTreeBase, c.shadowOptions())
+	err = c.strat.install(c)
 	c.bootstrap = false
 	if err != nil {
 		return nil, err
 	}
-	c.shadow = tbl
-	c.shadowRoot = tbl.Root()
 
 	c.fh = core.NewFaultHandler(devMem{dev}, layout)
 	return c, nil
@@ -393,15 +404,16 @@ func (c *Controller) note(label string) {
 // Mode returns the controller's protection mode.
 func (c *Controller) Mode() Mode { return c.mode }
 
-// TrackedSlots lists the shadow slots currently holding valid entries —
-// the blocks Anubis is tracking right now. Empty in non-secure mode and
-// after a crash (the table handle is volatile). The chaos harness uses it
-// to aim shadow-entry faults at entries that actually matter.
+// TrackedSlots lists the tracking slots currently holding valid entries —
+// the blocks the strategy is tracking right now. Empty in non-secure mode,
+// after a crash (table handles are volatile), and for strategies that keep
+// no tracking table. The chaos harness uses it to aim shadow-entry faults
+// at entries that actually matter.
 func (c *Controller) TrackedSlots() []uint64 {
-	if c.shadow == nil {
+	if c.mode == ModeNonSecure {
 		return nil
 	}
-	return c.shadow.ValidSlots()
+	return c.strat.trackedSlots(c)
 }
 
 // Layout exposes the NVM address map (nil in non-secure mode).
@@ -435,13 +447,13 @@ func (c *Controller) FaultStats() core.Stats {
 	return c.fh.Stats()
 }
 
-// ShadowStats returns shadow-table statistics (zero value in non-secure
-// mode).
+// ShadowStats returns tracking-table statistics (zero value in non-secure
+// mode and for strategies without a tracking table).
 func (c *Controller) ShadowStats() shadow.Stats {
-	if c.shadow == nil {
+	if c.mode == ModeNonSecure {
 		return shadow.Stats{}
 	}
-	return c.shadow.Stats()
+	return c.strat.shadowStats(c)
 }
 
 // devMem adapts the device for the fault handler (repair writes bypass the

@@ -52,7 +52,7 @@ func (c *Controller) ReadBlock(now sim.Time, addr uint64) ([nvm.LineSize]byte, s
 		c.chargeReadLatency(addr)
 		c.stats.ColdReads++
 		c.tel.coldReads.Inc()
-		return nvm.Line{}, c.now, nil
+		return nvm.Line{}, c.now, c.strat.afterOp(c)
 	}
 
 	// The data fetch and OTP generation overlap (Fig 1), so only the
@@ -71,7 +71,10 @@ func (c *Controller) ReadBlock(now sim.Time, addr uint64) ([nvm.LineSize]byte, s
 		return nvm.Line{}, c.now, fmt.Errorf("%w: block %#x", ErrMACMismatch, addr)
 	}
 	pt := c.eng.Decrypt(addr, counter, &ct)
-	return pt, c.now, nil
+	// Deferred strategy maintenance (e.g. Triad's relaxed-level
+	// write-backs queued by this read's eviction cascades) runs outside
+	// any seal.
+	return pt, c.now, c.strat.afterOp(c)
 }
 
 // WriteBlock services one 64-byte write at a data-region address (an LLC
@@ -130,7 +133,7 @@ func (c *Controller) WriteBlock(now sim.Time, addr uint64, data *[nvm.LineSize]b
 	}
 	counter := cb.Counter.Counter(slot)
 	cb.UpdatesPerSlot[slot]++
-	needForce := !c.eager && cb.UpdatesPerSlot[slot] >= uint32(c.osirisLimit)
+	needForce := c.strat.needsForce(c, cb, slot)
 	c.mcache.MarkDirty(home)
 
 	// Pre-ensure the MAC line is resident: its miss path can trigger
@@ -151,7 +154,10 @@ func (c *Controller) WriteBlock(now sim.Time, addr uint64, data *[nvm.LineSize]b
 	c.pushWrite(addr, &ct, WCData)
 	err = c.setDataMAC(blockIdx, c.eng.DataMAC(addr, counter, &ct))
 	if err == nil {
-		c.shadowUpdate(home)
+		// Strategy commit: the Soteria shadow-log write, or Triad's
+		// persisted-level write-back chain — atomic with the ciphertext
+		// and MAC, so a crash can never strand an acknowledged write.
+		err = c.strat.commitLeaf(c, home)
 	}
 	c.unseal("data-commit")
 	if err != nil {
@@ -170,6 +176,9 @@ func (c *Controller) WriteBlock(now sim.Time, addr uint64, data *[nvm.LineSize]b
 		if err := c.eagerPropagate(leafIdx); err != nil {
 			return c.now, err
 		}
+	}
+	if err := c.strat.afterOp(c); err != nil {
+		return c.now, err
 	}
 	return c.now, nil
 }
@@ -251,14 +260,16 @@ func (c *Controller) reencryptPageInner(leafIdx uint64) error {
 		}
 	}
 
-	// The leaf changed wholesale: refresh bookkeeping and its shadow
-	// entry. (Re-peek: the loop may have reshuffled the cache.)
+	// The leaf changed wholesale: refresh bookkeeping and its tracking
+	// state. (Re-peek: the loop may have reshuffled the cache.)
 	if blk, ok := c.mcache.Peek(home); ok {
 		for i := range blk.UpdatesPerSlot {
 			blk.UpdatesPerSlot[i] = 0
 		}
 		c.mcache.MarkDirty(home)
-		c.shadowUpdate(home)
+		if err := c.strat.commitLeaf(c, home); err != nil {
+			return err
+		}
 	} else {
 		// Evicted mid-loop (written back with the new major). Nothing
 		// more to do: memory already holds the re-encrypted state.

@@ -217,9 +217,7 @@ func (c *Controller) insertBlock(home uint64, blk metacache.Block, dirty bool) {
 			c.stats.RecoveryLost++
 			c.tel.recoveryLost.Inc()
 			c.mcache.CleanLine(v.Addr)
-			if slot := c.mcache.SlotOf(v.Addr); slot >= 0 && c.shadow != nil {
-				c.invalidateSlot(slot)
-			}
+			c.strat.onDrop(c, v.Addr)
 		}
 	}
 	// The pre-clean cascade can fetch (and advance the counters of) this
@@ -231,7 +229,7 @@ func (c *Controller) insertBlock(home uint64, blk metacache.Block, dirty bool) {
 		if dirty {
 			c.mcache.MarkDirty(home)
 			if blk.Kind != metacache.KindMAC {
-				c.shadowUpdate(home)
+				c.strat.onDirty(c, home)
 			}
 		}
 		return
@@ -250,7 +248,7 @@ func (c *Controller) insertBlock(home uint64, blk metacache.Block, dirty bool) {
 		}
 	}
 	if dirty && blk.Kind != metacache.KindMAC {
-		c.shadowUpdate(home)
+		c.strat.onDirty(c, home)
 	}
 }
 
@@ -291,8 +289,12 @@ func (c *Controller) writebackBlock(blk *metacache.Block) error {
 		}
 		pb.Node.Increment(slot)
 		pctr = pb.Node.Counters[slot]
+		// Per-slot bump accounting bounds how far the parent's in-cache
+		// counters can drift from NVM — Triad's relaxed levels use it the
+		// way Osiris uses leaf UpdatesPerSlot.
+		pb.UpdatesPerSlot[slot]++
 		c.mcache.MarkDirty(pHome)
-		c.shadowUpdate(pHome)
+		c.strat.onDirty(c, pHome)
 	}
 
 	switch blk.Kind {
@@ -320,6 +322,12 @@ func (c *Controller) writebackBlock(blk *metacache.Block) error {
 	c.tel.nvmWrites[WCMetadata].Inc()
 	c.stats.NVMWrites[WCClone] += uint64(len(addrs) - 1)
 	c.tel.nvmWrites[WCClone].Add(uint64(len(addrs) - 1))
+	// The persisted copy is in sync with the cache again: reset the
+	// per-slot drift accounting (Osiris bound for leaves, Triad relaxed
+	// bound for nodes).
+	for i := range blk.UpdatesPerSlot {
+		blk.UpdatesPerSlot[i] = 0
+	}
 	return nil
 }
 
@@ -412,19 +420,12 @@ func (c *Controller) forceWriteback(home uint64) error {
 	if err := c.writebackBlock(blk); err != nil {
 		return err
 	}
-	if blk.Kind == metacache.KindCounter {
-		for i := range blk.UpdatesPerSlot {
-			blk.UpdatesPerSlot[i] = 0
-		}
-	}
 	c.mcache.CleanLine(home)
-	// The entry is dropped only now, after the block's clone group has
-	// been accepted into the persistence domain: a crash between the two
-	// steps merely leaves a benign entry describing content that already
-	// matches memory.
-	if slot := c.mcache.SlotOf(home); slot >= 0 && c.shadow != nil {
-		c.invalidateSlot(slot)
-	}
+	// The tracking entry is dropped only now, after the block's clone
+	// group has been accepted into the persistence domain: a crash between
+	// the two steps merely leaves a benign entry describing content that
+	// already matches memory.
+	c.strat.onClean(c, home)
 	c.stats.ForcedWB++
 	c.tel.forcedWB.Inc()
 	return nil

@@ -2,8 +2,6 @@ package memctrl
 
 import (
 	"fmt"
-	"slices"
-	"sort"
 
 	"soteria/internal/ctrenc"
 	"soteria/internal/itree"
@@ -33,10 +31,7 @@ func (c *Controller) Crash() error {
 		return ErrCrashed
 	}
 	c.mcache.DropAll()
-	if c.shadow != nil {
-		c.shadowRoot = c.shadow.Root()
-		c.shadow = nil
-	}
+	c.strat.onCrash(c)
 	c.q.Reset()
 	c.inflight = make(map[uint64]*metacache.Block)
 	c.forcing = make(map[uint64]bool)
@@ -71,27 +66,15 @@ type RecoveryReport struct {
 	HalfRepairs uint64
 }
 
-// Recover rebuilds a consistent, verifiable memory image after Crash():
-//
-//  1. Reattach the shadow table using the persistent BMT root; read every
-//     entry, repairing half-dead entries from their Soteria duplicates.
-//  2. Reconstruct each tracked metadata block independently: a stale NVM
-//     copy (home or any clone) plus the entry's 16-bit counter LSBs; leaf
-//     minors come back through Osiris trials against the persisted data
-//     MACs. A reconstruction is accepted exactly when it reproduces the
-//     keyed MAC captured in its shadow entry, which makes recovery
-//     insensitive to the order in which a crash tore parent and child
-//     write-backs.
-//  3. Reinstall the reconstructed blocks as dirty cache contents (which
-//     re-tracks them at their new slots), retiring each block's old slots
-//     as it is re-tracked, and flush through the ordinary lazy write-back
-//     machinery (parent bumps, fresh MACs, clone writes), leaving NVM
-//     self-consistent. At every instant each tracked block is described
-//     by at least one durable entry, and entries for the same block only
-//     coexist while content-identical, so a crash *during* recovery loses
-//     nothing: the next Recover simply starts over.
-//  4. Finally clear whatever slots remain valid (unreconstructible
-//     blocks, already counted as lost).
+// Recover rebuilds a consistent, verifiable memory image after Crash().
+// The mechanics are the strategy's: Soteria reattaches the shadow table and
+// patches stale copies with tracked counter LSBs (leaf minors through
+// Osiris), the Anubis content table replays exact block images, and Triad
+// re-derives its relaxed tree levels from the persisted ones by bounded
+// counter search. All of them end with the reconstructed blocks reseeded as
+// dirty cache contents and flushed through the ordinary lazy write-back
+// machinery, leaving NVM self-consistent; a crash *during* recovery is
+// always survivable (the next Recover starts over).
 func (c *Controller) Recover() (*RecoveryReport, error) {
 	if c.mode == ModeNonSecure {
 		return &RecoveryReport{}, nil
@@ -101,153 +84,7 @@ func (c *Controller) Recover() (*RecoveryReport, error) {
 	}
 	c.recovering = true
 	c.note("recover-begin")
-
-	root := c.shadowRoot
-	if c.shadow != nil {
-		// A previous Recover attempt was interrupted after installing the
-		// table; its root is the current one.
-		root = c.shadow.Root()
-		c.shadow = nil
-	}
-	tbl, err := shadow.Attach(c.eng, c.shadowStore(), c.layout.ShadowBase, c.layout.ShadowEntries,
-		c.layout.ShadowTreeBase, root, c.shadowOptions())
-	if err != nil {
-		return nil, err
-	}
-	// Install immediately: every shadow mutation from here on lands in the
-	// live table, so a nested crash re-captures a root that matches NVM.
-	c.shadow = tbl
-	if c.telReg != nil {
-		tbl.AttachTelemetry(c.telReg)
-	}
-
-	slotEntries, lostSlots := tbl.LoadAllSlots()
-	rep := &RecoveryReport{TrackedEntries: len(slotEntries), LostSlots: lostSlots, HalfRepairs: tbl.Stats().HalfRepairs}
-	c.stats.RecoveryLost += uint64(len(lostSlots))
-	c.tel.recoveryLost.Add(uint64(len(lostSlots)))
-	c.note("recover-load-done")
-
-	// Reconstruct every tracked block. Entries are self-contained (the
-	// entry MAC is the acceptance test), so no ordering between levels is
-	// needed. Duplicate entries for the same block are a legal artifact of
-	// crashing an earlier recovery between re-tracking and slot cleanup,
-	// and the copies can disagree: the fresher one has absorbed the
-	// parent-counter bumps of that recovery's flush. Every entry is tried,
-	// and when several reconstruct, the one with the largest counters wins
-	// — counters only ever grow, so picking a smaller reconstruction would
-	// roll the block (and, silently, its already-flushed children) back.
-	recovered := make(map[uint64]metacache.Block)
-	failReason := make(map[uint64]string)
-	slotsOf := make(map[uint64][]uint64)
-	for _, se := range slotEntries {
-		e := se.Entry
-		loc := c.layout.Locate(e.Addr)
-		if loc.Kind != itree.RegionMetadata {
-			rep.FailedBlocks = append(rep.FailedBlocks,
-				FailedBlock{Addr: e.Addr, Reason: "shadow entry outside the metadata region"})
-			c.stats.RecoveryLost++
-			c.tel.recoveryLost.Inc()
-			continue
-		}
-		slotsOf[e.Addr] = append(slotsOf[e.Addr], se.Slot)
-		blk, err := c.recoverBlock(loc.Level, loc.Index, e)
-		if err != nil {
-			if _, seen := failReason[e.Addr]; !seen {
-				failReason[e.Addr] = err.Error()
-			}
-			continue
-		}
-		if prev, dup := recovered[e.Addr]; !dup || counterTotal(&blk) > counterTotal(&prev) {
-			recovered[e.Addr] = blk
-		}
-	}
-	reported := make(map[uint64]bool)
-	for _, se := range slotEntries {
-		addr := se.Entry.Addr
-		if c.layout.Locate(addr).Kind != itree.RegionMetadata {
-			continue
-		}
-		if _, ok := recovered[addr]; ok || reported[addr] {
-			continue
-		}
-		reported[addr] = true
-		rep.FailedBlocks = append(rep.FailedBlocks, FailedBlock{Addr: addr, Reason: failReason[addr]})
-		c.stats.RecoveryLost++
-		c.tel.recoveryLost.Inc()
-	}
-	rep.RecoveredBlocks = len(recovered)
-	c.stats.RecoveredOK += uint64(len(recovered))
-	c.tel.recoveredOK.Add(uint64(len(recovered)))
-
-	// Fresh volatile state: seed the cache with the reconstructed blocks
-	// as dirty — which writes their entries at their new slots — and flush
-	// through the ordinary write-back path. The shadow table has one slot
-	// per cache way and the tracked blocks were simultaneously resident
-	// before the crash, so reinsertion cannot evict.
-	//
-	// Each block's superseded slots are retired immediately after its
-	// re-insert, not at the end: once the flush starts folding in counter
-	// bumps, a stale entry left valid at the old slot would describe
-	// content older than what lands in NVM, and a nested crash would let
-	// the next recovery roll the block — and silently its already-flushed
-	// children — back to it. Between a re-insert and its retirement the
-	// duplicate entries are content-identical, so a crash in that window
-	// is harmless.
-	//
-	// Order matters: ascending old slot. Insert fills the lowest free way
-	// first, so the i-th re-seeded block lands at way i of its set, and
-	// any still-valid entry at that slot would belong to a block with a
-	// smaller minimum slot — re-inserted earlier, its old slots already
-	// retired. The re-insert therefore never overwrites a live entry.
-	c.crashed = false
-	c.recovering = false
-	c.note("recover-reseed")
-	order := make([]uint64, 0, len(recovered))
-	for addr := range recovered {
-		order = append(order, addr)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		return slices.Min(slotsOf[order[i]]) < slices.Min(slotsOf[order[j]])
-	})
-	for _, addr := range order {
-		c.insertBlock(addr, recovered[addr], true)
-		newSlot := c.mcache.SlotOf(addr)
-		for _, s := range slotsOf[addr] {
-			if int(s) != newSlot {
-				c.invalidateSlot(int(s))
-			}
-		}
-	}
-	c.FlushAll(c.now)
-
-	// Cleanup: the flush untracked the re-seeded blocks; what remains
-	// valid is stale pre-crash entries at old slots (the blocks moved
-	// ways) plus anything the flush had to abandon. Clearing them is pure
-	// bookkeeping — each one describes content that now matches memory —
-	// so the wipe writes bypass the WPQ books like other recovery
-	// bookkeeping.
-	c.bootstrap = true
-	for _, s := range tbl.ValidSlots() {
-		c.seal("shadow-op")
-		err := tbl.Reset(s)
-		c.unseal("shadow-op")
-		if err != nil {
-			c.bootstrap = false
-			return rep, err
-		}
-	}
-	for _, s := range lostSlots {
-		c.seal("shadow-op")
-		err := tbl.Reset(s)
-		c.unseal("shadow-op")
-		if err != nil {
-			c.bootstrap = false
-			return rep, err
-		}
-	}
-	c.bootstrap = false
-	c.note("recover-done")
-	return rep, nil
+	return c.strat.recover(c)
 }
 
 // counterTotal sums a reconstructed block's counters. Counters only ever

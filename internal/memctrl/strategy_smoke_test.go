@@ -1,0 +1,53 @@
+package memctrl
+
+import (
+	"fmt"
+	"testing"
+
+	"soteria/internal/config"
+	"soteria/internal/nvm"
+)
+
+func TestStrategySmokeCrashRecover(t *testing.T) {
+	for _, name := range Strategies() {
+		t.Run(name, func(t *testing.T) {
+			ctrl, err := New(config.TestSystem(), ModeSRC, []byte("k"), Options{Strategy: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[uint64]nvm.Line{}
+			for i := 0; i < 300; i++ {
+				addr := uint64(i%96) * 64
+				var line nvm.Line
+				copy(line[:], fmt.Sprintf("v%d-%d", i, addr))
+				if _, err := ctrl.WriteBlock(0, addr, &line); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				want[addr] = line
+			}
+			if err := ctrl.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := ctrl.Recover()
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if len(rep.FailedBlocks) != 0 || len(rep.LostSlots) != 0 {
+				t.Fatalf("report: %+v", rep)
+			}
+			for addr, w := range want {
+				got, _, err := ctrl.ReadBlock(0, addr)
+				if err != nil {
+					t.Fatalf("read %#x: %v", addr, err)
+				}
+				if got != w {
+					t.Fatalf("addr %#x mismatch", addr)
+				}
+			}
+			ctrl.FlushAll(0)
+			if err := ctrl.VerifyAll(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+		})
+	}
+}

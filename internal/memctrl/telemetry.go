@@ -73,8 +73,8 @@ func (c *Controller) AttachTelemetry(r *telemetry.Registry) {
 	if c.mcache != nil {
 		c.mcache.AttachTelemetry(r)
 	}
-	if c.shadow != nil {
-		c.shadow.AttachTelemetry(r)
+	if c.strat != nil && c.mode != ModeNonSecure && c.layout != nil {
+		c.strat.attachTelemetry(c, r)
 	}
 	if c.fh != nil {
 		c.fh.AttachTelemetry(r)

@@ -401,6 +401,15 @@ func (m *Cache) DropAll() []cache.Entry[Block] {
 	return dirty
 }
 
+// IsDirty reports whether the block at homeAddr is resident and dirty,
+// without allocating or touching LRU state.
+func (m *Cache) IsDirty(homeAddr uint64) bool {
+	set, tag := m.index(homeAddr)
+	ws := m.set(set)
+	i := m.find(ws, tag)
+	return i >= 0 && ws[i].dirty
+}
+
 // DirtyEntries lists resident dirty blocks, in set order.
 func (m *Cache) DirtyEntries() []cache.Entry[Block] {
 	var out []cache.Entry[Block]
