@@ -46,6 +46,8 @@ func main() {
 		quick        = flag.Bool("quick", false, "smoke-test sizes: writes 60, stride 5, trials 5 (unless set explicitly)")
 		deviceRun    = flag.Bool("device", false, "run against the sharded internal/device service instead of a bare controller")
 		shards       = flag.Int("shards", 4, "shard count for -device")
+		tracePath    = flag.String("trace", "", "with a single -device run: record the scenario and write a time-travel replay trace here when it crashes")
+		replayPath   = flag.String("replay", "", "re-execute a recorded replay trace file: restore the checkpoint nearest the fault and re-run events up to the crash point")
 		netRun       = flag.Bool("net", false, "run the full network stack (server + fault proxy + retrying clients); combine with -sweep for the standard fault sweep")
 		netFault     = flag.String("net-fault", "clean", "fault schedule for -net: clean|latency|throttle|corrupt|reset|truncate|partition|combined")
 		netClients   = flag.Int("net-clients", 3, "concurrent clients for -net")
@@ -85,6 +87,33 @@ func main() {
 	if *verbose {
 		logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
 		base.Logf = logf
+	}
+
+	if *replayPath != "" {
+		if *netRun || *deviceRun || *sweep || *schemes || *campaign != "" || *nested {
+			fatal(fmt.Errorf("-replay is self-contained; the trace file names the full scenario"))
+		}
+		data, err := os.ReadFile(*replayPath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := chaos.DecodeReplayTrace(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replaying %s: seed %d, %d shards, strategy %s, crash-at %d (checkpoint at op %d, %d recorded events)\n",
+			*replayPath, tr.Cfg.Seed, tr.Cfg.Shards, tr.Cfg.Strategy, tr.Cfg.CrashAt, tr.CkptOp, len(tr.Events))
+		res, err := chaos.DeviceReplay(tr, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Summary())
+		if len(res.Violations) > 0 {
+			fmt.Printf("REPRO: %s\n", chaos.ReplayRepro(*replayPath))
+			os.Exit(1)
+		}
+		fmt.Println("replay: no violations")
+		return
 	}
 
 	if *netRun {
@@ -136,21 +165,45 @@ func main() {
 			fatal(fmt.Errorf("-device supports single runs and -sweep only (campaigns, nested crashes and fault schedules stay on the single-controller harness)"))
 		}
 		dbase := chaos.DeviceConfig{
-			Seed:    *seed,
-			Writes:  *writes,
-			Shards:  *shards,
-			Mode:    mode,
-			CrashAt: *crashAt,
-			Logf:    base.Logf,
+			Seed:     *seed,
+			Writes:   *writes,
+			Shards:   *shards,
+			Mode:     mode,
+			Strategy: *strategyName,
+			CrashAt:  *crashAt,
+			Logf:     base.Logf,
 		}
 		if *sweep {
+			if *tracePath != "" {
+				fatal(fmt.Errorf("-trace records a single -device run; re-run a failing sweep point's REPRO line with -trace to capture it"))
+			}
 			res, err := chaos.DeviceCrashSweep(dbase, *stride, logf)
 			report("device crash sweep", res, err, false)
 			return
 		}
-		res, err := chaos.DeviceRun(dbase)
-		if err != nil {
-			fatal(err)
+		var res *chaos.DeviceResult
+		var err error
+		if *tracePath != "" {
+			var tr *chaos.ReplayTrace
+			res, tr, err = chaos.DeviceRunTraced(dbase)
+			if err != nil {
+				fatal(err)
+			}
+			if tr != nil {
+				if werr := os.WriteFile(*tracePath, tr.Encode(), 0o644); werr != nil {
+					fatal(werr)
+				}
+				fmt.Fprintf(os.Stderr, "wrote replay trace to %s (%d events, checkpoint at op %d of %d)\n",
+					*tracePath, len(tr.Events), tr.CkptOp, tr.CrashOp)
+				fmt.Printf("REPLAY: %s\n", chaos.ReplayRepro(*tracePath))
+			} else {
+				fmt.Fprintln(os.Stderr, "no crash fired; no replay trace written")
+			}
+		} else {
+			res, err = chaos.DeviceRun(dbase)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		out := &chaos.CampaignResult{Runs: 1, Boundaries: res.Boundaries}
 		if len(res.Violations) > 0 {

@@ -3,8 +3,8 @@ package chaos
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"soteria/internal/config"
@@ -57,6 +57,16 @@ func (in *DeviceInjector) Boundaries() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.boundary
+}
+
+// Preset seeds the boundary counter. Time-travel replay starts from a
+// restored checkpoint that had already crossed that many boundaries, so
+// the counter must resume there for the armed crash point to keep its
+// original meaning.
+func (in *DeviceInjector) Preset(boundary int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.boundary = boundary
 }
 
 // Fired reports whether the crash trigger went off, and on which shard.
@@ -121,11 +131,27 @@ type DeviceConfig struct {
 	Writes int // workload operations (roughly 3/4 writes, 1/4 reads)
 	Shards int
 	Mode   memctrl.Mode
+	// Strategy selects the metadata-persistence scheme on every shard
+	// (empty = memctrl.DefaultStrategy).
+	Strategy string
 	// CrashAt cuts power at this device-wide write boundary; negative
 	// never.
 	CrashAt int
 	// Logf, when non-nil, receives per-phase progress lines.
 	Logf func(format string, args ...any)
+}
+
+// normalized fills defaults so that the config on a repro line names the
+// scenario exactly (a defaulted field and its explicit value replay the
+// same run).
+func (cfg DeviceConfig) normalized() DeviceConfig {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = memctrl.DefaultStrategy
+	}
+	return cfg
 }
 
 // DeviceResult is what one sharded-device scenario observed.
@@ -145,126 +171,171 @@ func (r *DeviceResult) violate(format string, args ...any) {
 	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
 }
 
-// DeviceRepro renders the cmd/chaos invocation that replays cfg.
+// Summary renders the outcome deterministically — crash coordinates,
+// per-shard recovery accounting, every violation. A time-travel replay is
+// correct exactly when its Summary matches the original run's byte for
+// byte, which is what the replay tests assert.
+func (r *DeviceResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "boundaries=%d crashed=%t crash-boundary=%d crash-shard=%d op-errors=%d\n",
+		r.Boundaries, r.Crashed, r.CrashBoundary, r.CrashShard, r.OpErrors)
+	if r.Report != nil {
+		for i, sr := range r.Report.Shards {
+			if sr == nil {
+				fmt.Fprintf(&b, "shard %d: no report\n", i)
+				continue
+			}
+			fmt.Fprintf(&b, "shard %d: tracked=%d recovered=%d failed=%d lost-slots=%d half-repairs=%d\n",
+				i, sr.TrackedEntries, sr.RecoveredBlocks, len(sr.FailedBlocks), len(sr.LostSlots), sr.HalfRepairs)
+		}
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "violation: %s\n", v)
+	}
+	return b.String()
+}
+
+// DeviceRepro renders the cmd/chaos invocation that replays cfg. Every
+// scenario-shaping parameter is on the line — including the strategy, so a
+// repro printed by a -schemes or sweep run is self-contained.
 func DeviceRepro(cfg DeviceConfig) string {
-	s := fmt.Sprintf("go run ./cmd/chaos -device -shards %d -seed %d -writes %d -mode %s",
-		cfg.Shards, cfg.Seed, cfg.Writes, ModeFlag(cfg.Mode))
+	cfg = cfg.normalized()
+	s := fmt.Sprintf("go run ./cmd/chaos -device -shards %d -seed %d -writes %d -mode %s -strategy %s",
+		cfg.Shards, cfg.Seed, cfg.Writes, ModeFlag(cfg.Mode), cfg.Strategy)
 	if cfg.CrashAt >= 0 {
 		s += fmt.Sprintf(" -crash-at %d", cfg.CrashAt)
 	}
 	return s
 }
 
-// DeviceRun executes one scenario against a sharded device, closed-loop
-// (one request in flight device-wide, so boundary numbering is
-// deterministic), and checks the same invariants as Run: every committed
-// write reads back after recovery, the one in-flight write is old-or-new,
-// every shard's recovery report accounts for its tracked blocks, and a
-// clean crash/recover round-trip on the settled image loses nothing.
-func DeviceRun(cfg DeviceConfig) (*DeviceResult, error) {
+// deviceHarness is one sharded-device scenario in progress: the engine
+// hosting the shards, the boundary-counting injector, the deterministic
+// workload, and the acknowledged-write oracle. DeviceRun drives it from op
+// 0; DeviceReplay restores a checkpoint and drives it from the middle.
+type deviceHarness struct {
+	cfg  DeviceConfig
+	logf func(format string, args ...any)
+	eng  *device.Engine
+	inj  *DeviceInjector
+	ops  []wop
+
+	res          *DeviceResult
+	committed    map[uint64]int // addr -> op index of last durable write
+	inFlight     int            // op index interrupted by the crash, when a write
+	inFlightAddr uint64
+	crashOp      int
+}
+
+// newDeviceHarness builds the engine-hosted device, the workload and the
+// injector for cfg. trace enables the engine's canonical event trace
+// (needed when the run is recorded for replay).
+func newDeviceHarness(cfg DeviceConfig, trace bool) (*deviceHarness, error) {
+	cfg = cfg.normalized()
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	if cfg.Shards <= 0 {
-		cfg.Shards = 4
-	}
-	res := &DeviceResult{CrashBoundary: -1, CrashShard: -1}
-
-	dev, err := device.New(device.Options{
-		System: config.TestSystem(),
-		Mode:   cfg.Mode,
-		Key:    []byte("chaos-harness-key"),
-		Shards: cfg.Shards,
+	eng, err := device.NewEngine(device.EngineOptions{
+		Options: device.Options{
+			System: config.TestSystem(),
+			Mode:   cfg.Mode,
+			Key:    []byte("chaos-harness-key"),
+			Shards: cfg.Shards,
+			Ctrl:   memctrl.Options{Strategy: cfg.Strategy},
+		},
+		Trace: trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	defer dev.Close()
 
 	// Deterministic workload over the device's global data space, same
-	// shape as the single-controller harness: a working set that thrashes
-	// the (per-shard) metadata caches, ops drawn from it.
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	dataLines := dev.Info().CapacityBytes / nvm.LineSize
-	wsSize := cfg.Writes/2 + 1
-	if wsSize > 96 {
-		wsSize = 96
-	}
-	seen := make(map[uint64]bool, wsSize)
-	ws := make([]uint64, 0, wsSize)
-	for len(ws) < wsSize {
-		blk := uint64(rng.Int63n(int64(dataLines)))
-		if !seen[blk] {
-			seen[blk] = true
-			ws = append(ws, blk*nvm.LineSize)
-		}
-	}
-	ops := make([]wop, cfg.Writes)
-	for i := range ops {
-		k := opWrite
-		if i > 0 && rng.Float64() < 0.25 {
-			k = opRead
-		}
-		ops[i] = wop{kind: k, addr: ws[rng.Intn(len(ws))]}
-	}
+	// shape as the single-controller harness.
+	dataLines := eng.Info().CapacityBytes / nvm.LineSize
+	ops := genOps(cfg.Seed, cfg.Writes, dataLines)
 
 	inj := NewDeviceInjector(cfg.CrashAt)
-	if err := dev.SetShardHooks(inj.ShardHooks(cfg.Shards)); err != nil {
+	if err := eng.SetShardHooks(inj.ShardHooks(cfg.Shards)); err != nil {
 		return nil, err
 	}
+	return &deviceHarness{
+		cfg:  cfg,
+		logf: logf,
+		eng:  eng,
+		inj:  inj,
+		ops:  ops,
+		res:  &DeviceResult{CrashBoundary: -1, CrashShard: -1},
 
-	committed := make(map[uint64]int) // addr -> op index of last durable write
-	inFlight := -1
-	var inFlightAddr uint64
-	crashOp := -1
+		committed: make(map[uint64]int),
+		inFlight:  -1,
+		crashOp:   -1,
+	}, nil
+}
 
-	runOp := func(i int) error {
-		o := ops[i]
-		if o.kind == opWrite {
-			line := lineFor(cfg.Seed, i)
-			_, err := dev.Write(o.addr, &line)
-			return err
-		}
-		_, _, err := dev.Read(o.addr)
+func (h *deviceHarness) runOp(i int) error {
+	o := h.ops[i]
+	if o.kind == opWrite {
+		line := lineFor(h.cfg.Seed, i)
+		_, err := h.eng.Write(o.addr, &line)
 		return err
 	}
+	_, _, err := h.eng.Read(o.addr)
+	return err
+}
+
+// run executes the scenario from workload op start: the (remaining)
+// workload with optional crash, recovery with report checks, post-recovery
+// read-back with an old-or-new exemption for the one in-flight write,
+// replay of the interrupted tail, Flush + VerifyAll, a clean crash/recover
+// round-trip, and a final strict read-back.
+//
+// When ckptEvery > 0, onCkpt is invoked before every ckptEvery-th workload
+// op until the crash fires — the recording side of time-travel replay. The
+// closed-loop drive guarantees the engine is at an op boundary there, so
+// Engine.Checkpoint always succeeds.
+func (h *deviceHarness) run(start, ckptEvery int, onCkpt func(op int) error) (*DeviceResult, error) {
+	cfg, res := h.cfg, h.res
 
 	var powerErr *device.PowerError
-	for i := 0; i < len(ops); i++ {
-		opErr := runOp(i)
+	for i := start; i < len(h.ops); i++ {
+		if ckptEvery > 0 && (i-start)%ckptEvery == 0 {
+			if err := onCkpt(i); err != nil {
+				return nil, err
+			}
+		}
+		opErr := h.runOp(i)
 		if errors.As(opErr, &powerErr) {
 			res.Crashed = true
 			res.CrashBoundary = powerErr.Boundary
 			res.CrashShard = powerErr.Shard
-			crashOp = i
-			if ops[i].kind == opWrite {
-				inFlight = i
-				inFlightAddr = ops[i].addr
+			h.crashOp = i
+			if h.ops[i].kind == opWrite {
+				h.inFlight = i
+				h.inFlightAddr = h.ops[i].addr
 			}
 			break
 		}
 		if opErr != nil {
 			res.OpErrors++
-			res.violate("op %d (%v %#x): unexpected error: %v", i, ops[i].kind, ops[i].addr, opErr)
+			res.violate("op %d (%v %#x): unexpected error: %v", i, h.ops[i].kind, h.ops[i].addr, opErr)
 			continue
 		}
-		if ops[i].kind == opWrite {
-			committed[ops[i].addr] = i
+		if h.ops[i].kind == opWrite {
+			h.committed[h.ops[i].addr] = i
 		}
 	}
-	res.Boundaries = inj.Boundaries()
+	res.Boundaries = h.inj.Boundaries()
 
 	if res.Crashed {
-		logf("power loss at device boundary %d (op %d, shard %d)", res.CrashBoundary, crashOp, res.CrashShard)
+		h.logf("power loss at device boundary %d (op %d, shard %d)", res.CrashBoundary, h.crashOp, res.CrashShard)
 		// The power loss already took the device down and fenced the
 		// epoch; Crash() drops every shard's volatile state.
-		if err := dev.Crash(); err != nil {
+		if err := h.eng.Crash(); err != nil {
 			res.violate("Crash() after power loss: %v", err)
 			return res, nil
 		}
-		inj.Disarm()
-		rep, rerr := dev.Recover()
+		h.inj.Disarm()
+		rep, rerr := h.eng.Recover()
 		if rerr != nil {
 			res.violate("Recover failed: %v", rerr)
 			return res, nil
@@ -291,79 +362,42 @@ func DeviceRun(cfg DeviceConfig) (*DeviceResult, error) {
 			}
 		}
 	} else {
-		inj.Disarm()
-	}
-
-	readCheck := func(phase string, inFlightExempt bool) {
-		addrs := make([]uint64, 0, len(committed))
-		for a := range committed {
-			addrs = append(addrs, a)
-		}
-		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-		for _, a := range addrs {
-			got, _, rdErr := dev.Read(a)
-			if rdErr != nil {
-				res.violate("%s: read %#x (committed op %d) failed: %v", phase, a, committed[a], rdErr)
-				continue
-			}
-			want := lineFor(cfg.Seed, committed[a])
-			if inFlightExempt && inFlight >= 0 && a == inFlightAddr {
-				if got != want && got != lineFor(cfg.Seed, inFlight) {
-					res.violate("%s: in-flight block %#x holds neither the old value (op %d) nor the new (op %d)",
-						phase, a, committed[a], inFlight)
-				}
-				continue
-			}
-			if got != want {
-				res.violate("%s: silent corruption at %#x: committed op %d does not read back", phase, a, committed[a])
-			}
-		}
-		if inFlightExempt && inFlight >= 0 {
-			if _, ok := committed[inFlightAddr]; !ok {
-				got, _, rdErr := dev.Read(inFlightAddr)
-				switch {
-				case rdErr != nil:
-					res.violate("%s: read in-flight %#x failed: %v", phase, inFlightAddr, rdErr)
-				case got != (nvm.Line{}) && got != lineFor(cfg.Seed, inFlight):
-					res.violate("%s: in-flight cold block %#x is neither zero nor the new value", phase, inFlightAddr)
-				}
-			}
-		}
+		h.inj.Disarm()
 	}
 
 	if res.Crashed {
-		readCheck("post-recovery", true)
+		h.readCheck("post-recovery", true)
 		// Replay the interrupted operation and the rest of the workload
 		// with injection disarmed.
-		for i := crashOp; i >= 0 && i < len(ops); i++ {
-			if opErr := runOp(i); opErr != nil {
+		for i := h.crashOp; i >= 0 && i < len(h.ops); i++ {
+			if opErr := h.runOp(i); opErr != nil {
 				res.OpErrors++
-				res.violate("replay op %d (%v %#x): unexpected error: %v", i, ops[i].kind, ops[i].addr, opErr)
+				res.violate("replay op %d (%v %#x): unexpected error: %v", i, h.ops[i].kind, h.ops[i].addr, opErr)
 				continue
 			}
-			if ops[i].kind == opWrite {
-				committed[ops[i].addr] = i
+			if h.ops[i].kind == opWrite {
+				h.committed[h.ops[i].addr] = i
 			}
 		}
 	} else {
-		readCheck("post-workload", false)
+		h.readCheck("post-workload", false)
 	}
 
 	// Settle and verify every shard's full image.
-	if err := dev.Flush(); err != nil {
+	if err := h.eng.Flush(); err != nil {
 		res.violate("Flush: %v", err)
 		return res, nil
 	}
-	if err := dev.VerifyAll(); err != nil {
+	if err := h.eng.VerifyAll(); err != nil {
 		res.violate("VerifyAll after replay: %v", err)
 	}
 
 	// A clean crash/recover round-trip on the flushed image must be
 	// lossless on every shard.
-	if err := dev.Crash(); err != nil {
+	if err := h.eng.Crash(); err != nil {
 		res.violate("clean-round Crash: %v", err)
 	} else {
-		rep, err := dev.Recover()
+		rep, err := h.eng.Recover()
 		switch {
 		case err != nil:
 			res.violate("clean-round Recover: %v", err)
@@ -372,8 +406,65 @@ func DeviceRun(cfg DeviceConfig) (*DeviceResult, error) {
 				rep.FailedBlocks(), rep.LostSlots())
 		}
 	}
-	readCheck("final", false)
+	h.readCheck("final", false)
 	return res, nil
+}
+
+// readCheck verifies every committed write reads back; with inFlightExempt
+// the one write interrupted by the crash may hold either its old or its
+// new value.
+func (h *deviceHarness) readCheck(phase string, inFlightExempt bool) {
+	res := h.res
+	addrs := make([]uint64, 0, len(h.committed))
+	for a := range h.committed {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		got, _, rdErr := h.eng.Read(a)
+		if rdErr != nil {
+			res.violate("%s: read %#x (committed op %d) failed: %v", phase, a, h.committed[a], rdErr)
+			continue
+		}
+		want := lineFor(h.cfg.Seed, h.committed[a])
+		if inFlightExempt && h.inFlight >= 0 && a == h.inFlightAddr {
+			if got != want && got != lineFor(h.cfg.Seed, h.inFlight) {
+				res.violate("%s: in-flight block %#x holds neither the old value (op %d) nor the new (op %d)",
+					phase, a, h.committed[a], h.inFlight)
+			}
+			continue
+		}
+		if got != want {
+			res.violate("%s: silent corruption at %#x: committed op %d does not read back", phase, a, h.committed[a])
+		}
+	}
+	if inFlightExempt && h.inFlight >= 0 {
+		if _, ok := h.committed[h.inFlightAddr]; !ok {
+			got, _, rdErr := h.eng.Read(h.inFlightAddr)
+			switch {
+			case rdErr != nil:
+				res.violate("%s: read in-flight %#x failed: %v", phase, h.inFlightAddr, rdErr)
+			case got != (nvm.Line{}) && got != lineFor(h.cfg.Seed, h.inFlight):
+				res.violate("%s: in-flight cold block %#x is neither zero nor the new value", phase, h.inFlightAddr)
+			}
+		}
+	}
+}
+
+// DeviceRun executes one scenario against the engine-hosted sharded
+// device, closed-loop (one request in flight device-wide, so boundary
+// numbering is deterministic), and checks the same invariants as Run:
+// every committed write reads back after recovery, the one in-flight write
+// is old-or-new, every shard's recovery report accounts for its tracked
+// blocks, and a clean crash/recover round-trip on the settled image loses
+// nothing.
+func DeviceRun(cfg DeviceConfig) (*DeviceResult, error) {
+	h, err := newDeviceHarness(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	defer h.eng.Close()
+	return h.run(0, 0, nil)
 }
 
 // DeviceCrashSweep probes the workload for its device-wide boundary

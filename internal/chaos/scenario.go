@@ -86,6 +86,43 @@ type wop struct {
 	addr uint64
 }
 
+// genOps derives the deterministic workload for one seed: a working set big
+// enough to thrash the TestSystem metadata cache, then ops drawn from it
+// (roughly 3/4 writes, 1/4 reads). Every harness — single-controller runs,
+// sharded-device runs, checkpoint conformance — observes the identical
+// stream for the same seed, which is what makes repro lines portable
+// between them.
+func genOps(seed int64, writes int, dataLines uint64) []wop {
+	return genOpsFrom(rand.New(rand.NewSource(seed)), writes, dataLines)
+}
+
+// genOpsFrom is genOps over a caller-owned RNG (the draw order is part of
+// the repro contract; never reorder these calls).
+func genOpsFrom(rng *rand.Rand, writes int, dataLines uint64) []wop {
+	wsSize := writes/2 + 1
+	if wsSize > 96 {
+		wsSize = 96
+	}
+	seen := make(map[uint64]bool, wsSize)
+	ws := make([]uint64, 0, wsSize)
+	for len(ws) < wsSize {
+		blk := uint64(rng.Int63n(int64(dataLines)))
+		if !seen[blk] {
+			seen[blk] = true
+			ws = append(ws, blk*nvm.LineSize)
+		}
+	}
+	ops := make([]wop, writes)
+	for i := range ops {
+		k := opWrite
+		if i > 0 && rng.Float64() < 0.25 {
+			k = opRead
+		}
+		ops[i] = wop{kind: k, addr: ws[rng.Intn(len(ws))]}
+	}
+	return ops
+}
+
 // lineFor is the deterministic content of the i-th workload write; the
 // oracle recomputes it instead of remembering it (splitmix64 over seed+i).
 func lineFor(seed int64, i int) nvm.Line {
@@ -167,27 +204,7 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		dataLines = ctrl.Device().Capacity() / nvm.LineSize
 	}
-	wsSize := cfg.Writes/2 + 1
-	if wsSize > 96 {
-		wsSize = 96
-	}
-	seen := make(map[uint64]bool, wsSize)
-	ws := make([]uint64, 0, wsSize)
-	for len(ws) < wsSize {
-		blk := uint64(rng.Int63n(int64(dataLines)))
-		if !seen[blk] {
-			seen[blk] = true
-			ws = append(ws, blk*nvm.LineSize)
-		}
-	}
-	ops := make([]wop, cfg.Writes)
-	for i := range ops {
-		k := opWrite
-		if i > 0 && rng.Float64() < 0.25 {
-			k = opRead
-		}
-		ops[i] = wop{kind: k, addr: ws[rng.Intn(len(ws))]}
-	}
+	ops := genOpsFrom(rng, cfg.Writes, dataLines)
 
 	inj := NewInjector(ctrl.Device(), rand.New(rand.NewSource(cfg.Seed^0x5eedfa11)), cfg.FaultRate, faultCeil)
 	inj.CrashAt = cfg.CrashAt

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"soteria/internal/sim"
+)
+
+// Checkpoint serializes the fault handler's accumulated statistics (its
+// only mutable state — the memory and layout are owned elsewhere).
+func (h *FaultHandler) Checkpoint(w *sim.SnapW) {
+	w.U64(h.stats.Reads)
+	w.U64(h.stats.CloneLookups)
+	w.U64(h.stats.Repairs)
+	w.U64(h.stats.TamperDetections)
+	w.U64(h.stats.UnverifiableNodes)
+	w.U64(h.stats.UnverifiableBytes)
+	w.U64(h.stats.EventsDropped)
+	w.U32(uint32(len(h.stats.Events)))
+	for _, e := range h.stats.Events {
+		w.I64(int64(e.Level))
+		w.U64(e.Index)
+		w.U64(e.Bytes)
+	}
+}
+
+// Restore loads a Checkpoint into the handler.
+func (h *FaultHandler) Restore(r *sim.SnapR) error {
+	h.stats.Reads = r.U64()
+	h.stats.CloneLookups = r.U64()
+	h.stats.Repairs = r.U64()
+	h.stats.TamperDetections = r.U64()
+	h.stats.UnverifiableNodes = r.U64()
+	h.stats.UnverifiableBytes = r.U64()
+	h.stats.EventsDropped = r.U64()
+	n := r.Count(24)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	h.stats.Events = make([]LossEvent, n)
+	for i := range h.stats.Events {
+		h.stats.Events[i] = LossEvent{
+			Level: int(r.I64()),
+			Index: r.U64(),
+			Bytes: r.U64(),
+		}
+	}
+	if len(h.stats.Events) == 0 {
+		h.stats.Events = nil
+	}
+	return r.Err()
+}

@@ -116,34 +116,45 @@ type Device struct {
 	wg    sync.WaitGroup
 }
 
+// shardSystem validates the sharding geometry (fill defaults, line
+// alignment, even division across shards) and returns the per-shard system
+// configuration. Shared by the goroutine Device and the deterministic
+// Engine so both hosts agree on the address-space split.
+func shardSystem(opts *Options) (config.SystemConfig, error) {
+	opts.fill()
+	totalLines := opts.System.NVM.CapacityBytes / nvm.LineSize
+	if totalLines == 0 || opts.System.NVM.CapacityBytes%nvm.LineSize != 0 {
+		return config.SystemConfig{}, fmt.Errorf("device: capacity %d is not a positive multiple of the %d-byte line",
+			opts.System.NVM.CapacityBytes, nvm.LineSize)
+	}
+	if totalLines%uint64(opts.Shards) != 0 {
+		return config.SystemConfig{}, fmt.Errorf("device: %d lines do not shard evenly across %d shards", totalLines, opts.Shards)
+	}
+	shardCfg := opts.System
+	shardCfg.NVM.CapacityBytes = opts.System.NVM.CapacityBytes / uint64(opts.Shards)
+	return shardCfg, nil
+}
+
 // New builds and starts a sharded device. The per-shard capacity is
 // System.NVM.CapacityBytes / Shards; the total line count must divide
 // evenly.
 func New(opts Options) (*Device, error) {
-	opts.fill()
-	totalLines := opts.System.NVM.CapacityBytes / nvm.LineSize
-	if totalLines == 0 || opts.System.NVM.CapacityBytes%nvm.LineSize != 0 {
-		return nil, fmt.Errorf("device: capacity %d is not a positive multiple of the %d-byte line",
-			opts.System.NVM.CapacityBytes, nvm.LineSize)
-	}
-	if totalLines%uint64(opts.Shards) != 0 {
-		return nil, fmt.Errorf("device: %d lines do not shard evenly across %d shards", totalLines, opts.Shards)
+	shardCfg, err := shardSystem(&opts)
+	if err != nil {
+		return nil, err
 	}
 
 	d := &Device{opts: opts, shards: make([]*shard, opts.Shards)}
-	shardCfg := opts.System
-	shardCfg.NVM.CapacityBytes = opts.System.NVM.CapacityBytes / uint64(opts.Shards)
 	for i := range d.shards {
 		ctrl, err := memctrl.New(shardCfg, opts.Mode, opts.Key, opts.Ctrl)
 		if err != nil {
 			return nil, fmt.Errorf("device: shard %d: %w", i, err)
 		}
 		s := &shard{
-			id:       i,
-			dev:      d,
-			ctrl:     ctrl,
-			reqs:     make(chan *request, opts.QueueDepth),
-			batchMax: opts.BatchSize,
+			shardCore: shardCore{id: i, env: d, ctrl: ctrl},
+			dev:       d,
+			reqs:      make(chan *request, opts.QueueDepth),
+			batchMax:  opts.BatchSize,
 		}
 		if opts.Telemetry {
 			s.reg = telemetry.NewRegistry()
@@ -186,13 +197,13 @@ func (d *Device) Down() bool {
 // shard g mod Shards (line interleaving, so sequential streams spread
 // across all controllers).
 func (d *Device) ShardOf(addr uint64) int {
-	return int((addr / nvm.LineSize) % uint64(d.opts.Shards))
+	return shardOf(addr, d.opts.Shards)
 }
 
 // localAddr translates a device address to the owning shard's local
 // address space: global line g becomes local line g / Shards.
 func (d *Device) localAddr(addr uint64) uint64 {
-	return (addr / nvm.LineSize) / uint64(d.opts.Shards) * nvm.LineSize
+	return toLocalAddr(addr, d.opts.Shards)
 }
 
 // GlobalAddr is the inverse mapping: the device address of local line
@@ -202,13 +213,7 @@ func (d *Device) GlobalAddr(shard int, local uint64) uint64 {
 }
 
 func (d *Device) checkAddr(addr uint64) error {
-	if addr%nvm.LineSize != 0 {
-		return fmt.Errorf("device: unaligned address %#x", addr)
-	}
-	if addr >= d.opts.System.NVM.CapacityBytes {
-		return fmt.Errorf("device: address %#x beyond capacity %#x", addr, d.opts.System.NVM.CapacityBytes)
-	}
-	return nil
+	return checkLineAddr(addr, d.opts.System.NVM.CapacityBytes)
 }
 
 // submit enqueues a data-plane request on the owning shard without

@@ -1,0 +1,514 @@
+package device_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"soteria/internal/chaos"
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+)
+
+func engineOpts(shards, workers int, trace bool) device.EngineOptions {
+	return device.EngineOptions{
+		Options: device.Options{
+			System:     config.TestSystem(),
+			Mode:       memctrl.ModeSAC,
+			Key:        []byte("engine-test-key"),
+			Shards:     shards,
+			QueueDepth: 16,
+			Telemetry:  true,
+		},
+		Workers: workers,
+		Trace:   trace,
+	}
+}
+
+// TestEngineMatchesDeviceClosedLoop drives the identical closed-loop
+// workload — including a mid-workload power loss and recovery — through
+// the goroutine-backed Device and the event-queue Engine, asserting the
+// two hosts implement the same device semantics: same data, same simulated
+// latencies, same controller statistics.
+func TestEngineMatchesDeviceClosedLoop(t *testing.T) {
+	const shards = 4
+	opts := engineOpts(shards, 2, false)
+
+	dev, err := device.New(opts.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	eng, err := device.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	injD := chaos.NewDeviceInjector(120)
+	injE := chaos.NewDeviceInjector(120)
+	if err := dev.SetShardHooks(injD.ShardHooks(shards)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetShardHooks(injE.ShardHooks(shards)); err != nil {
+		t.Fatal(err)
+	}
+
+	step := func(i int) (addr uint64) {
+		return uint64((i*13)%256) * nvm.LineSize
+	}
+	var crashedAtD, crashedAtE = -1, -1
+	for i := 0; i < 200; i++ {
+		addr := step(i)
+		var errD, errE error
+		if i%4 == 3 {
+			gotD, latD, e1 := dev.Read(addr)
+			gotE, latE, e2 := eng.Read(addr)
+			if (e1 == nil) != (e2 == nil) || gotD != gotE || latD != latE {
+				t.Fatalf("op %d: read diverged: (%v,%v) vs (%v,%v)", i, latD, e1, latE, e2)
+			}
+			errD, errE = e1, e2
+		} else {
+			line := fill(addr, uint64(i))
+			latD, e1 := dev.Write(addr, &line)
+			latE, e2 := eng.Write(addr, &line)
+			if (e1 == nil) != (e2 == nil) || latD != latE {
+				t.Fatalf("op %d: write diverged: (%v,%v) vs (%v,%v)", i, latD, e1, latE, e2)
+			}
+			errD, errE = e1, e2
+		}
+		var pd, pe *device.PowerError
+		if errors.As(errD, &pd) {
+			crashedAtD = i
+		}
+		if errors.As(errE, &pe) {
+			crashedAtE = i
+		}
+		if crashedAtD >= 0 || crashedAtE >= 0 {
+			if pd == nil || pe == nil || pd.Shard != pe.Shard || pd.Boundary != pe.Boundary {
+				t.Fatalf("op %d: power loss diverged: %v vs %v", i, errD, errE)
+			}
+			break
+		}
+	}
+	if crashedAtD < 0 {
+		t.Fatal("injected power loss never fired")
+	}
+	if err := dev.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	injD.Disarm()
+	injE.Disarm()
+	repD, err := dev.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repE, err := eng.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repD.TrackedEntries() != repE.TrackedEntries() || repD.RecoveredBlocks() != repE.RecoveredBlocks() ||
+		repD.FailedBlocks() != repE.FailedBlocks() || repD.LostSlots() != repE.LostSlots() {
+		t.Fatalf("recovery diverged: device tracked=%d recovered=%d, engine tracked=%d recovered=%d",
+			repD.TrackedEntries(), repD.RecoveredBlocks(), repE.TrackedEntries(), repE.RecoveredBlocks())
+	}
+	for i := 0; i < 200; i += 7 {
+		addr := step(i)
+		gotD, latD, e1 := dev.Read(addr)
+		gotE, latE, e2 := eng.Read(addr)
+		if (e1 == nil) != (e2 == nil) || gotD != gotE || latD != latE {
+			t.Fatalf("post-recovery read %#x diverged", addr)
+		}
+	}
+	if dev.Stats() != eng.Stats() {
+		t.Fatalf("stats diverged:\ndevice: %+v\nengine: %+v", dev.Stats(), eng.Stats())
+	}
+}
+
+// driveEngineWorkload runs a deterministic open-loop workload: bursts of
+// submissions (respecting queue depth via the Busy backpressure), a Run
+// per burst, a power loss targeted at shard 1's own 40th boundary, crash,
+// recover, a second burst phase, and a final flush. Returns a transcript
+// of everything observable.
+func driveEngineWorkload(t *testing.T, eng *device.Engine, shards int) string {
+	t.Helper()
+	var log bytes.Buffer
+	record := func(rs []device.TxnResult) {
+		for _, r := range rs {
+			fmt.Fprintf(&log, "txn %d shard %d lat %d err %v data %x\n", r.ID, r.Shard, r.Latency, r.Err, r.Data[:8])
+		}
+	}
+
+	// Power loss when shard 1 crosses its own 40th write boundary —
+	// shard-local counting keeps the trigger deterministic at any worker
+	// count.
+	inj := chaos.NewDeviceInjector(40)
+	hooks := inj.ShardHooks(shards)
+	for i := range hooks {
+		if i != 1 {
+			hooks[i] = nil
+		}
+	}
+	if err := eng.SetShardHooks(hooks); err != nil {
+		t.Fatal(err)
+	}
+
+	submitBurst := func(base, n int) {
+		for i := 0; i < n; i++ {
+			addr := uint64((base+i*7)%(shards*64)) * nvm.LineSize
+			var err error
+			if (base+i)%5 == 4 {
+				_, err = eng.SubmitRead(addr)
+			} else {
+				line := fill(addr, uint64(base+i))
+				_, err = eng.SubmitWrite(addr, &line)
+			}
+			if err != nil && !errors.Is(err, device.ErrBusy) && !errors.Is(err, memctrl.ErrCrashed) {
+				t.Fatalf("submit %d: %v", base+i, err)
+			}
+			if err != nil {
+				fmt.Fprintf(&log, "submit %d rejected: %v\n", base+i, err)
+			}
+		}
+	}
+
+	for burst := 0; burst < 12; burst++ {
+		submitBurst(burst*40, 40)
+		record(eng.Run())
+		if eng.Down() {
+			fmt.Fprintf(&log, "down after burst %d\n", burst)
+			break
+		}
+	}
+	if !eng.Down() {
+		t.Fatal("injected power loss never fired")
+	}
+	if err := eng.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	inj.Disarm()
+	rep, err := eng.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&log, "recovered tracked=%d recovered=%d failed=%d lost=%d\n",
+		rep.TrackedEntries(), rep.RecoveredBlocks(), rep.FailedBlocks(), rep.LostSlots())
+
+	for burst := 0; burst < 4; burst++ {
+		submitBurst(1000+burst*40, 40)
+		record(eng.Run())
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&log, "stats %+v\n", eng.Stats())
+	return log.String()
+}
+
+// TestEngineDeterministicAcrossWorkers is the event-schedule determinism
+// contract: the same workload produces a byte-identical transcript,
+// telemetry snapshot, event trace and final checkpoint at every worker
+// count.
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	const shards = 8
+	type run struct {
+		transcript string
+		telemetry  []byte
+		trace      []byte
+		ckpt       []byte
+	}
+	var runs []run
+	for _, workers := range []int{1, 2, 3, 8} {
+		eng, err := device.NewEngine(engineOpts(shards, workers, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		transcript := driveEngineWorkload(t, eng, shards)
+		snap, err := eng.Snapshot().MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt, err := eng.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run{transcript, snap, device.EncodeTrace(eng.Trace()), ckpt})
+	}
+	for i := 1; i < len(runs); i++ {
+		if runs[i].transcript != runs[0].transcript {
+			t.Errorf("run %d transcript diverged from workers=1", i)
+		}
+		if !bytes.Equal(runs[i].telemetry, runs[0].telemetry) {
+			t.Errorf("run %d telemetry snapshot diverged:\n%s\nvs\n%s", i, runs[i].telemetry, runs[0].telemetry)
+		}
+		if !bytes.Equal(runs[i].trace, runs[0].trace) {
+			t.Errorf("run %d event trace diverged", i)
+		}
+		if !bytes.Equal(runs[i].ckpt, runs[0].ckpt) {
+			t.Errorf("run %d final checkpoint diverged", i)
+		}
+	}
+}
+
+// TestEngineCheckpointRestoreRoundTrip checkpoints an engine mid-workload
+// — with transactions still pending in the queues — and asserts the
+// restored engine is byte-identical and behaviorally indistinguishable.
+func TestEngineCheckpointRestoreRoundTrip(t *testing.T) {
+	const shards = 4
+	a, err := device.NewEngine(engineOpts(shards, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		addr := uint64((i*11)%(shards*32)) * nvm.LineSize
+		line := fill(addr, uint64(i))
+		if _, err := a.Write(addr, &line); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// Leave transactions pending so the checkpoint exercises Txn
+	// serialization.
+	for i := 0; i < 10; i++ {
+		addr := uint64(i) * nvm.LineSize
+		line := fill(addr, 7000+uint64(i))
+		if _, err := a.SubmitWrite(addr, &line); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	ckpt, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := device.NewEngine(engineOpts(shards, 3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	ckpt2, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckpt, ckpt2) {
+		t.Fatalf("restore is not byte-identical: %d vs %d bytes", len(ckpt), len(ckpt2))
+	}
+
+	// Both engines dispatch the pending queue and continue identically.
+	ra, rb := a.Run(), b.Run()
+	if len(ra) != 10 || len(rb) != 10 {
+		t.Fatalf("pending dispatch: %d vs %d results, want 10", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID || ra[i].Latency != rb[i].Latency || (ra[i].Err == nil) != (rb[i].Err == nil) {
+			t.Fatalf("result %d diverged: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	for i := 0; i < 20; i++ {
+		addr := uint64((i*11)%(shards*32)) * nvm.LineSize
+		da, la, e1 := a.Read(addr)
+		db, lb, e2 := b.Read(addr)
+		if (e1 == nil) != (e2 == nil) || da != db || la != lb {
+			t.Fatalf("read %#x diverged", addr)
+		}
+	}
+	ca, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Fatal("engines diverged after continued execution")
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineRestoreRejectsMismatch covers the identity and integrity gates.
+func TestEngineRestoreRejectsMismatch(t *testing.T) {
+	a, err := device.NewEngine(engineOpts(4, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := fill(0, 1)
+	if _, err := a.Write(0, &line); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := device.NewEngine(engineOpts(8, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(ckpt); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	if err := a.Restore(ckpt[:len(ckpt)-2]); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	flipped := append([]byte(nil), ckpt...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := a.Restore(flipped); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+	// The engine must still work after rejecting garbage.
+	if err := a.Restore(ckpt); err != nil {
+		t.Fatalf("valid checkpoint rejected after garbage: %v", err)
+	}
+	if _, _, err := a.Read(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineShardModes exercises the Enabled/Paused/Draining state machine.
+func TestEngineShardModes(t *testing.T) {
+	const shards = 2
+	eng, err := device.NewEngine(engineOpts(shards, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pause shard 1 (odd lines); its transactions queue but do not run.
+	if err := eng.SetShardMode(1, device.ShardPaused); err != nil {
+		t.Fatal(err)
+	}
+	line := fill(0, 1)
+	id0, err := eng.SubmitWrite(0, &line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := eng.SubmitWrite(nvm.LineSize, &line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := eng.Run()
+	if len(rs) != 1 || rs[0].ID != id0 {
+		t.Fatalf("paused shard dispatched: %+v", rs)
+	}
+	// Draining rejects new submissions, dispatches the queue, then parks.
+	if err := eng.SetShardMode(1, device.ShardDraining); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SubmitWrite(nvm.LineSize, &line); !errors.Is(err, device.ErrBusy) {
+		t.Fatalf("draining shard accepted a submission: %v", err)
+	}
+	rs = eng.Run()
+	if len(rs) != 1 || rs[0].ID != id1 {
+		t.Fatalf("draining shard did not dispatch its queue: %+v", rs)
+	}
+	if got := eng.ShardState(1); got != device.ShardPaused {
+		t.Fatalf("drained shard in mode %v, want paused", got)
+	}
+	// Draining an empty shard parks immediately; re-enabling accepts work.
+	if err := eng.SetShardMode(1, device.ShardEnabled); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Write(nvm.LineSize, &line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineScale1000Shards runs a 1024-shard device through a workload,
+// a checkpoint/restore round-trip and a worker-count determinism check —
+// the "one machine simulates a thousand controllers" scale target.
+func TestEngineScale1000Shards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-shard scale test skipped in -short")
+	}
+	const shards = 1024
+	sys := config.TestSystem()
+	sys.NVM.CapacityBytes = 4 << 20 << 6 // 256 MB device, 256 KB per shard
+	sys.Security.MetadataCache = config.CacheConfig{SizeBytes: 1 << 10, Ways: 2, LatencyCycles: 3}
+	mk := func(workers int) *device.Engine {
+		eng, err := device.NewEngine(device.EngineOptions{
+			Options: device.Options{
+				System:     sys,
+				Mode:       memctrl.ModeSAC,
+				Key:        []byte("engine-scale-key"),
+				Shards:     shards,
+				QueueDepth: 4,
+			},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	drive := func(eng *device.Engine) []device.TxnResult {
+		var out []device.TxnResult
+		for round := 0; round < 2; round++ {
+			for s := 0; s < shards; s++ {
+				addr := uint64(s+round*shards) * nvm.LineSize
+				line := fill(addr, uint64(round))
+				if _, err := eng.SubmitWrite(addr, &line); err != nil {
+					t.Fatalf("shard %d round %d: %v", s, round, err)
+				}
+			}
+			out = append(out, eng.Run()...)
+		}
+		return out
+	}
+
+	a := mk(8)
+	ra := drive(a)
+	if len(ra) != 2*shards {
+		t.Fatalf("dispatched %d of %d transactions", len(ra), 2*shards)
+	}
+	for _, r := range ra {
+		if r.Err != nil {
+			t.Fatalf("txn %d failed: %v", r.ID, r.Err)
+		}
+	}
+	ckptA, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Determinism at scale: a single-threaded engine produces the same
+	// bytes.
+	b := mk(1)
+	rb := drive(b)
+	if len(ra) != len(rb) {
+		t.Fatalf("result counts diverged: %d vs %d", len(ra), len(rb))
+	}
+	ckptB, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckptA, ckptB) {
+		t.Fatal("1024-shard checkpoints diverged across worker counts")
+	}
+
+	// Restore the full 1024-shard state into a third engine and spot-check.
+	c := mk(4)
+	if err := c.Restore(ckptA); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < shards; s += 97 {
+		addr := uint64(s + shards)
+		addr *= nvm.LineSize
+		got, _, err := c.Read(addr)
+		if err != nil {
+			t.Fatalf("restored read shard %d: %v", s, err)
+		}
+		if want := fill(addr, 1); got != want {
+			t.Fatalf("restored shard %d returned wrong data", s)
+		}
+	}
+}

@@ -47,19 +47,15 @@ type response struct {
 	err     error
 }
 
-// shard couples one controller with its queue, worker state and metric
-// handles. Everything below the queue is touched only by the worker
-// goroutine, preserving memctrl's single-threaded contract.
+// shard couples one shardCore (controller, clock, execution state machine)
+// with its queue, worker state and metric handles. Everything below the
+// queue is touched only by the worker goroutine, preserving memctrl's
+// single-threaded contract.
 type shard struct {
-	id       int
+	shardCore
 	dev      *Device
-	ctrl     *memctrl.Controller
-	reg      *telemetry.Registry
 	reqs     chan *request
 	batchMax int
-
-	// now is the shard's private simulated clock (worker-only).
-	now sim.Time
 
 	// Batch scratch (worker-only), reused across runBatch calls so the
 	// steady-state batch loop performs no per-batch allocations.
@@ -74,8 +70,6 @@ type shard struct {
 	batched   *telemetry.Histogram
 	coalesced *telemetry.Counter
 	busy      *telemetry.Counter
-	retired   *telemetry.Counter
-	powerLoss *telemetry.Counter
 }
 
 // retryHint converts queue depth into a wall-clock backoff suggestion.
@@ -202,69 +196,12 @@ func (s *shard) runBatch(batch []*request) bool {
 	return true
 }
 
-// exec runs one request on the controller, converting an inject.PowerLoss
-// unwind into a typed error and a device-wide crash barrier.
-func (s *shard) exec(r *request) (res response) {
-	// Data-plane requests admitted before the last crash barrier are
-	// retired unexecuted: power was lost while they sat in the queue.
-	switch r.op {
-	case opRead, opWrite, opDrain:
-		if r.epoch < s.dev.epoch.Load() {
-			s.retired.Inc()
-			return response{err: ErrRetired}
-		}
-		if s.dev.down.Load() {
-			return response{err: memctrl.ErrCrashed}
-		}
-	}
-
-	defer func() {
-		if p := recover(); p != nil {
-			if pl, ok := p.(inject.PowerLoss); ok {
-				// Simulated power cut mid-operation: take the whole device
-				// down and retire everything still queued behind us.
-				s.powerLoss.Inc()
-				s.dev.down.Store(true)
-				s.dev.epoch.Add(1)
-				res = response{err: &PowerError{Shard: s.id, Boundary: pl.Boundary}}
-				return
-			}
-			res = response{err: &PanicError{Shard: s.id, Value: p}}
-		}
-	}()
-
-	switch r.op {
-	case opRead:
-		before := s.now
-		data, now, err := s.ctrl.ReadBlock(s.now, r.addr)
-		s.now = now
-		return response{data: data, latency: now - before, err: err}
-	case opWrite:
-		before := s.now
-		now, err := s.ctrl.WriteBlock(s.now, r.addr, r.data)
-		s.now = now
-		return response{latency: now - before, err: err}
-	case opDrain:
-		before := s.now
-		s.now = s.ctrl.DrainWPQ(s.now)
-		return response{latency: s.now - before}
-	case opFlush:
-		before := s.now
-		s.now = s.ctrl.FlushAll(s.now)
-		return response{latency: s.now - before}
-	case opCrash:
-		return response{err: s.ctrl.Crash()}
-	case opRecover:
-		rep, err := s.ctrl.Recover()
-		return response{report: rep, err: err}
-	case opVerify:
-		return response{err: s.ctrl.VerifyAll()}
-	case opStats:
-		return response{stats: s.ctrl.Stats()}
-	case opHook:
-		s.ctrl.SetHook(r.hook)
-		return response{}
-	default:
-		return response{err: ErrClosed}
-	}
+// Device is the shardEnv of its goroutine-backed shards: the crash barrier
+// and the down bit live in atomics so a power cut on one worker propagates
+// to concurrently executing shards immediately.
+func (d *Device) epochNow() uint64 { return d.epoch.Load() }
+func (d *Device) isDown() bool     { return d.down.Load() }
+func (d *Device) powerCut() {
+	d.down.Store(true)
+	d.epoch.Add(1)
 }

@@ -1,0 +1,221 @@
+package memctrl
+
+import (
+	"bytes"
+	"testing"
+
+	"soteria/internal/config"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+func buildCkptController(t *testing.T, mode Mode, strategy string) *Controller {
+	t.Helper()
+	c, err := New(config.TestSystem(), mode, []byte("checkpoint-test-key"), Options{Strategy: strategy})
+	if err != nil {
+		t.Fatalf("New(%v, %q): %v", mode, strategy, err)
+	}
+	return c
+}
+
+// ckptLine is deterministic workload content (distinct from the chaos
+// harness generator so tests cannot accidentally share oracles).
+func ckptLine(i int) nvm.Line {
+	var l nvm.Line
+	x := uint64(i)*0x9e3779b97f4a7c15 + 0xdeadbeef
+	for off := 0; off < nvm.LineSize; off += 8 {
+		x ^= x >> 31
+		x *= 0xd6e8feb86659fd93
+		for b := 0; b < 8; b++ {
+			l[off+b] = byte(x >> (8 * b))
+		}
+	}
+	return l
+}
+
+// driveCkptWorkload runs a deterministic mixed read/write sequence and
+// returns the final controller clock.
+func driveCkptWorkload(t *testing.T, c *Controller, start sim.Time, ops int) sim.Time {
+	t.Helper()
+	now := start
+	var err error
+	for i := 0; i < ops; i++ {
+		addr := uint64((i*37)%512) * nvm.LineSize
+		if i%4 == 3 {
+			_, now, err = c.ReadBlock(now, addr)
+		} else {
+			line := ckptLine(i)
+			now, err = c.WriteBlock(now, addr, &line)
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	return now
+}
+
+func TestCheckpointRoundTripAllStrategies(t *testing.T) {
+	for _, strategy := range Strategies() {
+		t.Run(strategy, func(t *testing.T) {
+			a := buildCkptController(t, ModeSAC, strategy)
+			now := driveCkptWorkload(t, a, 0, 80)
+
+			ckpt, err := a.Checkpoint()
+			if err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			b := buildCkptController(t, ModeSAC, strategy)
+			if err := b.Restore(ckpt); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			ckpt2, err := b.Checkpoint()
+			if err != nil {
+				t.Fatalf("Checkpoint after restore: %v", err)
+			}
+			if !bytes.Equal(ckpt, ckpt2) {
+				t.Fatalf("restore is not byte-identical: %d vs %d bytes", len(ckpt), len(ckpt2))
+			}
+
+			// The restored controller must behave identically from here on:
+			// same reads, same clock, same next checkpoint.
+			nowA := driveCkptWorkload(t, a, now, 40)
+			nowB := driveCkptWorkload(t, b, now, 40)
+			if nowA != nowB {
+				t.Fatalf("clocks diverged after restore: %v vs %v", nowA, nowB)
+			}
+			for i := 0; i < 16; i++ {
+				addr := uint64((i*37)%512) * nvm.LineSize
+				da, ta, errA := a.ReadBlock(nowA, addr)
+				db, tb, errB := b.ReadBlock(nowB, addr)
+				if (errA == nil) != (errB == nil) || da != db || ta != tb {
+					t.Fatalf("read %#x diverged: (%v,%v) vs (%v,%v)", addr, ta, errA, tb, errB)
+				}
+				nowA, nowB = ta, tb
+			}
+			ca, err := a.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := b.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ca, cb) {
+				t.Fatal("original and restored controllers diverged after continued execution")
+			}
+			nowA = a.FlushAll(nowA)
+			nowB = b.FlushAll(nowB)
+			if nowA != nowB {
+				t.Fatalf("flush clocks diverged: %v vs %v", nowA, nowB)
+			}
+			if err := a.VerifyAll(); err != nil {
+				t.Fatalf("VerifyAll (original): %v", err)
+			}
+			if err := b.VerifyAll(); err != nil {
+				t.Fatalf("VerifyAll (restored): %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckpointRoundTripNonSecure(t *testing.T) {
+	a := buildCkptController(t, ModeNonSecure, "")
+	driveCkptWorkload(t, a, 0, 50)
+	ckpt, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buildCkptController(t, ModeNonSecure, "")
+	if err := b.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	ckpt2, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckpt, ckpt2) {
+		t.Fatal("non-secure restore is not byte-identical")
+	}
+}
+
+func TestCheckpointWhileCrashedThenRecover(t *testing.T) {
+	for _, strategy := range Strategies() {
+		t.Run(strategy, func(t *testing.T) {
+			a := buildCkptController(t, ModeSAC, strategy)
+			driveCkptWorkload(t, a, 0, 60)
+			if err := a.Crash(); err != nil {
+				t.Fatalf("Crash: %v", err)
+			}
+			ckpt, err := a.Checkpoint()
+			if err != nil {
+				t.Fatalf("Checkpoint while crashed: %v", err)
+			}
+			b := buildCkptController(t, ModeSAC, strategy)
+			if err := b.Restore(ckpt); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			ckpt2, err := b.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ckpt, ckpt2) {
+				t.Fatal("crashed-state restore is not byte-identical")
+			}
+
+			// Restore-then-recover must equal straight-line recover.
+			repA, err := a.Recover()
+			if err != nil {
+				t.Fatalf("Recover (original): %v", err)
+			}
+			repB, err := b.Recover()
+			if err != nil {
+				t.Fatalf("Recover (restored): %v", err)
+			}
+			if repA.TrackedEntries != repB.TrackedEntries ||
+				repA.RecoveredBlocks != repB.RecoveredBlocks ||
+				len(repA.FailedBlocks) != len(repB.FailedBlocks) ||
+				len(repA.LostSlots) != len(repB.LostSlots) {
+				t.Fatalf("recovery reports diverged: %+v vs %+v", repA, repB)
+			}
+			ca, err := a.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := b.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ca, cb) {
+				t.Fatal("post-recovery states diverged")
+			}
+			a.FlushAll(0)
+			if err := a.VerifyAll(); err != nil {
+				t.Fatalf("VerifyAll: %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckpointRejectsMismatchedTarget(t *testing.T) {
+	a := buildCkptController(t, ModeSAC, "soteria")
+	driveCkptWorkload(t, a, 0, 20)
+	ckpt, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := buildCkptController(t, ModeSAC, "anubis-shadow").Restore(ckpt); err == nil {
+		t.Fatal("strategy mismatch accepted")
+	}
+	if err := buildCkptController(t, ModeBaseline, "soteria").Restore(ckpt); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+	if err := a.Restore(ckpt[:len(ckpt)-3]); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	flipped := append([]byte(nil), ckpt...)
+	flipped[len(flipped)/2] ^= 0x20
+	if err := a.Restore(flipped); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+}

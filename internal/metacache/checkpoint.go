@@ -1,0 +1,116 @@
+package metacache
+
+import (
+	"fmt"
+
+	"soteria/internal/ctrenc"
+	"soteria/internal/sim"
+)
+
+// Checkpoint serializes the cache image — every (set, way) line with its
+// decoded payload, the LRU tick, and the statistics — in flat array order,
+// which is already deterministic.
+func (m *Cache) Checkpoint(w *sim.SnapW) {
+	w.U32(uint32(len(m.lines)))
+	w.U32(uint32(m.ways))
+	w.U64(m.tick)
+
+	w.U64(m.cs.Hits)
+	w.U64(m.cs.Misses)
+	w.U64(m.cs.Evictions)
+	w.U64(m.cs.Writebacks)
+	w.U64(m.st.DirtyTreeEvictions)
+	counts := m.st.EvictionsByLevel.Counts()
+	w.U32(uint32(len(counts)))
+	for _, c := range counts {
+		w.U64(c)
+	}
+
+	for i := range m.lines {
+		l := &m.lines[i]
+		w.Bool(l.valid)
+		if !l.valid {
+			continue
+		}
+		w.Bool(l.dirty)
+		w.U64(l.tag)
+		w.U64(l.lru)
+		b := &l.block
+		w.U8(uint8(b.Kind))
+		w.I64(int64(b.Level))
+		w.U64(b.Index)
+		w.U64(b.Counter.Major)
+		w.Raw(b.Counter.Minors[:])
+		w.U64(b.Counter.MAC)
+		for _, c := range b.Node.Counters {
+			w.U64(c)
+		}
+		w.U64(b.Node.MAC)
+		w.Raw(b.Raw[:])
+		for _, u := range b.UpdatesPerSlot {
+			w.U32(u)
+		}
+	}
+}
+
+// Restore loads a Checkpoint written by a cache of identical geometry.
+func (m *Cache) Restore(r *sim.SnapR) error {
+	if n := r.U32(); int(n) != len(m.lines) {
+		return fmt.Errorf("metacache: checkpoint has %d slots, cache has %d", n, len(m.lines))
+	}
+	if wys := r.U32(); int(wys) != m.ways {
+		return fmt.Errorf("metacache: checkpoint ways %d, cache has %d", wys, m.ways)
+	}
+	m.tick = r.U64()
+
+	m.cs.Hits = r.U64()
+	m.cs.Misses = r.U64()
+	m.cs.Evictions = r.U64()
+	m.cs.Writebacks = r.U64()
+	m.st.DirtyTreeEvictions = r.U64()
+	nBuckets := r.Count(8)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	counts := make([]uint64, nBuckets)
+	for i := range counts {
+		counts[i] = r.U64()
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if err := m.st.EvictionsByLevel.SetCounts(counts); err != nil {
+		return err
+	}
+
+	for i := range m.lines {
+		l := &m.lines[i]
+		if !r.Bool() {
+			*l = line{}
+			continue
+		}
+		l.valid = true
+		l.dirty = r.Bool()
+		l.tag = r.U64()
+		l.lru = r.U64()
+		b := &l.block
+		b.Kind = Kind(r.U8())
+		b.Level = int(r.I64())
+		b.Index = r.U64()
+		b.Counter.Major = r.U64()
+		copy(b.Counter.Minors[:], r.Raw(ctrenc.CountersPerBlock))
+		b.Counter.MAC = r.U64()
+		for j := range b.Node.Counters {
+			b.Node.Counters[j] = r.U64()
+		}
+		b.Node.MAC = r.U64()
+		copy(b.Raw[:], r.Raw(len(b.Raw)))
+		for j := range b.UpdatesPerSlot {
+			b.UpdatesPerSlot[j] = r.U32()
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+	}
+	return r.Err()
+}

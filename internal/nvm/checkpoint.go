@@ -1,0 +1,150 @@
+package nvm
+
+import (
+	"fmt"
+	"sort"
+
+	"soteria/internal/sim"
+)
+
+// Checkpoint serializes the full device image — materialized lines with
+// their stored ECC check bytes and stuck-at faults, wear counts, ECP state
+// and statistics — in deterministic (sorted line index) order. The hook and
+// telemetry handles are runtime wiring and are not part of the image.
+func (d *Device) Checkpoint(w *sim.SnapW) {
+	w.U64(d.capacity)
+	w.U32(uint32(d.codec.CheckBytes()))
+
+	w.U64(d.stats.Reads)
+	w.U64(d.stats.Writes)
+	w.U64(d.stats.CorrectedLines)
+	w.U64(d.stats.UncorrectableHits)
+
+	idxs := make([]uint64, 0, len(d.lines))
+	for idx := range d.lines {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	w.U32(uint32(len(idxs)))
+	for _, idx := range idxs {
+		l := d.lines[idx]
+		w.U64(idx)
+		w.Raw(l.data[:])
+		w.Bytes(l.check)
+		w.Bool(l.stuckMask != nil)
+		if l.stuckMask != nil {
+			w.Raw(l.stuckMask[:])
+			w.Raw(l.stuckVal[:])
+		}
+	}
+
+	wearIdxs := make([]uint64, 0, len(d.wear))
+	for idx := range d.wear {
+		wearIdxs = append(wearIdxs, idx)
+	}
+	sort.Slice(wearIdxs, func(i, j int) bool { return wearIdxs[i] < wearIdxs[j] })
+	w.U32(uint32(len(wearIdxs)))
+	for _, idx := range wearIdxs {
+		w.U64(idx)
+		w.U64(d.wear[idx])
+	}
+
+	w.I64(int64(d.ecpBudget))
+	w.U64(d.ecpExhausted)
+	ecpIdxs := make([]uint64, 0, len(d.ecp))
+	for idx := range d.ecp {
+		ecpIdxs = append(ecpIdxs, idx)
+	}
+	sort.Slice(ecpIdxs, func(i, j int) bool { return ecpIdxs[i] < ecpIdxs[j] })
+	w.U32(uint32(len(ecpIdxs)))
+	for _, idx := range ecpIdxs {
+		entries := d.ecp[idx]
+		w.U64(idx)
+		w.U32(uint32(len(entries)))
+		for _, e := range entries {
+			w.U16(e.bit)
+			w.Bool(e.val)
+		}
+	}
+}
+
+// Restore replaces the device image with a Checkpoint written by a device
+// of identical capacity and codec. On any decode error the reader is
+// poisoned and the device may hold a partial image; callers treat a failed
+// restore as fatal for the target.
+func (d *Device) Restore(r *sim.SnapR) error {
+	if c := r.U64(); c != d.capacity {
+		return fmt.Errorf("nvm: checkpoint capacity %d, device has %d", c, d.capacity)
+	}
+	if cb := r.U32(); int(cb) != d.codec.CheckBytes() {
+		return fmt.Errorf("nvm: checkpoint check-byte width %d, codec has %d", cb, d.codec.CheckBytes())
+	}
+
+	d.stats.Reads = r.U64()
+	d.stats.Writes = r.U64()
+	d.stats.CorrectedLines = r.U64()
+	d.stats.UncorrectableHits = r.U64()
+
+	maxIdx := d.capacity / LineSize
+	nLines := r.Count(LineSize + 5)
+	d.lines = make(map[uint64]*storedLine, nLines)
+	for i := 0; i < nLines; i++ {
+		idx := r.U64()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if idx >= maxIdx {
+			return fmt.Errorf("nvm: checkpoint line index %d beyond capacity", idx)
+		}
+		l := &storedLine{}
+		copy(l.data[:], r.Raw(LineSize))
+		check := r.Bytes()
+		if r.Err() == nil && len(check) != d.codec.CheckBytes() {
+			return fmt.Errorf("nvm: checkpoint line %d has %d check bytes, codec wants %d", idx, len(check), d.codec.CheckBytes())
+		}
+		l.check = append([]byte(nil), check...)
+		if r.Bool() {
+			l.stuckMask, l.stuckVal = &Line{}, &Line{}
+			copy(l.stuckMask[:], r.Raw(LineSize))
+			copy(l.stuckVal[:], r.Raw(LineSize))
+		}
+		d.lines[idx] = l
+	}
+
+	nWear := r.Count(16)
+	d.wear = make(map[uint64]uint64, nWear)
+	for i := 0; i < nWear; i++ {
+		idx := r.U64()
+		d.wear[idx] = r.U64()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if idx >= maxIdx {
+			return fmt.Errorf("nvm: checkpoint wear index %d beyond capacity", idx)
+		}
+	}
+
+	d.ecpBudget = int(r.I64())
+	d.ecpExhausted = r.U64()
+	nECP := r.Count(12)
+	d.ecp = nil
+	if d.ecpBudget > 0 || nECP > 0 {
+		d.ecp = make(map[uint64][]ecpEntry, nECP)
+	}
+	for i := 0; i < nECP; i++ {
+		idx := r.U64()
+		nEnt := r.Count(3)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if idx >= maxIdx {
+			return fmt.Errorf("nvm: checkpoint ECP index %d beyond capacity", idx)
+		}
+		entries := make([]ecpEntry, nEnt)
+		for j := range entries {
+			entries[j] = ecpEntry{bit: r.U16(), val: r.Bool()}
+		}
+		d.ecp[idx] = entries
+	}
+	return r.Err()
+}

@@ -1,0 +1,131 @@
+package sim
+
+// Deterministic event-queue engine (akita-style). An Engine owns a priority
+// queue of timestamped events; each event names an actor (a shard, in the
+// device runtime) and the engine dispatches events strictly in (At, Actor,
+// Seq) order. Because the ordering key is total and Seq is assigned at
+// Schedule time, a run is a pure function of the schedule calls — the same
+// seed and workload produce the same dispatch sequence on every machine and
+// at any worker count, which is what makes checkpoints and time-travel
+// replay possible.
+
+// Event is one scheduled dispatch. Events are pure data; whatever work the
+// actor performs happens in the handler the engine was built with.
+type Event struct {
+	// At is the simulated dispatch time.
+	At Time
+	// Actor identifies the state machine the event belongs to.
+	Actor int
+	// Seq is the schedule-order tiebreak for events with equal (At, Actor).
+	Seq uint64
+}
+
+// Before reports whether e dispatches strictly before o under the engine's
+// total order.
+func (e Event) Before(o Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	if e.Actor != o.Actor {
+		return e.Actor < o.Actor
+	}
+	return e.Seq < o.Seq
+}
+
+// Engine is a single-threaded deterministic event queue. The zero value is
+// not usable; build one with NewEngine.
+type Engine struct {
+	heap    []Event
+	seq     uint64
+	now     Time
+	handler func(Event)
+}
+
+// NewEngine returns an engine dispatching events to handler. The handler
+// may call Schedule re-entrantly.
+func NewEngine(handler func(Event)) *Engine {
+	return &Engine{handler: handler}
+}
+
+// Now returns the dispatch time of the most recent event (the engine's
+// notion of current simulated time).
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of undispatched events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule enqueues an event for actor at time at. Events scheduled for the
+// past dispatch at the current time, preserving monotonicity.
+func (e *Engine) Schedule(at Time, actor int) {
+	if at < e.now {
+		at = e.now
+	}
+	e.push(Event{At: at, Actor: actor, Seq: e.seq})
+	e.seq++
+}
+
+// Step dispatches the earliest pending event and returns it. ok is false
+// when the queue is empty.
+func (e *Engine) Step() (ev Event, ok bool) {
+	if len(e.heap) == 0 {
+		return Event{}, false
+	}
+	ev = e.pop()
+	if ev.At > e.now {
+		e.now = ev.At
+	}
+	e.handler(ev)
+	return ev, true
+}
+
+// Run dispatches events until the queue drains and returns how many were
+// dispatched.
+func (e *Engine) Run() int {
+	n := 0
+	for {
+		if _, ok := e.Step(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// push/pop implement a manual binary min-heap over the (At, Actor, Seq)
+// order; container/heap's interface indirection costs allocations on the
+// hot path.
+
+func (e *Engine) push(ev Event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heap[i].Before(e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() Event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(e.heap) && e.heap[left].Before(e.heap[smallest]) {
+			smallest = left
+		}
+		if right < len(e.heap) && e.heap[right].Before(e.heap[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return top
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+}

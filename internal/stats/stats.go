@@ -111,6 +111,27 @@ func (h *Histogram) Fraction(k int) float64 {
 // Buckets returns the number of buckets.
 func (h *Histogram) Buckets() int { return len(h.counts) }
 
+// Counts returns a copy of the per-bucket counts.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// SetCounts replaces the histogram contents (checkpoint restore). The
+// bucket count must match the histogram's layout.
+func (h *Histogram) SetCounts(counts []uint64) error {
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("stats: histogram has %d buckets, restore has %d", len(h.counts), len(counts))
+	}
+	h.total = 0
+	for i, c := range counts {
+		h.counts[i] = c
+		h.total += c
+	}
+	return nil
+}
+
 // GeoMean returns the geometric mean of the inputs, ignoring non-positive
 // values (which would otherwise collapse the product to zero). It returns
 // zero when no positive values exist.
