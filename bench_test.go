@@ -24,6 +24,7 @@ import (
 	"soteria/internal/reliability"
 	"soteria/internal/runner"
 	"soteria/internal/telemetry"
+	"soteria/internal/tenant"
 )
 
 // benchWorkloads is the representative subset used by the performance
@@ -492,6 +493,74 @@ func BenchmarkDeviceThroughput(b *testing.B) {
 		// GOMAXPROCS suffix by benchparse and collapse the three names.
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchDevice(b, shards)
+		})
+	}
+}
+
+// benchTenants measures the multi-tenant secure-memory service end to
+// end: closed-loop round-robin over the tenants through admission, the
+// per-tenant key domain (seal + MAC + guard protocol) and the
+// engine-hosted device underneath. Scaling 1 -> 16 tenants shows what the
+// tenant layer costs on top of BenchmarkDeviceThroughput (key-domain
+// switching, guard-cache pressure) at even load, where fair-share
+// admission never throttles.
+func benchTenants(b *testing.B, tenants int) {
+	eng, err := device.NewEngine(device.EngineOptions{
+		Options: device.Options{
+			System:     config.TestSystem(),
+			Mode:       memctrl.ModeSRC,
+			Key:        []byte("bench-device-key"),
+			Shards:     4,
+			QueueDepth: 16,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	svc, err := tenant.New(eng, tenant.Options{MasterKey: []byte("bench-tenant-master")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const lines = 256
+	for id := 1; id <= tenants; id++ {
+		if _, err := svc.Provision(uint32(id), lines, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var line [64]byte
+	// Warm the guard caches so the timed loop measures steady state.
+	// Round-robin like the timed loop: even load never trips the
+	// fair-share throttle, a single tenant bursting a whole extent would.
+	for l := uint64(0); l < lines; l++ {
+		for id := 1; id <= tenants; id++ {
+			if _, err := svc.Write(uint32(id), l*64, &line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint32(1 + i%tenants)
+		addr := (uint64(i/tenants) % lines) * 64
+		if i%4 == 3 {
+			if _, _, err := svc.Read(id, addr); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := svc.Write(id, addr, &line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceThroughputTenants is the tenant-layer companion the CI
+// bench gate tracks across 1, 4 and 16 tenants. The single-tenant
+// steady-state path is additionally pinned allocation-free by
+// internal/tenant's TestSingleTenantSteadyStateZeroAllocs.
+func BenchmarkDeviceThroughputTenants(b *testing.B) {
+	for _, tenants := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			benchTenants(b, tenants)
 		})
 	}
 }

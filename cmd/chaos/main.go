@@ -14,6 +14,8 @@
 //	go run ./cmd/chaos -seed 3 -writes 60 -mode src -crash-at 30 -crash-at2 12
 //	go run ./cmd/chaos -seed 2 -writes 80 -strategy triad-nvm -sweep
 //	go run ./cmd/chaos -seed 1 -quick -schemes
+//	go run ./cmd/chaos -tenants -quick -sweep
+//	go run ./cmd/chaos -tenants -schemes -quick
 package main
 
 import (
@@ -45,6 +47,9 @@ func main() {
 		breakRepair  = flag.Bool("break-half-repair", false, "disable Soteria half repair; the harness must catch the resulting loss")
 		quick        = flag.Bool("quick", false, "smoke-test sizes: writes 60, stride 5, trials 5 (unless set explicitly)")
 		deviceRun    = flag.Bool("device", false, "run against the sharded internal/device service instead of a bare controller")
+		tenantsRun   = flag.Bool("tenants", false, "run the multi-tenant service leg: per-tenant acked-write oracle, cross-tenant isolation oracle and online rotation under crashes; combine with -sweep or -schemes")
+		tenantCount  = flag.Int("tenant-count", 3, "provisioned tenants for -tenants")
+		rotateAt     = flag.Int("rotate-at", -1, "for -tenants: begin an online key rotation of tenant 1 before this workload op (default: mid-workload; -1 disables only when set explicitly)")
 		shards       = flag.Int("shards", 4, "shard count for -device")
 		tracePath    = flag.String("trace", "", "with a single -device run: record the scenario and write a time-travel replay trace here when it crashes")
 		replayPath   = flag.String("replay", "", "re-execute a recorded replay trace file: restore the checkpoint nearest the fault and re-run events up to the crash point")
@@ -157,6 +162,75 @@ func main() {
 			fmt.Printf("REPRO: %s\n", chaos.NetRepro(nbase))
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *tenantsRun {
+		if *campaign != "" || *nested || *crashAt2 >= 0 || set["fault-rate"] || set["shadow-faults"] ||
+			*breakRepair || *deviceRun || *netRun || *tracePath != "" {
+			fatal(fmt.Errorf("-tenants supports single runs, -sweep and -schemes only"))
+		}
+		tbase := chaos.TenantConfig{
+			Seed:     *seed,
+			Writes:   *writes,
+			Tenants:  *tenantCount,
+			Shards:   *shards,
+			Mode:     mode,
+			Strategy: *strategyName,
+			CrashAt:  *crashAt,
+			RotateAt: *rotateAt,
+			Logf:     base.Logf,
+		}
+		if !set["rotate-at"] {
+			// Rotation coverage on by default: kick off tenant 1's key
+			// rotation mid-workload so sweeps cross the rotation window.
+			tbase.RotateAt = *writes / 2
+		}
+		if *schemes {
+			bad := false
+			for _, strategy := range memctrl.Strategies() {
+				res, err := chaos.TenantConformance(strategy, tbase, *stride)
+				if err != nil {
+					fatal(err)
+				}
+				for _, f := range res.Failures {
+					for _, v := range f.Violations {
+						fmt.Printf("VIOLATION: %s\n", v)
+					}
+					fmt.Printf("REPRO: %s\n", f.Repro)
+				}
+				status := "ok"
+				if len(res.Failures) > 0 {
+					status = fmt.Sprintf("%d FAILED runs", len(res.Failures))
+					bad = true
+				}
+				fmt.Printf("tenants %-13s %4d runs, %s\n", strategy+":", res.Runs, status)
+			}
+			if bad {
+				os.Exit(1)
+			}
+			return
+		}
+		if *sweep {
+			res, err := chaos.TenantCrashSweep(tbase, *stride, logf)
+			report("tenant crash sweep", res, err, false)
+			return
+		}
+		res, err := chaos.TenantRun(tbase)
+		if err != nil {
+			fatal(err)
+		}
+		out := &chaos.CampaignResult{Runs: 1, Boundaries: res.Boundaries}
+		if len(res.Violations) > 0 {
+			out.Failures = []chaos.Failure{{Repro: chaos.TenantRepro(tbase), Violations: res.Violations}}
+		}
+		if res.Crashed {
+			fmt.Printf("tenant run: %d tenants, %d shards, %d boundaries, crashed at %d (shard %d)\n",
+				*tenantCount, *shards, res.Boundaries, res.CrashBoundary, res.CrashShard)
+		} else {
+			fmt.Printf("tenant run: %d tenants, %d shards, %d boundaries, no crash\n", *tenantCount, *shards, res.Boundaries)
+		}
+		report("tenant run", out, nil, false)
 		return
 	}
 

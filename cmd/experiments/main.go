@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run (comma-separated): table2,table3,table4,fig3,fig4,fig10a,fig10b,fig10c,fig11,fig12,mtbf,perf,schemes,all (schemes is not part of all)")
+		run       = flag.String("run", "all", "experiment to run (comma-separated): table2,table3,table4,fig3,fig4,fig10a,fig10b,fig10c,fig11,fig12,mtbf,perf,schemes,tenants,all (schemes and tenants are not part of all)")
 		ops       = flag.Uint64("ops", 150_000, "measured memory operations per workload (performance experiments)")
 		warmup    = flag.Uint64("warmup", 30_000, "warm-up memory operations per workload")
 		footprint = flag.Uint64("footprint", 64<<20, "workload data footprint in bytes")
@@ -229,6 +229,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "scheme zoo done in %v\n", time.Since(start).Round(time.Second))
 		emit(t)
+	}
+	if want["tenants"] {
+		p := experiments.DefaultTenantExpParams()
+		p.Seed = *seed
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running multi-tenant service experiments (%d ops per run)...\n", p.Ops)
+		t, err := experiments.TenantContention(p)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+		t, err = experiments.TenantRotation(p)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+		fmt.Fprintf(os.Stderr, "multi-tenant experiments done in %v\n", time.Since(start).Round(time.Second))
 	}
 	if all || want["wear"] {
 		t, err := experiments.WearLeveling(0, 0, 0, *seed)

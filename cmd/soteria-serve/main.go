@@ -7,6 +7,18 @@
 //
 //	soteria-serve -addr 127.0.0.1:9650 -shards 4 -mode src
 //	soteria-serve -shards 8 -metrics-addr 127.0.0.1:9651 -metrics final.prom
+//	soteria-serve -tenants 4 -tenant-lines 256 -metrics-addr 127.0.0.1:9651
+//
+// With -tenants N the server runs in multi-tenant mode: the flat data
+// plane is disabled, the registry accepts tenant ids 1..N, and clients
+// attach per session with OpTenantAttach after provisioning over the
+// wire's operator plane (TenantCreate — cmd/loadgen -tenants does this
+// itself). -provision M additionally provisions tenants 1..M at startup
+// and prints their access tokens to stderr, one per line, for the
+// operator to hand out. Online key rotation runs over the operator
+// plane (TenantRotate/TenantStep), and the metrics endpoint gains
+// /tenants (registry listing) and /tenant-metrics?id=N (one tenant's
+// counters).
 //
 // SIGINT/SIGTERM shuts down gracefully: in-flight requests are answered,
 // connections drained, the device flushed, and the -metrics snapshot
@@ -21,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -29,6 +42,7 @@ import (
 	"soteria/internal/device"
 	"soteria/internal/devnet"
 	"soteria/internal/telemetry"
+	"soteria/internal/tenant"
 )
 
 func main() {
@@ -44,6 +58,11 @@ func main() {
 		readStall   = flag.Duration("read-stall", 5*time.Second, "drop a peer that stalls this long mid-frame")
 		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "drop a connection idle this long between requests (negative disables)")
 		maxInFlight = flag.Int("max-inflight", 64, "server-wide cap on concurrently executing requests; excess is shed with a busy/retry-after response (negative disables)")
+		tenants     = flag.Int("tenants", 0, "run in multi-tenant mode accepting this many tenant ids (0 = flat device)")
+		provision   = flag.Int("provision", 0, "provision tenants 1..N at startup and print their tokens")
+		tenantLines = flag.Uint64("tenant-lines", 256, "extent size, in 64-byte lines, of each startup-provisioned tenant")
+		tenantQuota = flag.Uint("tenant-quota", 0, "hard per-window op budget of each startup-provisioned tenant (0 = unlimited)")
+		masterKey   = flag.String("master-key", "soteria-serve-tenant-master", "master key rooting every tenant key domain")
 		verbose     = flag.Bool("v", false, "log connection lifecycle")
 	)
 	flag.Parse()
@@ -55,7 +74,7 @@ func main() {
 	cfg := config.TestSystem()
 	cfg.NVM.CapacityBytes = *capacity
 
-	dev, err := device.New(device.Options{
+	devOpts := device.Options{
 		System:     cfg,
 		Mode:       mode,
 		Key:        []byte("soteria-serve-key"),
@@ -63,9 +82,56 @@ func main() {
 		QueueDepth: *queueDepth,
 		BatchSize:  *batchSize,
 		Telemetry:  true,
-	})
-	if err != nil {
-		fatal(err)
+	}
+
+	// Flat and tenant mode share every downstream hook — metrics
+	// snapshots, the final flush, teardown — so the rest of main is
+	// mode-blind.
+	var (
+		dev      *device.Device
+		svc      *tenant.Service
+		info     device.Info
+		snapshot func() *telemetry.Snapshot
+		flush    func() error
+		closeDev func() error
+	)
+	if *tenants > 0 {
+		eng, err := device.NewEngine(device.EngineOptions{Options: devOpts})
+		if err != nil {
+			fatal(err)
+		}
+		svc, err = tenant.New(eng, tenant.Options{
+			MasterKey:  []byte(*masterKey),
+			MaxTenants: *tenants,
+			Telemetry:  true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *provision > *tenants {
+			fatal(fmt.Errorf("-provision %d exceeds -tenants %d", *provision, *tenants))
+		}
+		for id := 1; id <= *provision; id++ {
+			token, err := svc.Provision(uint32(id), *tenantLines, uint32(*tenantQuota))
+			if err != nil {
+				fatal(fmt.Errorf("provision tenant %d: %w", id, err))
+			}
+			fmt.Fprintf(os.Stderr, "soteria-serve: tenant %d token %016x\n", id, token)
+		}
+		info = svc.DeviceInfo()
+		snapshot = svc.DeviceSnapshot
+		flush = svc.Flush
+		closeDev = eng.Close
+	} else {
+		var err error
+		dev, err = device.New(devOpts)
+		if err != nil {
+			fatal(err)
+		}
+		info = dev.Info()
+		snapshot = dev.Snapshot
+		flush = dev.Flush
+		closeDev = dev.Close
 	}
 
 	// The server's own resilience counters (shed, panics, dedup hits) live
@@ -78,6 +144,7 @@ func main() {
 		IdleTimeout: *idleTimeout,
 		MaxInFlight: *maxInFlight,
 		Telemetry:   serverReg,
+		Tenants:     svc,
 	}
 	if *verbose {
 		sopts.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
@@ -88,20 +155,44 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	info := dev.Info()
-	fmt.Fprintf(os.Stderr, "soteria-serve: %s device, %d shards, %d bytes, listening on %s\n",
-		info.Mode, info.Shards, info.CapacityBytes, ln.Addr())
+	if svc != nil {
+		fmt.Fprintf(os.Stderr, "soteria-serve: %s device, %d shards, %d bytes, %d tenants, listening on %s\n",
+			info.Mode, info.Shards, info.CapacityBytes, *tenants, ln.Addr())
+	} else {
+		fmt.Fprintf(os.Stderr, "soteria-serve: %s device, %d shards, %d bytes, listening on %s\n",
+			info.Mode, info.Shards, info.CapacityBytes, ln.Addr())
+	}
 
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			dev.Snapshot().WritePrometheus(w, "")
+			snapshot().WritePrometheus(w, "")
 		})
 		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			dev.Snapshot().WriteJSON(w)
+			snapshot().WriteJSON(w)
 		})
+		if svc != nil {
+			mux.HandleFunc("/tenants", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(svc.Tenants())
+			})
+			mux.HandleFunc("/tenant-metrics", func(w http.ResponseWriter, r *http.Request) {
+				id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 32)
+				if err != nil {
+					http.Error(w, "tenant-metrics: ?id=<tenant> required", http.StatusBadRequest)
+					return
+				}
+				snap, err := svc.Snapshot(uint32(id))
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusNotFound)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				snap.WriteJSON(w)
+			})
+		}
 		mux.HandleFunc("/server-metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			serverReg.Snapshot().WritePrometheus(w, "")
@@ -141,17 +232,17 @@ func main() {
 	}
 
 	srv.Shutdown()
-	if err := dev.Flush(); err != nil {
+	if err := flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "soteria-serve: final flush: %v\n", err)
 	}
 	if *metricsFile != "" {
-		if err := dev.Snapshot().WriteFile(*metricsFile, ""); err != nil {
+		if err := snapshot().WriteFile(*metricsFile, ""); err != nil {
 			fmt.Fprintf(os.Stderr, "soteria-serve: write metrics: %v\n", err)
 		} else if *metricsFile != "-" {
 			fmt.Fprintf(os.Stderr, "soteria-serve: telemetry snapshot written to %s\n", *metricsFile)
 		}
 	}
-	if err := dev.Close(); err != nil {
+	if err := closeDev(); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"soteria/internal/memctrl"
+)
+
+// TestTenantCrashSweepQuick crashes at every stride-th device boundary of
+// a multi-tenant workload with an online rotation armed mid-way: every
+// tenant's acked writes survive, no cross-tenant read ever succeeds, and
+// the rotation completes — zero violations expected.
+func TestTenantCrashSweepQuick(t *testing.T) {
+	res, err := TenantCrashSweep(TenantConfig{
+		Seed:     1,
+		Writes:   30,
+		Tenants:  3,
+		Shards:   4,
+		Mode:     memctrl.ModeSAC,
+		CrashAt:  -1,
+		RotateAt: 10,
+	}, 25, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Boundaries == 0 {
+		t.Fatal("probe saw no boundaries")
+	}
+	for _, f := range res.Failures {
+		t.Errorf("%s: %v", f.Repro, f.Violations)
+	}
+}
+
+// TestTenantRunDeterministic pins determinism for the tenant leg: the
+// same TenantConfig crashes at the same boundary on the same shard with
+// the same counts, every time.
+func TestTenantRunDeterministic(t *testing.T) {
+	cfg := TenantConfig{Seed: 7, Writes: 40, Tenants: 3, Shards: 4,
+		Mode: memctrl.ModeSAC, CrashAt: 60, RotateAt: 8}
+	first, err := TenantRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Crashed {
+		t.Fatalf("crash-at %d never fired (%d boundaries)", cfg.CrashAt, first.Boundaries)
+	}
+	if len(first.Violations) > 0 {
+		t.Fatalf("violations: %v", first.Violations)
+	}
+	again, err := TenantRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CrashBoundary != first.CrashBoundary || again.CrashShard != first.CrashShard ||
+		again.Boundaries != first.Boundaries {
+		t.Fatalf("replay diverged: crash %d/shard %d/%d boundaries, want %d/%d/%d",
+			again.CrashBoundary, again.CrashShard, again.Boundaries,
+			first.CrashBoundary, first.CrashShard, first.Boundaries)
+	}
+}
+
+// TestTenantConformanceAllStrategies runs a coarse tenant crash sweep —
+// rotation window armed — for every registered metadata-persistence
+// strategy.
+func TestTenantConformanceAllStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy sweep in -short mode")
+	}
+	results, err := TenantConformanceAll(TenantConfig{
+		Seed:     2,
+		Writes:   20,
+		Tenants:  2,
+		Shards:   2,
+		Mode:     memctrl.ModeSAC,
+		CrashAt:  -1,
+		RotateAt: 6,
+	}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(memctrl.Strategies()) {
+		t.Fatalf("covered %d of %d strategies", len(results), len(memctrl.Strategies()))
+	}
+	for strategy, res := range results {
+		for _, f := range res.Failures {
+			t.Errorf("%s: %s: %v", strategy, f.Repro, f.Violations)
+		}
+	}
+}
+
+// TestTenantReproSelfContained: the repro line names every
+// scenario-shaping knob, including the tenant count and rotation point.
+func TestTenantReproSelfContained(t *testing.T) {
+	repro := TenantRepro(TenantConfig{Seed: 3, Writes: 50, Tenants: 5,
+		Mode: memctrl.ModeSRC, CrashAt: 12, RotateAt: 9})
+	for _, want := range []string{"-tenants", "-tenant-count 5", "-seed 3",
+		"-writes 50", "-mode src", "-strategy " + memctrl.DefaultStrategy,
+		"-rotate-at 9", "-crash-at 12"} {
+		if !strings.Contains(repro, want) {
+			t.Errorf("repro %q missing %q", repro, want)
+		}
+	}
+}

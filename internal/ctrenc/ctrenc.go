@@ -89,7 +89,7 @@ type sha256State interface {
 // is the line-crypto op count); MACs are tracked per domain.
 type telemetryHooks struct {
 	otps *telemetry.Counter
-	macs [DomainShadowTree + 1]*telemetry.Counter
+	macs [DomainTenant + 1]*telemetry.Counter
 }
 
 // AttachTelemetry registers the engine's metrics on r (nil detaches).
@@ -105,6 +105,7 @@ func (e *Engine) AttachTelemetry(r *telemetry.Registry) {
 		DomainNode:       "node",
 		DomainShadow:     "shadow",
 		DomainShadowTree: "shadow_tree",
+		DomainTenant:     "tenant",
 	} {
 		e.tel.macs[d] = r.Counter("ctrenc_mac_" + name + "_total")
 	}
@@ -153,6 +154,24 @@ func (e *Engine) keyedSum(parts ...[]byte) []byte {
 		e.scratch.Write(p)
 	}
 	return e.scratch.Sum(e.sum[:0])
+}
+
+// DeriveSubkey derives a 32-byte subkey bound to (label, id, epoch) from
+// the engine's MAC key — the root of per-tenant key domains: a tenant's
+// data engine is a full Engine constructed from a subkey only the holder
+// of the master key can derive, and rotating a tenant's keys is just
+// bumping its epoch. The derivation runs through the midstate-cached
+// keyed digest (one SHA-256 finalization, no allocation beyond the
+// returned array) and is framed unambiguously: a fixed prefix, the
+// length-prefixed label, then id and epoch as fixed-width words.
+func (e *Engine) DeriveSubkey(label string, id, epoch uint64) [32]byte {
+	var frame [17]byte
+	frame[0] = byte(len(label))
+	binary.LittleEndian.PutUint64(frame[1:9], id)
+	binary.LittleEndian.PutUint64(frame[9:17], epoch)
+	var out [32]byte
+	copy(out[:], e.keyedSum([]byte("soteria-subkey:"), frame[:1], []byte(label), frame[1:]))
+	return out
 }
 
 // MustNewEngine is NewEngine for static keys; it panics on error.
@@ -215,6 +234,10 @@ const (
 	// DomainShadowTree authenticates nodes of the eager BMT protecting
 	// the shadow region.
 	DomainShadowTree
+	// DomainTenant authenticates a tenant-layer data line (ciphertext
+	// bound to tenant-local line index and write counter) under that
+	// tenant's derived key domain.
+	DomainTenant
 )
 
 // MAC computes the keyed 64-bit MAC over the given parts within a domain.

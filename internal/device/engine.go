@@ -321,9 +321,58 @@ func (e *Engine) runFor(id uint64) (TxnResult, error) {
 	return TxnResult{}, fmt.Errorf("device: transaction %d did not complete (shard paused?)", id)
 }
 
+// trySync executes one closed-loop data-plane operation without going
+// through the transaction queue: when the target shard is Enabled and its
+// queue is empty, submitting then running to idle would dispatch exactly
+// this one transaction, so the engine executes it in place with identical
+// bookkeeping (same ID assignment, same trace event, same execSeq and
+// clock advance, same crash-barrier fold). This keeps the Client-style
+// Read/Write/Drain path allocation-free — the tenant layer's steady-state
+// data path rides it — while Submit/Run batches are untouched.
+//
+// handled=false falls back to the queued path (queue non-empty, shard not
+// Enabled, or a submission-time rejection the queued path must produce).
+func (e *Engine) trySync(op opcode, addr uint64, data *nvm.Line) (response, bool) {
+	if e.closed || e.down {
+		return response{}, false
+	}
+	if err := checkLineAddr(addr, e.opts.System.NVM.CapacityBytes); err != nil {
+		return response{}, false
+	}
+	s := shardOf(addr, e.opts.Shards)
+	core := e.cores[s]
+	if core.mode != ShardEnabled || len(e.pend[s]) > 0 {
+		return response{}, false
+	}
+	id := e.nextID
+	e.nextID++
+	local := toLocalAddr(addr, e.opts.Shards)
+	if e.opts.Trace {
+		e.traces[s] = append(e.traces[s],
+			TraceEvent{Shard: s, Seq: e.execSeq[s], At: core.now, Op: uint8(op), Addr: local, ID: id})
+	}
+	e.execSeq[s]++
+	r := request{op: op, addr: local, epoch: e.epoch, data: data}
+	res := core.exec(&r)
+	// Fold a power cut observed during the op at once — the same barrier
+	// Run applies at its boundary after a one-transaction dispatch.
+	if e.cut.Load() {
+		e.cut.Store(false)
+		e.down = true
+		e.epoch++
+		for _, env := range e.envs {
+			env.localCut = false
+		}
+	}
+	return res, true
+}
+
 // Read services one 64-byte read (Client). The engine is closed-loop here:
 // the transaction is queued and the engine runs to idle.
 func (e *Engine) Read(addr uint64) (nvm.Line, sim.Time, error) {
+	if res, ok := e.trySync(opRead, addr, nil); ok {
+		return res.data, res.latency, res.err
+	}
 	id, err := e.submitTxn(opRead, addr, nil)
 	if err != nil {
 		return nvm.Line{}, 0, err
@@ -337,6 +386,9 @@ func (e *Engine) Read(addr uint64) (nvm.Line, sim.Time, error) {
 
 // Write services one 64-byte write (Client).
 func (e *Engine) Write(addr uint64, data *nvm.Line) (sim.Time, error) {
+	if res, ok := e.trySync(opWrite, addr, data); ok {
+		return res.latency, res.err
+	}
 	id, err := e.submitTxn(opWrite, addr, data)
 	if err != nil {
 		return 0, err
@@ -350,6 +402,9 @@ func (e *Engine) Write(addr uint64, data *nvm.Line) (sim.Time, error) {
 
 // Drain waits until the shard owning addr has drained its WPQ (Client).
 func (e *Engine) Drain(addr uint64) error {
+	if res, ok := e.trySync(opDrain, addr, nil); ok {
+		return res.err
+	}
 	id, err := e.submitTxn(opDrain, addr, nil)
 	if err != nil {
 		return err

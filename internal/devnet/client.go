@@ -16,6 +16,7 @@ import (
 	"soteria/internal/nvm"
 	"soteria/internal/sim"
 	"soteria/internal/telemetry"
+	"soteria/internal/tenant"
 )
 
 // RetryPolicy governs how a Client reacts to retryable failures. Every
@@ -94,6 +95,12 @@ type Client struct {
 	conn net.Conn
 	seq  uint64
 	rng  *mrand.Rand
+
+	// attached/tenantID/tenantTok hold the tenant binding, replayed on
+	// every reconnect (the binding is per-connection on the server).
+	attached  bool
+	tenantID  uint32
+	tenantTok uint64
 
 	retries    *telemetry.Counter
 	reconnects *telemetry.Counter
@@ -256,6 +263,14 @@ func (c *Client) attempt(req []byte, seq uint64) (sim.Time, []byte, error) {
 		c.conn = conn
 		c.reconnects.Inc()
 		c.logf("devnet: reconnected to %s", c.addr)
+		if c.attached {
+			// The tenant binding died with the old connection; restore it
+			// before the retried operation runs, or the server would
+			// reject the data op the retry is trying to land.
+			if err := c.sendAttach(); err != nil {
+				return 0, nil, err
+			}
+		}
 	}
 	c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
 	defer c.conn.SetDeadline(time.Time{})
@@ -321,6 +336,28 @@ func statusError(status uint8, body []byte) error {
 		}
 	case StatusRetired:
 		return device.ErrRetired
+	case StatusQuota:
+		if len(body) != 12 {
+			return &FrameError{Reason: fmt.Sprintf("malformed quota body (%d bytes)", len(body))}
+		}
+		return &tenant.QuotaError{
+			Tenant: binary.BigEndian.Uint32(body),
+			Used:   binary.BigEndian.Uint32(body[4:]),
+			Budget: binary.BigEndian.Uint32(body[8:]),
+		}
+	case StatusTenantDenied:
+		if len(body) != 4 {
+			return &FrameError{Reason: fmt.Sprintf("malformed denied body (%d bytes)", len(body))}
+		}
+		return &tenant.AuthError{Tenant: binary.BigEndian.Uint32(body)}
+	case StatusTenantIntegrity:
+		if len(body) != 12 {
+			return &FrameError{Reason: fmt.Sprintf("malformed integrity body (%d bytes)", len(body))}
+		}
+		return &tenant.IntegrityError{
+			Tenant: binary.BigEndian.Uint32(body),
+			Line:   binary.BigEndian.Uint64(body[4:]),
+		}
 	case StatusError:
 		return fmt.Errorf("devnet: server: %s", body)
 	default:

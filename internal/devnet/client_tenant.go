@@ -1,0 +1,150 @@
+package devnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+	"soteria/internal/telemetry"
+)
+
+// sendAttach replays the stored tenant binding on the current connection.
+// Called with c.mu held and a live connection. Session 0 and sequence 0:
+// the attach must execute on this connection (the server keeps it out of
+// the dedup window anyway), and it is not one of the client's numbered
+// operations.
+func (c *Client) sendAttach() error {
+	f := TenantFrame{Op: OpTenantAttach, Tenant: c.tenantID, Token: c.tenantTok}
+	req := append(encodeRequest(OpTenantAttach, 0, 0, 12), f.Encode()...)
+	c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+	defer c.conn.SetDeadline(time.Time{})
+	if err := writeFrame(c.conn, req); err != nil {
+		return c.noteTimeout(fmt.Errorf("devnet: attach send: %w", err))
+	}
+	payload, err := readFrame(c.conn)
+	if err != nil {
+		return c.noteTimeout(fmt.Errorf("devnet: attach receive: %w", err))
+	}
+	resp, err := parseResponse(payload)
+	if err != nil {
+		return err
+	}
+	if resp.seq != 0 {
+		return &FrameError{Reason: fmt.Sprintf("attach answered with sequence %d", resp.seq)}
+	}
+	return statusError(resp.status, resp.body)
+}
+
+// AttachTenant authenticates this client's connection as tenant id and
+// remembers the binding, transparently re-attaching after every
+// reconnect. Data ops (TenantRead/TenantWrite) require it.
+func (c *Client) AttachTenant(id uint32, token uint64) error {
+	c.mu.Lock()
+	c.attached = true
+	c.tenantID = id
+	c.tenantTok = token
+	c.mu.Unlock()
+	f := TenantFrame{Op: OpTenantAttach, Tenant: id, Token: token}
+	_, _, err := c.do("tenant-attach", OpTenantAttach, f.Encode())
+	if err != nil {
+		c.mu.Lock()
+		c.attached = false
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// TenantRead services one 64-byte read in the attached tenant's space.
+func (c *Client) TenantRead(id uint32, addr uint64) (nvm.Line, sim.Time, error) {
+	var line nvm.Line
+	f := TenantFrame{Op: OpTenantRead, Tenant: id, Addr: addr}
+	lat, body, err := c.do("tenant-read", OpTenantRead, f.Encode())
+	if err != nil {
+		return line, 0, err
+	}
+	if len(body) != nvm.LineSize {
+		return line, 0, &FrameError{Reason: fmt.Sprintf("tenant read returned %d bytes", len(body))}
+	}
+	copy(line[:], body)
+	return line, lat, nil
+}
+
+// TenantWrite services one 64-byte write in the attached tenant's space.
+// Retries are exactly-once through the server's dedup window, like flat
+// writes. A quota rejection surfaces as a *TenantQuotaError and is NOT
+// retried: the budget will not refill inside a retry loop's horizon.
+func (c *Client) TenantWrite(id uint32, addr uint64, data *nvm.Line) (sim.Time, error) {
+	f := TenantFrame{Op: OpTenantWrite, Tenant: id, Addr: addr, Line: *data}
+	lat, _, err := c.do("tenant-write", OpTenantWrite, f.Encode())
+	return lat, err
+}
+
+// TenantCreate provisions a tenant (operator plane) and returns its
+// access token.
+func (c *Client) TenantCreate(id uint32, lines uint64, quotaOps uint32) (uint64, error) {
+	f := TenantFrame{Op: OpTenantCreate, Tenant: id, Lines: lines, Quota: quotaOps}
+	_, body, err := c.do("tenant-create", OpTenantCreate, f.Encode())
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 8 {
+		return 0, &FrameError{Reason: fmt.Sprintf("tenant create returned %d bytes", len(body))}
+	}
+	return beU64(body), nil
+}
+
+// TenantRotate begins an online key rotation (operator plane).
+func (c *Client) TenantRotate(id uint32) error {
+	f := TenantFrame{Op: OpTenantRotate, Tenant: id}
+	_, _, err := c.do("tenant-rotate", OpTenantRotate, f.Encode())
+	return err
+}
+
+// TenantRotateStep advances a rotation sweep by up to max lines,
+// reporting progress (operator plane).
+func (c *Client) TenantRotateStep(id uint32, max uint32) (rotated uint32, cursor uint64, done bool, err error) {
+	f := TenantFrame{Op: OpTenantStep, Tenant: id, Max: max}
+	_, body, err := c.do("tenant-step", OpTenantStep, f.Encode())
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if len(body) != 13 {
+		return 0, 0, false, &FrameError{Reason: fmt.Sprintf("tenant step returned %d bytes", len(body))}
+	}
+	return beU32(body[1:]), beU64(body[5:]), body[0] != 0, nil
+}
+
+// TenantInfo fetches one tenant's record and rotation progress.
+func (c *Client) TenantInfo(id uint32) (TenantInfo, error) {
+	var info TenantInfo
+	f := TenantFrame{Op: OpTenantInfo, Tenant: id}
+	_, body, err := c.do("tenant-info", OpTenantInfo, f.Encode())
+	if err != nil {
+		return info, err
+	}
+	return info, json.Unmarshal(body, &info)
+}
+
+// TenantList fetches the provisioned tenants (operator plane).
+func (c *Client) TenantList() ([]TenantRecord, error) {
+	f := TenantFrame{Op: OpTenantList}
+	_, body, err := c.do("tenant-list", OpTenantList, f.Encode())
+	if err != nil {
+		return nil, err
+	}
+	var out []TenantRecord
+	return out, json.Unmarshal(body, &out)
+}
+
+// TenantMetrics fetches one tenant's telemetry snapshot.
+func (c *Client) TenantMetrics(id uint32) (*telemetry.Snapshot, error) {
+	f := TenantFrame{Op: OpTenantMetrics, Tenant: id}
+	_, body, err := c.do("tenant-metrics", OpTenantMetrics, f.Encode())
+	if err != nil {
+		return nil, err
+	}
+	snap := &telemetry.Snapshot{}
+	return snap, json.Unmarshal(body, snap)
+}

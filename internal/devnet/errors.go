@@ -9,7 +9,15 @@ import (
 
 	"soteria/internal/device"
 	"soteria/internal/memctrl"
+	"soteria/internal/tenant"
 )
+
+// TenantQuotaError is the typed, non-retryable quota rejection a client
+// operation surfaces when the addressed tenant exhausted its per-window
+// budget. It is the tenant layer's *tenant.QuotaError reconstructed from
+// StatusQuota — aliased here so wire-facing code can name it without
+// importing the tenant package.
+type TenantQuotaError = tenant.QuotaError
 
 // FrameError reports a protocol-level failure on the wire: a corrupted
 // checksum, an oversized or malformed frame, or a response that does not
@@ -47,6 +55,12 @@ const (
 	// supervised deployments where something will run recovery
 	// (RetryPolicy.RetryDown); otherwise the caller must Recover.
 	ClassDown
+	// ClassQuota: the tenant's hard per-window operation budget is
+	// exhausted. NOT retryable — unlike ClassBusy backpressure the budget
+	// does not refill on any timescale a retry loop should wait for, so
+	// the client surfaces the typed *TenantQuotaError immediately and the
+	// caller sheds or re-plans load.
+	ClassQuota
 )
 
 func (c Class) String() string {
@@ -61,6 +75,8 @@ func (c Class) String() string {
 		return "retired"
 	case ClassDown:
 		return "down"
+	case ClassQuota:
+		return "quota"
 	default:
 		return "?"
 	}
@@ -71,6 +87,8 @@ func ClassOf(err error) Class {
 	switch {
 	case err == nil:
 		return ClassFatal
+	case errors.Is(err, tenant.ErrQuota):
+		return ClassQuota
 	case errors.Is(err, device.ErrBusy):
 		return ClassBusy
 	case errors.Is(err, device.ErrRetired):

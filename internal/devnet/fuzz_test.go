@@ -2,6 +2,7 @@ package devnet
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -105,5 +106,56 @@ func FuzzParseResponse(f *testing.F) {
 		// panicking — this is what a corrupted-but-CRC-colliding response
 		// would hit.
 		_ = statusError(resp.status, resp.body)
+	})
+}
+
+// FuzzTenantFrame throws arbitrary (op, body) pairs at the tenant-plane
+// body codec — the single parse point for every tenant op the server
+// accepts. The invariants: never panic, reject with a typed *FrameError
+// on any length mismatch, and any accepted body must re-encode
+// byte-identically (no silently ignored trailing bytes, no lossy fields).
+func FuzzTenantFrame(f *testing.F) {
+	seed := []TenantFrame{
+		{Op: OpTenantAttach, Tenant: 1, Token: 0xdeadbeefcafef00d},
+		{Op: OpTenantRead, Tenant: 2, Addr: 64 * 17},
+		{Op: OpTenantWrite, Tenant: 3, Addr: 128, Line: [64]byte{1, 2, 3}},
+		{Op: OpTenantCreate, Tenant: 4, Lines: 4096, Quota: 100},
+		{Op: OpTenantRotate, Tenant: 5},
+		{Op: OpTenantStep, Tenant: 6, Max: 32},
+		{Op: OpTenantInfo, Tenant: 7},
+		{Op: OpTenantList},
+		{Op: OpTenantMetrics, Tenant: 8},
+	}
+	for _, s := range seed {
+		f.Add(s.Op, s.Encode())
+	}
+	// Off-by-one lengths, truncations, non-tenant ops, trailing garbage.
+	f.Add(OpTenantAttach, []byte{})
+	f.Add(OpTenantWrite, make([]byte, 12))
+	f.Add(OpTenantRead, make([]byte, 13))
+	f.Add(OpPing, []byte{1, 2, 3})
+	f.Add(uint8(255), []byte{})
+	f.Add(OpTenantList, []byte{0})
+
+	f.Fuzz(func(t *testing.T, op uint8, body []byte) {
+		frame, err := ParseTenantFrame(op, body)
+		if err != nil {
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("reject is not a *FrameError: %v", err)
+			}
+			return
+		}
+		re := frame.Encode()
+		if !bytes.Equal(re, body) {
+			t.Fatalf("accepted body is not stable: in %x, out %x", body, re)
+		}
+		back, err := ParseTenantFrame(op, re)
+		if err != nil {
+			t.Fatalf("re-parse of encoded frame failed: %v", err)
+		}
+		if back != frame {
+			t.Fatal("frame not stable across re-encode")
+		}
 	})
 }

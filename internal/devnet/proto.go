@@ -58,6 +58,30 @@ const (
 	OpRecover
 	OpSnapshot
 	OpHealth
+
+	// Tenant plane (see tenantframe.go for the body codec). A session must
+	// OpTenantAttach with a valid token before its data ops; the binding
+	// is per-connection, so attach bypasses the dedup window and the
+	// client replays it after every reconnect.
+	//
+	//	OpTenantAttach  [u32 tenant][u64 token]
+	//	OpTenantRead    [u32 tenant][u64 addr]           response: 64-byte line
+	//	OpTenantWrite   [u32 tenant][u64 addr][64B line]
+	//	OpTenantCreate  [u32 tenant][u64 lines][u32 quota]  response: [u64 token]
+	//	OpTenantRotate  [u32 tenant]
+	//	OpTenantStep    [u32 tenant][u32 max]            response: [u8 done][u32 rotated][u64 cursor]
+	//	OpTenantInfo    [u32 tenant]                     response: TenantInfo JSON
+	//	OpTenantList    —                                response: []tenant.Record JSON
+	//	OpTenantMetrics [u32 tenant]                     response: telemetry snapshot JSON
+	OpTenantAttach
+	OpTenantRead
+	OpTenantWrite
+	OpTenantCreate
+	OpTenantRotate
+	OpTenantStep
+	OpTenantInfo
+	OpTenantList
+	OpTenantMetrics
 )
 
 // Response statuses.
@@ -78,6 +102,16 @@ const (
 	StatusRetired
 	// StatusError: body is a UTF-8 error string.
 	StatusError
+	// StatusQuota: the tenant's hard per-window operation budget is
+	// exhausted. Body is [u32 tenant][u32 used][u32 budget]. NOT
+	// retryable — distinct from StatusBusy by design (see ClassQuota).
+	StatusQuota
+	// StatusTenantDenied: the session is not (or cannot be) bound to the
+	// tenant it addressed. Body is [u32 tenant].
+	StatusTenantDenied
+	// StatusTenantIntegrity: the line failed tenant-layer MAC
+	// verification. Body is [u32 tenant][u64 line].
+	StatusTenantIntegrity
 )
 
 // maxFrame bounds a frame payload; snapshots of big registries are the
@@ -210,3 +244,7 @@ func putU32(b []byte, v uint32) []byte {
 	binary.BigEndian.PutUint32(tmp[:], v)
 	return append(b, tmp[:]...)
 }
+
+func beU32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
+
+func beU64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }

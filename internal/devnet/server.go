@@ -15,6 +15,7 @@ import (
 	"soteria/internal/nvm"
 	"soteria/internal/sim"
 	"soteria/internal/telemetry"
+	"soteria/internal/tenant"
 )
 
 // ServerOptions harden one server against misbehaving peers and
@@ -43,6 +44,11 @@ type ServerOptions struct {
 	// counters (devnet_server_*). It is kept separate from the device's
 	// registries so wire snapshots stay byte-identical to local ones.
 	Telemetry *telemetry.Registry
+	// Tenants, when non-nil, enables the tenant plane (OpTenantAttach and
+	// friends) against this multi-tenant service. The flat device may then
+	// be nil, in which case data ops are tenant-only and the control ops
+	// (flush, crash, recover, snapshot) route to the service's device.
+	Tenants *tenant.Service
 	// Logf, when non-nil, receives connection lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -219,6 +225,10 @@ func (s *Server) Health() Health {
 	if s.dev != nil {
 		shards = s.dev.Info().Shards
 	}
+	if s.dev == nil && s.opts.Tenants != nil {
+		down = s.opts.Tenants.Down()
+		shards = s.opts.Tenants.DeviceInfo().Shards
+	}
 	return Health{
 		Ready:      !draining && !down,
 		Draining:   draining,
@@ -267,6 +277,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 	s.logf("devnet: %v connected", conn.RemoteAddr())
+	// bound is this connection's authenticated tenant (0 = none). It is
+	// per-connection on purpose: a binding must not outlive the transport
+	// that proved possession of the token.
+	var bound uint32
 	for {
 		hdr, err := s.awaitHeader(conn)
 		if err != nil {
@@ -287,7 +301,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		conn.SetReadDeadline(time.Time{})
-		resp := s.dispatch(payload)
+		resp := s.dispatch(payload, &bound)
 		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		if err := writeFrame(conn, resp); err != nil {
 			s.logf("devnet: %v write: %v", conn.RemoteAddr(), err)
@@ -344,14 +358,18 @@ func (s *Server) awaitHeader(conn net.Conn) ([frameHeaderSize]byte, error) {
 }
 
 // dispatch parses one request payload, applies the dedup window and the
-// in-flight cap, and executes it panic-isolated.
-func (s *Server) dispatch(payload []byte) []byte {
+// in-flight cap, and executes it panic-isolated. bound is the calling
+// connection's tenant binding.
+func (s *Server) dispatch(payload []byte, bound *uint32) []byte {
 	req, err := parseRequest(payload)
 	if err != nil {
 		s.frameErrors.Inc()
 		return respErr(0, err)
 	}
-	if req.session != 0 {
+	// Attach mutates per-connection state, so it must execute on every
+	// connection that sends it — a dedup hit replaying a cached OK
+	// without binding would leave the new connection unauthenticated.
+	if req.session != 0 && req.op != OpTenantAttach {
 		if cached, ok := s.sessions.Cached(req.session, req.seq); ok {
 			s.dedupHits.Inc()
 			return cached
@@ -369,10 +387,11 @@ func (s *Server) dispatch(payload []byte) []byte {
 		}
 		defer s.inflight.Add(-1)
 	}
-	resp := s.handleSafe(req)
+	resp := s.handleSafe(req, bound)
 	// Only successful responses enter the dedup window: a failure did
-	// not commit, so the retry must re-execute.
-	if req.session != 0 && len(resp) > 0 && resp[0] == StatusOK {
+	// not commit, so the retry must re-execute. Attach stays out for the
+	// same reason it skips the lookup above.
+	if req.session != 0 && req.op != OpTenantAttach && len(resp) > 0 && resp[0] == StatusOK {
 		s.sessions.Store(req.session, req.seq, resp)
 	}
 	return resp
@@ -380,7 +399,7 @@ func (s *Server) dispatch(payload []byte) []byte {
 
 // handleSafe confines a handler panic to an error response, keeping the
 // connection (and every other connection) alive.
-func (s *Server) handleSafe(req wireRequest) (resp []byte) {
+func (s *Server) handleSafe(req wireRequest, bound *uint32) (resp []byte) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.panics.Inc()
@@ -388,12 +407,20 @@ func (s *Server) handleSafe(req wireRequest) (resp []byte) {
 			resp = respErr(req.seq, fmt.Errorf("internal: handler panic: %v", p))
 		}
 	}()
+	if req.op >= OpTenantAttach && req.op <= OpTenantMetrics {
+		return s.handleTenant(req, bound)
+	}
 	return s.handle(req)
 }
 
 // handle executes one request and builds the response payload.
 func (s *Server) handle(req wireRequest) []byte {
 	op, body, seq := req.op, req.body, req.seq
+	if s.dev == nil && s.opts.Tenants != nil {
+		// Tenant-only server: the control plane routes to the tenant
+		// service's device; the flat data plane does not exist.
+		return s.handleTenantControl(req)
+	}
 	switch op {
 	case OpPing:
 		return respOK(seq, 0, nil)
@@ -494,11 +521,27 @@ func respErr(seq uint64, err error) []byte {
 	return append(respHeader(StatusError, seq, 0, len(err.Error())), err.Error()...)
 }
 
-// respFromErr maps the device's typed error surface onto wire statuses.
+// respFromErr maps the device's and tenant layer's typed error surfaces
+// onto wire statuses.
 func respFromErr(seq uint64, err error) []byte {
 	var busy *device.BusyError
 	var power *device.PowerError
+	var quota *tenant.QuotaError
+	var auth *tenant.AuthError
+	var integ *tenant.IntegrityError
 	switch {
+	case errors.As(err, &quota):
+		out := respHeader(StatusQuota, seq, 0, 12)
+		out = putU32(out, quota.Tenant)
+		out = putU32(out, quota.Used)
+		return putU32(out, quota.Budget)
+	case errors.As(err, &auth):
+		out := respHeader(StatusTenantDenied, seq, 0, 4)
+		return putU32(out, auth.Tenant)
+	case errors.As(err, &integ):
+		out := respHeader(StatusTenantIntegrity, seq, 0, 12)
+		out = putU32(out, integ.Tenant)
+		return putU64(out, integ.Line)
 	case errors.As(err, &busy):
 		out := respHeader(StatusBusy, seq, 0, 16)
 		out = putU32(out, uint32(int32(busy.Shard)))

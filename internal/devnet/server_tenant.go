@@ -1,0 +1,200 @@
+package devnet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"soteria/internal/tenant"
+)
+
+// TenantInfo is the JSON body of an OpTenantInfo response.
+type TenantInfo struct {
+	ID        uint32 `json:"id"`
+	Epoch     uint32 `json:"epoch"`
+	Rotating  bool   `json:"rotating"`
+	Cursor    uint64 `json:"cursor"`
+	DataLines uint64 `json:"data_lines"`
+	QuotaOps  uint32 `json:"quota_ops"`
+}
+
+// TenantRecord is the JSON element of an OpTenantList response.
+type TenantRecord struct {
+	ID        uint32 `json:"id"`
+	Epoch     uint32 `json:"epoch"`
+	Rotating  bool   `json:"rotating"`
+	DataLines uint64 `json:"data_lines"`
+	QuotaOps  uint32 `json:"quota_ops"`
+}
+
+// handleTenantControl serves the flat control/introspection ops on a
+// tenant-only server (no flat device): they route to the tenant service's
+// underlying device. Flat data ops are rejected — in tenant mode every
+// line belongs to some tenant's key domain.
+func (s *Server) handleTenantControl(req wireRequest) []byte {
+	svc := s.opts.Tenants
+	seq := req.seq
+	switch req.op {
+	case OpPing:
+		return respOK(seq, 0, nil)
+	case OpInfo:
+		data, err := json.Marshal(svc.DeviceInfo())
+		if err != nil {
+			return respErr(seq, err)
+		}
+		return respOK(seq, 0, data)
+	case OpHealth:
+		data, err := json.Marshal(s.Health())
+		if err != nil {
+			return respErr(seq, err)
+		}
+		return respOK(seq, 0, data)
+	case OpFlush:
+		if err := svc.Flush(); err != nil {
+			return respFromErr(seq, err)
+		}
+		return respOK(seq, 0, nil)
+	case OpCrash:
+		if err := svc.Crash(); err != nil {
+			return respFromErr(seq, err)
+		}
+		return respOK(seq, 0, nil)
+	case OpRecover:
+		rep, err := svc.Recover()
+		if err != nil {
+			return respFromErr(seq, err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			return respErr(seq, err)
+		}
+		return respOK(seq, 0, data)
+	case OpSnapshot:
+		data, err := svc.DeviceSnapshot().MarshalIndentJSON()
+		if err != nil {
+			return respErr(seq, err)
+		}
+		return respOK(seq, 0, data)
+	case OpRead, OpWrite, OpDrain:
+		return respErr(seq, fmt.Errorf("flat data ops are disabled on a tenant-only server"))
+	default:
+		return respErr(seq, fmt.Errorf("unknown op %d", req.op))
+	}
+}
+
+// handleTenant executes one tenant-plane request against the configured
+// tenant service. Data ops require the connection to be bound (attached)
+// to the tenant they address; admin ops (create, rotate, step, info,
+// list, metrics) are operator-plane and need no binding, matching the
+// flat protocol's stance that Crash/Recover are trusted-operator ops.
+func (s *Server) handleTenant(req wireRequest, bound *uint32) []byte {
+	seq := req.seq
+	svc := s.opts.Tenants
+	if svc == nil {
+		return respErr(seq, fmt.Errorf("tenant ops are not enabled on this server"))
+	}
+	f, err := ParseTenantFrame(req.op, req.body)
+	if err != nil {
+		s.frameErrors.Inc()
+		return respErr(seq, err)
+	}
+	switch f.Op {
+	case OpTenantAttach:
+		if err := svc.Authenticate(f.Tenant, f.Token); err != nil {
+			*bound = 0
+			return respFromErr(seq, err)
+		}
+		*bound = f.Tenant
+		return respOK(seq, 0, nil)
+	case OpTenantRead:
+		if *bound == 0 || *bound != f.Tenant {
+			return respFromErr(seq, &tenant.AuthError{Tenant: f.Tenant})
+		}
+		line, lat, err := svc.Read(f.Tenant, f.Addr)
+		if err != nil {
+			return respFromErr(seq, err)
+		}
+		return respOK(seq, lat, line[:])
+	case OpTenantWrite:
+		if *bound == 0 || *bound != f.Tenant {
+			return respFromErr(seq, &tenant.AuthError{Tenant: f.Tenant})
+		}
+		lat, err := svc.Write(f.Tenant, f.Addr, &f.Line)
+		if err != nil {
+			return respFromErr(seq, err)
+		}
+		s.appliedWrites.Inc()
+		return respOK(seq, lat, nil)
+	case OpTenantCreate:
+		token, err := svc.Provision(f.Tenant, f.Lines, f.Quota)
+		if err != nil {
+			return respFromErr(seq, err)
+		}
+		return respOK(seq, 0, putU64(nil, token))
+	case OpTenantRotate:
+		if err := svc.Rotate(f.Tenant); err != nil {
+			return respFromErr(seq, err)
+		}
+		return respOK(seq, 0, nil)
+	case OpTenantStep:
+		rotated, done, err := svc.RotateStep(f.Tenant, int(f.Max))
+		if err != nil && !errors.Is(err, tenant.ErrNotRotating) {
+			return respFromErr(seq, err)
+		}
+		st, serr := svc.RotateStatus(f.Tenant)
+		if serr != nil {
+			return respFromErr(seq, serr)
+		}
+		body := make([]byte, 0, 13)
+		if done || !st.Rotating {
+			body = append(body, 1)
+		} else {
+			body = append(body, 0)
+		}
+		body = putU32(body, uint32(rotated))
+		return respOK(seq, 0, putU64(body, st.Cursor))
+	case OpTenantInfo:
+		rec, err := svc.Info(f.Tenant)
+		if err != nil {
+			return respFromErr(seq, err)
+		}
+		st, err := svc.RotateStatus(f.Tenant)
+		if err != nil {
+			return respFromErr(seq, err)
+		}
+		data, err := json.Marshal(TenantInfo{
+			ID: rec.ID, Epoch: rec.Epoch, Rotating: st.Rotating,
+			Cursor: st.Cursor, DataLines: rec.DataLines, QuotaOps: rec.QuotaOps,
+		})
+		if err != nil {
+			return respErr(seq, err)
+		}
+		return respOK(seq, 0, data)
+	case OpTenantList:
+		recs := svc.Tenants()
+		out := make([]TenantRecord, 0, len(recs))
+		for _, r := range recs {
+			out = append(out, TenantRecord{
+				ID: r.ID, Epoch: r.Epoch, Rotating: r.Rotating,
+				DataLines: r.DataLines, QuotaOps: r.QuotaOps,
+			})
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			return respErr(seq, err)
+		}
+		return respOK(seq, 0, data)
+	case OpTenantMetrics:
+		snap, err := svc.Snapshot(f.Tenant)
+		if err != nil {
+			return respFromErr(seq, err)
+		}
+		data, err := snap.MarshalIndentJSON()
+		if err != nil {
+			return respErr(seq, err)
+		}
+		return respOK(seq, 0, data)
+	default:
+		return respErr(seq, fmt.Errorf("unknown tenant op %d", f.Op))
+	}
+}

@@ -157,3 +157,37 @@ func TestPerfTablesGoldenStructure(t *testing.T) {
 		}
 	}
 }
+
+func TestTenantTablesGoldenStructure(t *testing.T) {
+	p := TenantExpParams{Ops: 800, Lines: 32, Seed: 1, TenantCounts: []int{1, 2, 4}}
+	tab, err := TenantContention(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShape(t, tab, len(p.TenantCounts))
+	// Contention column: the first cell of row i is the tenant count.
+	for i, n := range p.TenantCounts {
+		if got := tab.Row(i)[0]; got != strconv.Itoa(n) {
+			t.Fatalf("row %d tenants cell = %q, want %d", i, got, n)
+		}
+	}
+	// Fairness stays an index: (0, 1] in every row.
+	for i := range p.TenantCounts {
+		f, err := strconv.ParseFloat(tab.Row(i)[7], 64)
+		if err != nil || f <= 0 || f > 1 {
+			t.Fatalf("row %d fairness = %q (%v)", i, tab.Row(i)[7], err)
+		}
+	}
+	rot, err := TenantRotation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShape(t, rot, 2)
+	if rot.Row(0)[0] != "no rotation" || rot.Row(1)[0] != "rotation mid-run" {
+		t.Fatalf("rotation rows = %q, %q", rot.Row(0)[0], rot.Row(1)[0])
+	}
+	// The armed run must actually have swept lines.
+	if lines := rot.Row(1)[4]; lines == "0" {
+		t.Fatalf("rotation run swept no lines")
+	}
+}

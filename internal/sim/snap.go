@@ -212,6 +212,7 @@ const (
 	SnapKindController uint16 = 1 // one memctrl.Controller
 	SnapKindEngine     uint16 = 2 // a whole device.Engine
 	SnapKindTrace      uint16 = 3 // a chaos replay trace
+	SnapKindTenant     uint16 = 4 // a tenant.Service (embeds an engine checkpoint)
 )
 
 var snapMagic = [4]byte{'S', 'O', 'T', 'C'}
