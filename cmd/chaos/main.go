@@ -56,6 +56,8 @@ func main() {
 		netRun       = flag.Bool("net", false, "run the full network stack (server + fault proxy + retrying clients); combine with -sweep for the standard fault sweep")
 		netFault     = flag.String("net-fault", "clean", "fault schedule for -net: clean|latency|throttle|corrupt|reset|truncate|partition|combined")
 		netClients   = flag.Int("net-clients", 3, "concurrent clients for -net")
+		netPipeline  = flag.Int("pipeline", 0, "for -net: batch frames in flight per client (> 0 switches to the pipelined batched front end)")
+		netBatch     = flag.Int("net-batch", 0, "for -net with -pipeline: max ops per batch frame (default 8)")
 		kills        = flag.Int("kills", 0, "server kill/restart cycles mid-workload for -net")
 		verbose      = flag.Bool("v", false, "per-run progress output")
 	)
@@ -126,13 +128,15 @@ func main() {
 			fatal(fmt.Errorf("-net supports single runs and -sweep only"))
 		}
 		nbase := chaos.NetConfig{
-			Seed:    *seed,
-			Ops:     *writes,
-			Clients: *netClients,
-			Shards:  *shards,
-			Mode:    mode,
-			Kills:   *kills,
-			Logf:    base.Logf,
+			Seed:     *seed,
+			Ops:      *writes,
+			Clients:  *netClients,
+			Shards:   *shards,
+			Mode:     mode,
+			Kills:    *kills,
+			Pipeline: *netPipeline,
+			Batch:    *netBatch,
+			Logf:     base.Logf,
 		}
 		if *quick && !set["writes"] {
 			nbase.Ops = 30

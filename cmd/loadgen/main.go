@@ -10,6 +10,14 @@
 //	loadgen -addr 127.0.0.1:9650 -workload hashmap -ops 100000 -workers 4
 //	loadgen -workload btree -ops 50000 -seed 7 -snapshot snap.json
 //
+// -conns switches to the pipelined front end: each connection keeps a
+// window of batch frames in flight instead of one op. -saturation runs
+// the self-contained scale-out sweep (fresh in-process server per grid
+// point) and writes the deterministic curve, e.g. to results/saturation.md:
+//
+//	loadgen -conns 4 -pipeline 8 -batch 64 -ops 100000
+//	loadgen -saturation results/saturation.md -ops 20000
+//
 // Against a tenant-mode server (soteria-serve -tenants N), -tenants
 // switches to the multi-tenant generator: it provisions the named
 // tenants over the operator plane, runs one closed-loop stream per
@@ -49,6 +57,12 @@ func main() {
 		retries   = flag.Int("retries", 5, "max attempts per operation (-1 = unlimited within -retry-budget)")
 		budget    = flag.Duration("retry-budget", 30*time.Second, "max wall time per operation, backoff included")
 
+		conns     = flag.Int("conns", 0, "pipelined connections; > 0 switches to the windowed batching front end")
+		pipeline  = flag.Int("pipeline", 8, "batch frames in flight per pipelined connection")
+		batchSize = flag.Int("batch", 64, "max operations per batch frame")
+		satPath   = flag.String("saturation", "", "run the self-contained saturation sweep and write the deterministic curve here (- = stdout)")
+		satShards = flag.Int("saturation-shards", 8, "shard count of each sweep cell's in-process server")
+
 		tenants      = flag.Int("tenants", 0, "drive this many tenant streams against a tenant-mode server (0 = flat device)")
 		tenantLines  = flag.Uint64("tenant-lines", 256, "extent size, in 64-byte lines, of each provisioned tenant")
 		tenantTokens = flag.String("tenant-tokens", "", "comma-separated hex tokens for tenants 1..N already provisioned on the server (default: provision them here)")
@@ -73,14 +87,18 @@ func main() {
 	}
 	dial := func() (loadgen.Conn, error) { return dialClient() }
 
+	if *satPath != "" {
+		runSaturation(*satPath, *satShards, *ops, *seed, *wlName)
+		return
+	}
+
 	if *tenants > 0 {
 		runTenants(dialClient, *tenants, *tenantLines, *tenantTokens, *ops, *seed, *wlName,
 			uint32(*rotateTenant), *rotateAt, *rotateStride)
 		return
 	}
 
-	start := time.Now()
-	rep, snap, err := loadgen.Run(loadgen.Params{
+	params := loadgen.Params{
 		Dial:       dial,
 		Workers:    *workers,
 		Ops:        *ops,
@@ -89,7 +107,29 @@ func main() {
 		Footprint:  *footprint,
 		Logf:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 		Resilience: resilience,
-	})
+	}
+	if *conns > 0 {
+		params.DialPipe = func(h loadgen.PipeHandler) (loadgen.PipeConn, error) {
+			return devnet.DialPipe(*addr, devnet.PipeHandler(h), devnet.PipeOptions{
+				Options: devnet.Options{
+					OpTimeout: *opTimeout,
+					Retry: devnet.RetryPolicy{
+						MaxAttempts: *retries,
+						MaxElapsed:  *budget,
+					},
+					Telemetry: resilience,
+				},
+				Window:   *pipeline,
+				MaxBatch: *batchSize,
+			})
+		}
+		params.Conns = *conns
+		params.Pipeline = *pipeline
+		params.Batch = *batchSize
+	}
+
+	start := time.Now()
+	rep, snap, err := loadgen.Run(params)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/devnet"
+	"soteria/internal/loadgen"
+	"soteria/internal/memctrl"
+)
+
+// runSaturation sweeps the front-end scale-out grid against fresh
+// in-process servers (one per cell, so every point is independent and
+// deterministic) and writes the committed-curve markdown to path.
+// Wall-clock rates go to stderr.
+func runSaturation(path string, shards, ops int, seed int64, wlName string) {
+	start := func(cell loadgen.SaturationCell) (func() (loadgen.Conn, error), func(loadgen.PipeHandler) (loadgen.PipeConn, error), func(), error) {
+		dev, err := device.New(device.Options{
+			System:    config.TestSystem(),
+			Mode:      memctrl.ModeSRC,
+			Key:       []byte("saturation-sweep-key"),
+			Shards:    shards,
+			Telemetry: true,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		srv := devnet.NewServer(dev)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			dev.Close()
+			return nil, nil, nil, err
+		}
+		done := make(chan struct{})
+		go func() { defer close(done); srv.Serve(ln) }()
+		addr := ln.Addr().String()
+		dial := func() (loadgen.Conn, error) { return devnet.Dial(addr) }
+		dialPipe := func(h loadgen.PipeHandler) (loadgen.PipeConn, error) {
+			return devnet.DialPipe(addr, devnet.PipeHandler(h), devnet.PipeOptions{
+				Window:   cell.Pipeline,
+				MaxBatch: cell.Batch,
+			})
+		}
+		stop := func() { srv.Shutdown(); <-done; dev.Close() }
+		return dial, dialPipe, stop, nil
+	}
+
+	points, err := loadgen.RunSaturation(loadgen.SaturationParams{
+		Ops:      ops,
+		Seed:     seed,
+		Workload: wlName,
+		Start:    start,
+		Logf:     func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: saturation: %v\n", err)
+		os.Exit(1)
+	}
+
+	var buf bytes.Buffer
+	if err := loadgen.WriteSaturationMarkdown(&buf, points); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: saturation: %v\n", err)
+		os.Exit(1)
+	}
+	if path == "-" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: saturation: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: saturation curve written to %s\n", path)
+}

@@ -14,6 +14,7 @@ import (
 	"soteria/internal/memctrl"
 	"soteria/internal/netchaos"
 	"soteria/internal/nvm"
+	"soteria/internal/sim"
 	"soteria/internal/telemetry"
 )
 
@@ -39,6 +40,11 @@ type NetConfig struct {
 	// phase. FaultName names the schedule on repro lines.
 	Schedule  []netchaos.Faults
 	FaultName string
+	// Pipeline, when > 0, switches every client to the pipelined batched
+	// front end (devnet.DialPipe) with this many batch frames in flight.
+	Pipeline int
+	// Batch is the max ops per batch frame in pipelined mode (default 8).
+	Batch int
 	// OpTimeout is the per-attempt client deadline (default 1s).
 	OpTimeout time.Duration
 	// PhaseCap bounds each phase's wall time so a partition phase (no
@@ -64,6 +70,9 @@ func (cfg *NetConfig) fill() {
 	if cfg.PhaseCap <= 0 {
 		cfg.PhaseCap = 600 * time.Millisecond
 	}
+	if cfg.Pipeline > 0 && cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
 	if len(cfg.Schedule) == 0 {
 		cfg.Schedule = []netchaos.Faults{{Name: "clean"}}
 	}
@@ -80,6 +89,8 @@ func (cfg *NetConfig) fill() {
 type NetResult struct {
 	Clients      int
 	OpsPerClient int
+	Pipeline     int
+	Batch        int
 	AckedWrites  int
 	AckedReads   int
 	Kills        int
@@ -87,15 +98,16 @@ type NetResult struct {
 	Violations   []string
 
 	// Diagnostics (nondeterministic run to run).
-	Retries       uint64
-	Reconnects    uint64
-	Timeouts      uint64
-	BusyWaits     uint64
-	DedupHits     uint64
-	AppliedWrites uint64
-	Shed          uint64
-	Panics        uint64
-	Proxy         netchaos.Stats
+	Retries          uint64
+	BatchRetransmits uint64
+	Reconnects       uint64
+	Timeouts         uint64
+	BusyWaits        uint64
+	DedupHits        uint64
+	AppliedWrites    uint64
+	Shed             uint64
+	Panics           uint64
+	Proxy            netchaos.Stats
 }
 
 func (r *NetResult) violate(format string, args ...any) {
@@ -107,6 +119,9 @@ func (r *NetResult) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "net run: %d clients x %d ops, schedule [%s], %d kill/restart cycles\n",
 		r.Clients, r.OpsPerClient, strings.Join(r.Schedule, " "), r.Kills)
+	if r.Pipeline > 0 {
+		fmt.Fprintf(&b, "front end: pipelined, window %d, batch %d\n", r.Pipeline, r.Batch)
+	}
 	fmt.Fprintf(&b, "acked: %d writes, %d reads\n", r.AckedWrites, r.AckedReads)
 	if len(r.Violations) == 0 {
 		fmt.Fprintf(&b, "oracle: every acked write read back exactly, retried writes applied once\n")
@@ -121,9 +136,9 @@ func (r *NetResult) Report() string {
 // Diagnostics renders the wall-clock-dependent counters.
 func (r *NetResult) Diagnostics() string {
 	return fmt.Sprintf(
-		"diagnostics: retries %d, reconnects %d, timeouts %d, busy-waits %d, dedup-hits %d, applied-writes %d, shed %d, panics %d, proxy{conns %d refused %d resets %d corrupted %d truncated %d frames %d}",
-		r.Retries, r.Reconnects, r.Timeouts, r.BusyWaits, r.DedupHits, r.AppliedWrites, r.Shed, r.Panics,
-		r.Proxy.Conns, r.Proxy.Refused, r.Proxy.Resets, r.Proxy.CorruptedBytes, r.Proxy.TruncatedFrames, r.Proxy.FramesRelayed)
+		"diagnostics: retries %d, batch-retransmits %d, reconnects %d, timeouts %d, busy-waits %d, dedup-hits %d, applied-writes %d, shed %d, panics %d, proxy{conns %d refused %d resets %d corrupted %d truncated %d frames %d batch-frames %d}",
+		r.Retries, r.BatchRetransmits, r.Reconnects, r.Timeouts, r.BusyWaits, r.DedupHits, r.AppliedWrites, r.Shed, r.Panics,
+		r.Proxy.Conns, r.Proxy.Refused, r.Proxy.Resets, r.Proxy.CorruptedBytes, r.Proxy.TruncatedFrames, r.Proxy.FramesRelayed, r.Proxy.BatchFrames)
 }
 
 // NetRepro renders the cmd/chaos invocation that replays cfg.
@@ -132,8 +147,12 @@ func NetRepro(cfg NetConfig) string {
 	if name == "" {
 		name = "clean"
 	}
-	return fmt.Sprintf("go run ./cmd/chaos -net -seed %d -net-fault %s -writes %d -net-clients %d -kills %d -mode %s",
+	repro := fmt.Sprintf("go run ./cmd/chaos -net -seed %d -net-fault %s -writes %d -net-clients %d -kills %d -mode %s",
 		cfg.Seed, name, cfg.Ops, cfg.Clients, cfg.Kills, ModeFlag(cfg.Mode))
+	if cfg.Pipeline > 0 {
+		repro += fmt.Sprintf(" -pipeline %d -net-batch %d", cfg.Pipeline, cfg.Batch)
+	}
+	return repro
 }
 
 // netClient is one workload driver: a resilient client with a private
@@ -142,6 +161,7 @@ func NetRepro(cfg NetConfig) string {
 type netClient struct {
 	c    *devnet.Client
 	id   int
+	opts devnet.Options
 	rng  *rand.Rand
 	last map[int]nvm.Line // slot -> last acknowledged content
 	base uint64
@@ -160,7 +180,8 @@ func (w *netClient) addr(slot int) uint64 {
 // leaked in, breaks the equality).
 func NetRun(cfg NetConfig) (*NetResult, error) {
 	cfg.fill()
-	res := &NetResult{Clients: cfg.Clients, OpsPerClient: cfg.Ops, Kills: cfg.Kills}
+	res := &NetResult{Clients: cfg.Clients, OpsPerClient: cfg.Ops, Kills: cfg.Kills,
+		Pipeline: cfg.Pipeline, Batch: cfg.Batch}
 	for _, f := range cfg.Schedule {
 		res.Schedule = append(res.Schedule, f.String())
 	}
@@ -201,7 +222,7 @@ func NetRun(cfg NetConfig) (*NetResult, error) {
 		if sid == 0 {
 			sid = uint64(i) + 1
 		}
-		c, err := devnet.DialWith(proxy.Addr(), devnet.Options{
+		opts := devnet.Options{
 			OpTimeout: cfg.OpTimeout,
 			Retry: devnet.RetryPolicy{
 				MaxAttempts: -1,
@@ -213,18 +234,25 @@ func NetRun(cfg NetConfig) (*NetResult, error) {
 			Session:   sid,
 			Seed:      cfg.Seed*31 + int64(i) + 1,
 			Telemetry: clientReg,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("chaos: dial client %d: %w", i, err)
 		}
-		defer c.Close()
 		workers[i] = &netClient{
-			c:    c,
 			id:   i,
+			opts: opts,
 			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
 			last: map[int]nvm.Line{},
 			base: uint64(i) * 1024,
 		}
+		if cfg.Pipeline > 0 {
+			// The pipe is single-goroutine; each worker dials its own
+			// inside its goroutine.
+			continue
+		}
+		c, err := devnet.DialWith(proxy.Addr(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: dial client %d: %w", i, err)
+		}
+		defer c.Close()
+		workers[i].c = c
 	}
 
 	// Shared progress counter: the driver advances phases and schedules
@@ -247,6 +275,10 @@ func NetRun(cfg NetConfig) (*NetResult, error) {
 		wg.Add(1)
 		go func(w *netClient) {
 			defer wg.Done()
+			if cfg.Pipeline > 0 {
+				w.runPipelined(&cfg, proxy.Addr(), addViolation, &acked, &ackedWrites, &ackedReads)
+				return
+			}
 			for j := 0; j < cfg.Ops; j++ {
 				slot := w.rng.Intn(netWorkingSet)
 				_, written := w.last[slot]
@@ -294,6 +326,7 @@ func NetRun(cfg NetConfig) (*NetResult, error) {
 			}
 			time.Sleep(20 * time.Millisecond)
 			if err := sup.Restart(); err != nil {
+				cfg.Logf("chaos: restart cycle %d failed: %v", killIdx, err)
 				addViolation("restart cycle %d: %v", killIdx, err)
 				return
 			}
@@ -362,6 +395,7 @@ func NetRun(cfg NetConfig) (*NetResult, error) {
 	res.AckedReads = int(ackedReads.Load())
 	res.Kills = sup.Kills()
 	res.Retries = clientReg.Counter("devnet_client_retries_total").Value()
+	res.BatchRetransmits = clientReg.Counter("devnet_client_batch_retransmits_total").Value()
 	res.Reconnects = clientReg.Counter("devnet_client_reconnects_total").Value()
 	res.Timeouts = clientReg.Counter("devnet_client_timeouts_total").Value()
 	res.BusyWaits = clientReg.Counter("devnet_client_busy_waits_total").Value()
@@ -381,7 +415,84 @@ func NetRun(cfg NetConfig) (*NetResult, error) {
 	if len(res.Violations) == 0 && res.AckedWrites+res.AckedReads != int(total) {
 		res.violate("acked %d ops, planned %d", res.AckedWrites+res.AckedReads, total)
 	}
+	// A pipelined run must actually exercise the batched wire path (this
+	// also pins the proxy's mirrored batch-op classifier to the protocol).
+	if cfg.Pipeline > 0 && res.Proxy.BatchFrames == 0 {
+		res.violate("pipelined run relayed no batch frames through the proxy")
+	}
 	return res, nil
+}
+
+// runPipelined drives one client's workload through a windowed batching
+// pipe. Ordering contract: the pipe pipelines freely across slots but
+// each slot is serialized here (a slot's next op is only submitted after
+// its previous one completed), so read-your-write per slot holds and
+// w.last stays the per-slot acknowledged-content oracle. The completion
+// handler runs on this goroutine (inside Submit/Wait/Flush), so the
+// slot state needs no locks.
+func (w *netClient) runPipelined(cfg *NetConfig, addr string,
+	addViolation func(format string, args ...any),
+	acked, ackedWrites, ackedReads *atomic.Int64) {
+	var busy [netWorkingSet]bool
+	var pending [netWorkingSet]nvm.Line
+	var opFail error
+	p, err := devnet.DialPipe(addr, func(tag uint64, op uint8, data *nvm.Line, _ sim.Time, err error) {
+		slot := int(tag)
+		if err != nil {
+			if opFail == nil {
+				opFail = fmt.Errorf("slot %d: %w", slot, err)
+			}
+		} else {
+			switch op {
+			case device.BatchWrite:
+				w.last[slot] = pending[slot]
+				ackedWrites.Add(1)
+			case device.BatchRead:
+				if *data != w.last[slot] {
+					addViolation("client %d slot %d: pipelined read returned data != last acknowledged write", w.id, slot)
+				}
+				ackedReads.Add(1)
+			}
+		}
+		busy[slot] = false
+		acked.Add(1)
+	}, devnet.PipeOptions{Options: w.opts, Window: cfg.Pipeline, MaxBatch: cfg.Batch})
+	if err != nil {
+		addViolation("client %d: pipelined dial: %v", w.id, err)
+		return
+	}
+	defer p.Close()
+	for j := 0; j < cfg.Ops && opFail == nil; j++ {
+		slot := w.rng.Intn(netWorkingSet)
+		for busy[slot] && opFail == nil {
+			if err := p.Wait(); err != nil && opFail == nil {
+				opFail = err
+			}
+		}
+		if opFail != nil {
+			break
+		}
+		_, written := w.last[slot]
+		if !written || j%3 != 2 {
+			pending[slot] = lineFor(cfg.Seed, w.id*1_000_000+j)
+			busy[slot] = true
+			err = p.Submit(uint64(slot), device.BatchWrite, w.addr(slot), &pending[slot])
+		} else {
+			busy[slot] = true
+			err = p.Submit(uint64(slot), device.BatchRead, w.addr(slot), nil)
+		}
+		if err != nil && opFail == nil {
+			opFail = err
+		}
+	}
+	if opFail == nil {
+		if err := p.Flush(); err != nil {
+			opFail = err
+		}
+	}
+	if opFail != nil {
+		addViolation("client %d: pipelined workload failed through retries: %v", w.id, opFail)
+	}
 }
 
 // NetFaultSchedule maps a -net-fault flag value to a fault schedule.

@@ -114,6 +114,11 @@ type Device struct {
 	// out in-flight senders before stopping the workers.
 	subMu sync.RWMutex
 	wg    sync.WaitGroup
+
+	// batchPool recycles ExecBatch's per-call scratch (per-shard groups
+	// and their reusable requests) so steady-state batched execution
+	// allocates nothing.
+	batchPool sync.Pool
 }
 
 // shardSystem validates the sharding geometry (fill defaults, line

@@ -81,6 +81,9 @@ type Engine struct {
 
 	execSeq []uint64
 	traces  [][]TraceEvent
+
+	// bids is ExecBatch's transaction-ID scratch, reused across calls.
+	bids []uint64
 }
 
 // engineShardEnv adapts the Engine to the shardEnv contract with

@@ -1,0 +1,5 @@
+//go:build !race
+
+package device_test
+
+const raceEnabled = false

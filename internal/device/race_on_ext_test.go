@@ -1,0 +1,7 @@
+//go:build race
+
+package device_test
+
+// raceEnabled skips allocation-count assertions under the race
+// detector, whose runtime instrumentation allocates.
+const raceEnabled = true

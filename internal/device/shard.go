@@ -26,6 +26,11 @@ const (
 	opStats
 	opHook
 	opStop
+	// opBatch carries one shard's slice of an ExecBatch call: the worker
+	// coalesces and executes exactly that group as a unit (batch.go). It
+	// is never serialized into a Txn, so appending it here leaves the
+	// checkpointed data-plane opcodes (opRead..opDrain) untouched.
+	opBatch
 )
 
 // request is one unit of work on a shard queue. addr is shard-local.
@@ -36,6 +41,14 @@ type request struct {
 	hook  inject.Hook
 	epoch uint64
 	resp  chan response // buffered(1): the worker never blocks responding
+
+	// opBatch only: this shard's slice of one ExecBatch call — shard-local
+	// ops, their original indices, and the batch's shared result slice
+	// (shards own disjoint index sets, so concurrent workers never write
+	// the same slot).
+	bops []BatchOp
+	bidx []int32
+	bres []BatchResult
 }
 
 // response carries everything any opcode can return.
@@ -62,6 +75,13 @@ type shard struct {
 	supersededBy map[int]int
 	lastWrite    map[uint64]int
 	results      []response
+
+	// execBatch scratch (worker-only, separate from the runBatch maps
+	// because execBatch runs inside runBatch's execution loop) plus a
+	// reusable per-op request so the batch loop allocates nothing.
+	bSupersededBy map[int]int
+	bLastWrite    map[uint64]int
+	breq          request
 
 	// svc estimates wall-clock nanoseconds per request for retry hints.
 	svc ewma
@@ -159,6 +179,13 @@ func (s *shard) runBatch(batch []*request) bool {
 		}
 		if r.op == opStop {
 			stopAt = i
+			continue
+		}
+		if r.op == opBatch {
+			// A wire batch's shard group: coalesced and executed as its
+			// own unit, with per-op outcomes written straight into the
+			// batch's result slice (batch.go).
+			results[i] = s.execBatch(r)
 			continue
 		}
 		start := time.Now()

@@ -1,0 +1,261 @@
+package devnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+)
+
+func batchTestLine(addr uint64, salt byte) nvm.Line {
+	var l nvm.Line
+	for i := range l {
+		l[i] = byte(addr>>uint(8*(i%8))) ^ salt ^ byte(i)
+	}
+	return l
+}
+
+// buildBatchFrame encodes a full sealed batch frame for the given ops.
+func buildBatchFrame(session, seq uint64, ops []device.BatchOp) []byte {
+	buf := newBatchFrame(nil, session)
+	for i := range ops {
+		buf = appendBatchOp(buf, ops[i].Op, ops[i].Addr, &ops[i].Line)
+	}
+	sealBatchFrame(buf, seq, len(ops))
+	return buf
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	ops := []device.BatchOp{
+		{Op: device.BatchWrite, Addr: 0, Line: batchTestLine(0, 1)},
+		{Op: device.BatchRead, Addr: 64},
+		{Op: device.BatchDrain, Addr: 128},
+		{Op: device.BatchWrite, Addr: 192, Line: batchTestLine(192, 2)},
+	}
+	buf := buildBatchFrame(42, 7, ops)
+
+	// The sealed buffer must be a valid frame end to end.
+	payload, err := readFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := parseRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.op != OpBatch || req.session != 42 || req.seq != 7 {
+		t.Fatalf("request header = (%d, %d, %d)", req.op, req.session, req.seq)
+	}
+	got, err := decodeBatchOps(req.body, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i].Op != ops[i].Op || got[i].Addr != ops[i].Addr {
+			t.Fatalf("op %d decoded as %+v", i, got[i])
+		}
+		if ops[i].Op == device.BatchWrite && got[i].Line != ops[i].Line {
+			t.Fatalf("op %d line corrupted", i)
+		}
+	}
+}
+
+func TestDecodeBatchOpsRejects(t *testing.T) {
+	valid := buildBatchFrame(1, 1, []device.BatchOp{{Op: device.BatchRead, Addr: 64}})
+	body := valid[frameHeaderSize+reqHeaderSize:]
+
+	cases := map[string][]byte{
+		"short body":       {0, 0},
+		"zero count":       {0, 0, 0, 0},
+		"huge count":       {0xff, 0xff, 0xff, 0xff, 1, 0, 0, 0, 0, 0, 0, 0, 0},
+		"truncated entry":  body[:len(body)-3],
+		"unknown op":       append([]byte{0, 0, 0, 1}, 9, 0, 0, 0, 0, 0, 0, 0, 0),
+		"trailing bytes":   append(append([]byte{}, body...), 0xaa),
+		"truncated write":  append([]byte{0, 0, 0, 1}, device.BatchWrite, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3),
+		"count over limit": {0, 0, 0x20, 0x01, device.BatchRead, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, b := range cases {
+		if _, err := decodeBatchOps(b, nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else {
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Errorf("%s: rejection is %T, want *FrameError", name, err)
+			}
+		}
+	}
+}
+
+func TestBatchResultsIterator(t *testing.T) {
+	line := batchTestLine(64, 3)
+	out := putU32(nil, 3)
+	out = appendBatchResult(out, StatusOK, 1234, line[:])
+	out = appendBatchResult(out, StatusOK, 56, nil)
+	out = appendBatchErr(out, &device.BusyError{Shard: 2, Pending: 9})
+
+	it, err := parseBatchResults(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, lat, body, err := it.next()
+	if err != nil || st != StatusOK || lat != 1234 || !bytes.Equal(body, line[:]) {
+		t.Fatalf("entry 0 = (%d, %d, %d bytes, %v)", st, lat, len(body), err)
+	}
+	st, _, body, err = it.next()
+	if err != nil || st != StatusOK || len(body) != 0 {
+		t.Fatalf("entry 1 = (%d, %d bytes, %v)", st, len(body), err)
+	}
+	st, _, body, err = it.next()
+	if err != nil || st != StatusBusy {
+		t.Fatalf("entry 2 = (%d, %v)", st, err)
+	}
+	busy := statusError(st, body)
+	var be *device.BusyError
+	if !errors.As(busy, &be) || be.Shard != 2 || be.Pending != 9 {
+		t.Fatalf("busy decoded as %v", busy)
+	}
+	if it.remaining() != 0 || it.trailing() != 0 {
+		t.Fatal("iterator not fully consumed")
+	}
+	if _, _, _, err := it.next(); err == nil {
+		t.Fatal("next past the end did not fail")
+	}
+
+	// Truncated mid-entry.
+	if it, err := parseBatchResults(out[:6]); err == nil {
+		if _, _, _, err := it.next(); err == nil {
+			t.Fatal("truncated entry accepted")
+		}
+	}
+}
+
+// TestBatchCodecAllocs pins the zero-copy encode/decode contract: once
+// buffers are warm, encoding and decoding a batch frame allocates
+// nothing.
+func TestBatchCodecAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	const n = 64
+	ops := make([]device.BatchOp, n)
+	for i := range ops {
+		addr := uint64(i) * 64
+		if i%4 == 3 {
+			ops[i] = device.BatchOp{Op: device.BatchRead, Addr: addr}
+		} else {
+			ops[i] = device.BatchOp{Op: device.BatchWrite, Addr: addr, Line: batchTestLine(addr, 5)}
+		}
+	}
+	var buf []byte
+	var dst []device.BatchOp
+	encodeDecode := func() {
+		buf = newBatchFrame(buf, 77)
+		for i := range ops {
+			buf = appendBatchOp(buf, ops[i].Op, ops[i].Addr, &ops[i].Line)
+		}
+		sealBatchFrame(buf, 9, n)
+		var err error
+		dst, err = decodeBatchOps(buf[frameHeaderSize+reqHeaderSize:], dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dst) != n {
+			t.Fatal("decode lost ops")
+		}
+	}
+	encodeDecode() // warm the buffers
+	if allocs := testing.AllocsPerRun(50, encodeDecode); allocs > 0 {
+		t.Fatalf("batch encode+decode allocates %.2f per frame, want 0", allocs)
+	}
+}
+
+// TestServerBatchDispatchAllocs pins the server-side steady state: a
+// session-0 batch frame pushed straight through dispatch (decode, device
+// execution, response build) must not allocate per op.
+func TestServerBatchDispatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	dev, err := device.New(device.Options{
+		System: config.TestSystem(),
+		Mode:   memctrl.ModeSRC,
+		Key:    []byte("dispatch-alloc-key"),
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	s := NewServer(dev)
+
+	const n = 32
+	ops := make([]device.BatchOp, n)
+	for i := range ops {
+		addr := uint64(i) * 64
+		if i%4 == 3 {
+			ops[i] = device.BatchOp{Op: device.BatchRead, Addr: addr}
+		} else {
+			ops[i] = device.BatchOp{Op: device.BatchWrite, Addr: addr, Line: batchTestLine(addr, 9)}
+		}
+	}
+	frame := buildBatchFrame(0, 1, ops) // session 0: no dedup caching
+	payload := frame[frameHeaderSize:]
+
+	var bound uint32
+	var bs batchScratch
+	// Prime every line (the read slots too) so reads return known bytes.
+	prime := make([]device.BatchOp, n)
+	for i := range prime {
+		addr := uint64(i) * 64
+		prime[i] = device.BatchOp{Op: device.BatchWrite, Addr: addr, Line: batchTestLine(addr, 9)}
+	}
+	if resp := s.dispatch(buildBatchFrame(0, 2, prime)[frameHeaderSize:], &bound, &bs); resp[0] != StatusOK {
+		t.Fatalf("prime batch status %d", resp[0])
+	}
+	run := func() {
+		resp := s.dispatch(payload, &bound, &bs)
+		if resp[0] != StatusOK {
+			t.Fatalf("batch dispatch status %d", resp[0])
+		}
+	}
+	for i := 0; i < 16; i++ {
+		run() // warm scratch, metadata caches, NVM backing lines
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	if perOp := allocs / n; perOp >= 0.25 {
+		t.Fatalf("dispatch allocates %.2f per batch (%.3f per op), want ~0", allocs, perOp)
+	}
+
+	// And the response must carry a per-op result for every op.
+	resp := s.dispatch(payload, &bound, &bs)
+	wr, err := parseResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := parseBatchResults(wr.body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		st, _, body, err := it.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != StatusOK {
+			t.Fatalf("op %d status %d (%s)", i, st, body)
+		}
+		if ops[i].Op == device.BatchRead {
+			want := batchTestLine(ops[i].Addr, 9)
+			if !bytes.Equal(body, want[:]) {
+				t.Fatalf("op %d read wrong data", i)
+			}
+		}
+	}
+}

@@ -96,6 +96,13 @@ type Client struct {
 	seq  uint64
 	rng  *mrand.Rand
 
+	// req and rbuf are the pooled request/receive buffers: a client in
+	// steady state allocates nothing per data op. Response bodies alias
+	// rbuf and are valid only until the next operation, so accessors
+	// that return bytes to the caller copy first.
+	req  []byte
+	rbuf []byte
+
 	// attached/tenantID/tenantTok hold the tenant binding, replayed on
 	// every reconnect (the binding is per-connection on the server).
 	attached  bool
@@ -193,8 +200,36 @@ func (c *Client) do(opName string, op uint8, body []byte) (sim.Time, []byte, err
 	defer c.mu.Unlock()
 	c.seq++
 	seq := c.seq
-	req := append(encodeRequest(op, c.opts.Session, seq, len(body)), body...)
+	c.req = c.req[:0]
+	c.req = append(c.req, op)
+	c.req = putU64(c.req, c.opts.Session)
+	c.req = putU64(c.req, seq)
+	c.req = append(c.req, body...)
+	return c.retryLoop(opName, c.req, seq)
+}
 
+// doAddr is do for the addr(+line) data ops, encoding the body straight
+// into the pooled request buffer so the hot path builds no intermediate
+// body slice.
+func (c *Client) doAddr(opName string, op uint8, addr uint64, line *nvm.Line) (sim.Time, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	seq := c.seq
+	c.req = c.req[:0]
+	c.req = append(c.req, op)
+	c.req = putU64(c.req, c.opts.Session)
+	c.req = putU64(c.req, seq)
+	c.req = putU64(c.req, addr)
+	if line != nil {
+		c.req = append(c.req, line[:]...)
+	}
+	return c.retryLoop(opName, c.req, seq)
+}
+
+// retryLoop drives one encoded request to success, fatal failure, or
+// budget exhaustion. Called with c.mu held.
+func (c *Client) retryLoop(opName string, req []byte, seq uint64) (sim.Time, []byte, error) {
 	start := time.Now()
 	pol := c.opts.Retry
 	backoff := pol.BaseBackoff
@@ -277,7 +312,7 @@ func (c *Client) attempt(req []byte, seq uint64) (sim.Time, []byte, error) {
 	if err := writeFrame(c.conn, req); err != nil {
 		return 0, nil, c.noteTimeout(fmt.Errorf("devnet: send: %w", err))
 	}
-	payload, err := readFrame(c.conn)
+	payload, err := readFrameInto(c.conn, &c.rbuf)
 	if err != nil {
 		return 0, nil, c.noteTimeout(fmt.Errorf("devnet: receive: %w", err))
 	}
@@ -394,7 +429,7 @@ func (c *Client) Health() (Health, error) {
 // Read services one 64-byte read.
 func (c *Client) Read(addr uint64) (nvm.Line, sim.Time, error) {
 	var line nvm.Line
-	lat, body, err := c.do("read", OpRead, putU64(nil, addr))
+	lat, body, err := c.doAddr("read", OpRead, addr, nil)
 	if err != nil {
 		return line, 0, err
 	}
@@ -410,15 +445,13 @@ func (c *Client) Read(addr uint64) (nvm.Line, sim.Time, error) {
 // server acknowledges a duplicate of an already-committed write from
 // its dedup window without applying it again.
 func (c *Client) Write(addr uint64, data *nvm.Line) (sim.Time, error) {
-	body := putU64(make([]byte, 0, 8+nvm.LineSize), addr)
-	body = append(body, data[:]...)
-	lat, _, err := c.do("write", OpWrite, body)
+	lat, _, err := c.doAddr("write", OpWrite, addr, data)
 	return lat, err
 }
 
 // Drain waits until the shard owning addr has drained its WPQ.
 func (c *Client) Drain(addr uint64) error {
-	_, _, err := c.do("drain", OpDrain, putU64(nil, addr))
+	_, _, err := c.doAddr("drain", OpDrain, addr, nil)
 	return err
 }
 
@@ -452,5 +485,9 @@ func (c *Client) Recover() (*device.RecoveryReport, error) {
 // Snapshot().MarshalIndentJSON()).
 func (c *Client) SnapshotJSON() ([]byte, error) {
 	_, body, err := c.do("snapshot", OpSnapshot, nil)
-	return body, err
+	if err != nil {
+		return nil, err
+	}
+	// body aliases the pooled receive buffer; hand the caller a copy.
+	return append([]byte(nil), body...), nil
 }

@@ -23,7 +23,7 @@ func (c *Client) sendAttach() error {
 	if err := writeFrame(c.conn, req); err != nil {
 		return c.noteTimeout(fmt.Errorf("devnet: attach send: %w", err))
 	}
-	payload, err := readFrame(c.conn)
+	payload, err := readFrameInto(c.conn, &c.rbuf)
 	if err != nil {
 		return c.noteTimeout(fmt.Errorf("devnet: attach receive: %w", err))
 	}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"soteria/internal/device"
 )
 
 // frameBytes renders a valid frame for the seed corpus.
@@ -156,6 +158,104 @@ func FuzzTenantFrame(f *testing.F) {
 		}
 		if back != frame {
 			t.Fatal("frame not stable across re-encode")
+		}
+	})
+}
+
+// batchFuzzFrame builds a loadgen-shaped batch frame for the fuzz seed
+// corpus: the generator's 3:1 write:read mix with periodic drains.
+func batchFuzzFrame(session, seq uint64, count int) []byte {
+	buf := newBatchFrame(nil, session)
+	for i := 0; i < count; i++ {
+		addr := uint64(i) * 64
+		switch {
+		case i%4 == 3:
+			buf = appendBatchOp(buf, device.BatchRead, addr, nil)
+		case i%16 == 8:
+			buf = appendBatchOp(buf, device.BatchDrain, addr, nil)
+		default:
+			line := batchTestLine(addr, byte(seq))
+			buf = appendBatchOp(buf, device.BatchWrite, addr, &line)
+		}
+	}
+	sealBatchFrame(buf, seq, count)
+	return buf
+}
+
+// FuzzDecodeBatchFrame drives arbitrary byte streams through the full
+// v3 inbound path — framing, request parsing, batch-body decoding — and
+// the response-side result iterator. The invariants: no panic; every
+// rejection of a framed batch body is a typed *FrameError; and any
+// accepted batch body must re-encode byte-identically (the decoder
+// accepts exactly the encoder's language, nothing more).
+func FuzzDecodeBatchFrame(f *testing.F) {
+	// Well-formed frames at loadgen-typical batch sizes.
+	f.Add(batchFuzzFrame(1, 1, 1))
+	f.Add(batchFuzzFrame(7, 3, 8))
+	f.Add(batchFuzzFrame(42, 9, 64))
+	f.Add(batchFuzzFrame(0, 2, 17))
+	// A batch response frame exercises the result iterator side.
+	f.Add(func() []byte {
+		line := batchTestLine(64, 1)
+		body := putU32(nil, 3)
+		body = appendBatchResult(body, StatusOK, 1234, line[:])
+		body = appendBatchResult(body, StatusOK, 77, nil)
+		body = appendBatchErr(body, &device.BusyError{Shard: 1, Pending: 3})
+		resp := append(respOK(5, 0, nil), body...)
+		return frameBytes(resp)
+	}())
+	// Mutilated variants: truncated mid-entry, corrupted count, bad op.
+	f.Add(batchFuzzFrame(1, 1, 4)[:frameHeaderSize+reqHeaderSize+7])
+	f.Add(func() []byte {
+		b := batchFuzzFrame(1, 1, 4)
+		b[frameHeaderSize+reqHeaderSize+3] = 0xff // count low byte
+		return b
+	}())
+	f.Add(func() []byte {
+		b := batchFuzzFrame(1, 1, 4)
+		b[batchBodyOff] = 0x99 // first entry's op code
+		return b
+	}())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if req, err := parseRequest(payload); err == nil && req.op == OpBatch {
+			ops, derr := decodeBatchOps(req.body, nil)
+			if derr != nil {
+				var fe *FrameError
+				if !errors.As(derr, &fe) {
+					t.Fatalf("batch rejection is %T (%v), want *FrameError", derr, derr)
+				}
+				return
+			}
+			// Accepted: re-encoding the decoded ops must reproduce the
+			// original frame bit for bit (header, seq, count, entries).
+			re := newBatchFrame(nil, req.session)
+			for i := range ops {
+				re = appendBatchOp(re, ops[i].Op, ops[i].Addr, &ops[i].Line)
+			}
+			sealBatchFrame(re, req.seq, len(ops))
+			orig := data[:frameHeaderSize+len(payload)]
+			if !bytes.Equal(re, orig) {
+				t.Fatal("accepted batch frame did not round-trip byte-identically")
+			}
+		}
+		// Response-side: the result iterator must consume any StatusOK
+		// body without panicking, stopping cleanly at the first defect.
+		if resp, err := parseResponse(payload); err == nil && resp.status == StatusOK {
+			if it, err := parseBatchResults(resp.body); err == nil {
+				for {
+					if _, _, _, err := it.next(); err != nil {
+						break
+					}
+					if it.remaining() == 0 {
+						break
+					}
+				}
+			}
 		}
 	})
 }

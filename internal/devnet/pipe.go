@@ -1,0 +1,671 @@
+package devnet
+
+import (
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"time"
+
+	"soteria/internal/device"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+	"soteria/internal/telemetry"
+)
+
+// PipeOptions configures a pipelined client.
+type PipeOptions struct {
+	Options
+
+	// Window is how many sealed batches may be awaiting responses at
+	// once. Default 8; clamped to the server's dedup window (16) so a
+	// go-back-N retransmit can always be answered from cache.
+	Window int
+	// MaxBatch caps ops per batch frame; a full batch is sealed and sent
+	// automatically. Default 64.
+	MaxBatch int
+}
+
+// PipeHandler receives the outcome of one submitted op. data is non-nil
+// only for a successful BatchRead and aliases the receive buffer: it is
+// valid only for the duration of the call (copy it to keep it). lat is
+// the simulated device latency. err, when non-nil, is the same typed
+// error surface a stop-and-wait Client returns; an op that exhausted its
+// retry budget arrives wrapped in *OpError.
+type PipeHandler func(tag uint64, op uint8, data *nvm.Line, lat sim.Time, err error)
+
+// pendOp tracks one submitted op: the caller's tag, the op code, how
+// many times it has been sent in a batch that executed, and the byte
+// span [off, off+n) of its encoded entry inside its batch's buffer so a
+// retry can re-transcribe it without re-encoding.
+type pendOp struct {
+	tag      uint64
+	op       uint8
+	attempts int
+	off, n   int
+}
+
+// pbatch is one batch frame: the sealed wire bytes (frame header
+// included, one conn.Write) and the ops inside it, in entry order.
+type pbatch struct {
+	seq uint64
+	buf []byte
+	ops []pendOp
+}
+
+// retryQueue accumulates ops that failed retryably inside an executed
+// batch. Entry bytes are copied out of the dying batch's buffer so the
+// batch can be recycled immediately.
+type retryQueue struct {
+	ops []pendOp
+	buf []byte
+}
+
+// Pipe is a pipelined batched client: ops are submitted asynchronously,
+// packed into OpBatch frames, and up to Window frames ride the
+// connection at once, so throughput is bounded by the wire and the
+// device instead of by round-trips. Outcomes are delivered to the
+// PipeHandler exactly once per submitted op, in batch order.
+//
+// Resilience mirrors the stop-and-wait Client but is window-aware:
+//
+//   - A transport failure, a sequence mismatch, or a batch-level
+//     retryable status drops the connection and, after backoff, redials
+//     and retransmits every unanswered batch in order (go-back-N). The
+//     server's dedup window replays results for any batch that already
+//     executed, so retransmits never re-apply writes. These count as
+//     devnet_client_batch_retransmits_total, NOT as op retries.
+//   - An op that failed retryably inside an executed batch (shard busy,
+//     retired by a crash, down with RetryDown) was never applied; it is
+//     re-enqueued into a later batch under a NEW sequence number after
+//     the policy's backoff. Only these increment
+//     devnet_client_retries_total.
+//
+// A Pipe is not safe for concurrent use; everything (including handler
+// callbacks) runs on the calling goroutine. Responses in one batch are
+// delivered before the next batch's, but ops in flight concurrently are
+// unordered relative to each other on the server — callers that need
+// read-your-write per key must not have two ops for the same key in
+// flight at once.
+type Pipe struct {
+	addr string
+	opts PipeOptions
+	h    PipeHandler
+
+	conn net.Conn
+	seq  uint64
+	rng  *mrand.Rand
+	err  error // sticky fatal error; set once, delivered to all pending ops
+
+	cur      *pbatch   // open batch accepting Submits (nil when empty)
+	inflight []*pbatch // sealed, sent, awaiting responses; FIFO by seq
+	free     []*pbatch // recycled batches
+	rbuf     []byte    // pooled receive buffer
+
+	// Double-buffered retry queues: deliver() appends to retry while
+	// flushRetries drains the other, so a retry queued during a nested
+	// receive never corrupts the drain in progress.
+	retry      retryQueue
+	retrySpare retryQueue
+	retryWait  time.Duration // max backoff owed before the next retry flush
+
+	opRetries   *telemetry.Counter
+	retransmits *telemetry.Counter
+	reconnects  *telemetry.Counter
+	timeouts    *telemetry.Counter
+	busyWaits   *telemetry.Counter
+	gaveUp      *telemetry.Counter
+	backoffNS   *telemetry.Histogram
+}
+
+var errPipeClosed = errors.New("devnet: pipe closed")
+
+// DialPipe connects a pipelined client. The handler is required; the
+// first connection is established eagerly.
+func DialPipe(addr string, h PipeHandler, opts PipeOptions) (*Pipe, error) {
+	if h == nil {
+		return nil, errors.New("devnet: DialPipe requires a handler")
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.OpTimeout <= 0 {
+		opts.OpTimeout = 30 * time.Second
+	}
+	opts.Retry.fill()
+	if opts.Session == 0 {
+		opts.Session = randomSession()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = int64(opts.Session)
+	}
+	if opts.Window <= 0 {
+		opts.Window = 8
+	}
+	if opts.Window > 16 {
+		// The server's dedup window defaults to 16 responses per session;
+		// more batches in flight than that and a go-back-N retransmit
+		// could miss the cache and re-execute a committed batch.
+		opts.Window = 16
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	if opts.MaxBatch > maxBatchOps {
+		opts.MaxBatch = maxBatchOps
+	}
+	p := &Pipe{addr: addr, opts: opts, h: h, rng: mrand.New(mrand.NewSource(opts.Seed))}
+	reg := opts.Telemetry
+	p.opRetries = reg.Counter("devnet_client_retries_total")
+	p.retransmits = reg.Counter("devnet_client_batch_retransmits_total")
+	p.reconnects = reg.Counter("devnet_client_reconnects_total")
+	p.timeouts = reg.Counter("devnet_client_timeouts_total")
+	p.busyWaits = reg.Counter("devnet_client_busy_waits_total")
+	p.gaveUp = reg.Counter("devnet_client_gave_up_total")
+	p.backoffNS = reg.Histogram("devnet_client_retry_backoff_ns", telemetry.ExpBounds(40))
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	p.conn = conn
+	return p, nil
+}
+
+// Session returns the pipe's dedup session id.
+func (p *Pipe) Session() uint64 { return p.opts.Session }
+
+func (p *Pipe) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}
+
+// Submit enqueues one op. op is a device.Batch* code; line is required
+// for BatchWrite. The op's outcome arrives via the handler during a
+// later Submit, Kick, Wait, or Flush call. A non-nil return means the
+// pipe has failed fatally (the handler has already seen every pending
+// op's error).
+func (p *Pipe) Submit(tag uint64, op uint8, addr uint64, line *nvm.Line) error {
+	if p.err != nil {
+		return p.err
+	}
+	switch op {
+	case device.BatchRead, device.BatchDrain:
+	case device.BatchWrite:
+		if line == nil {
+			return errors.New("devnet: Submit: write without a line")
+		}
+	default:
+		return fmt.Errorf("devnet: Submit: unknown batch op %d", op)
+	}
+	if len(p.retry.ops) > 0 {
+		if err := p.flushRetries(); err != nil {
+			return err
+		}
+	}
+	b := p.ensureCur()
+	off := len(b.buf)
+	b.buf = appendBatchOp(b.buf, op, addr, line)
+	b.ops = append(b.ops, pendOp{tag: tag, op: op, attempts: 1, off: off, n: len(b.buf) - off})
+	if len(b.ops) >= p.opts.MaxBatch {
+		return p.seal()
+	}
+	return nil
+}
+
+// Kick seals and sends the open batch (if any) without waiting for
+// responses, after flushing any owed retries.
+func (p *Pipe) Kick() error {
+	if p.err != nil {
+		return p.err
+	}
+	if err := p.flushRetries(); err != nil {
+		return err
+	}
+	return p.seal()
+}
+
+// Wait makes progress: it seals pending work if nothing is in flight,
+// then receives one batch's responses (delivering their outcomes). Use
+// it to pace an open loop — e.g. spin Wait until a busy slot frees.
+func (p *Pipe) Wait() error {
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.inflight) == 0 {
+		if err := p.flushRetries(); err != nil {
+			return err
+		}
+		if err := p.seal(); err != nil {
+			return err
+		}
+	}
+	if len(p.inflight) > 0 {
+		return p.recvOne()
+	}
+	return nil
+}
+
+// Flush drives everything submitted so far — current batch, in-flight
+// batches, queued retries — to a delivered outcome.
+func (p *Pipe) Flush() error {
+	for {
+		if p.err != nil {
+			return p.err
+		}
+		if len(p.inflight) == 0 && (p.cur == nil || len(p.cur.ops) == 0) && len(p.retry.ops) == 0 {
+			return nil
+		}
+		if err := p.Wait(); err != nil {
+			return err
+		}
+	}
+}
+
+// Close tears the pipe down. Pending ops (if any) are failed to the
+// handler; call Flush first for a clean shutdown.
+func (p *Pipe) Close() error {
+	if p.err == nil {
+		if len(p.inflight) > 0 || (p.cur != nil && len(p.cur.ops) > 0) || len(p.retry.ops) > 0 {
+			p.fail(errPipeClosed)
+		} else {
+			p.err = errPipeClosed
+		}
+	}
+	p.dropConn()
+	return nil
+}
+
+// ensureCur returns the open batch, recycling a free one if possible.
+func (p *Pipe) ensureCur() *pbatch {
+	if p.cur == nil {
+		var b *pbatch
+		if n := len(p.free); n > 0 {
+			b, p.free = p.free[n-1], p.free[:n-1]
+		} else {
+			b = &pbatch{}
+		}
+		b.buf = newBatchFrame(b.buf, p.opts.Session)
+		b.ops = b.ops[:0]
+		p.cur = b
+	}
+	return p.cur
+}
+
+// seal closes the open batch, waits for window space, and sends it.
+func (p *Pipe) seal() error {
+	b := p.cur
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+	for len(p.inflight) >= p.opts.Window {
+		if err := p.recvOne(); err != nil {
+			return err
+		}
+	}
+	p.cur = nil
+	p.seq++
+	b.seq = p.seq
+	sealBatchFrame(b.buf, b.seq, len(b.ops))
+	p.inflight = append(p.inflight, b)
+	if err := p.send(b); err != nil {
+		return p.recover(err)
+	}
+	return nil
+}
+
+// send writes one sealed batch under the op deadline.
+func (p *Pipe) send(b *pbatch) error {
+	if p.conn == nil {
+		return errors.New("devnet: no connection")
+	}
+	p.conn.SetWriteDeadline(time.Now().Add(p.opts.OpTimeout))
+	_, err := p.conn.Write(b.buf)
+	p.conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		p.noteTimeout(err)
+	}
+	return err
+}
+
+// recvOne receives and delivers the oldest in-flight batch's responses,
+// recovering the connection as needed. Returns only the pipe's fatal
+// error; retryable trouble is handled internally.
+func (p *Pipe) recvOne() error {
+	for {
+		if p.err != nil {
+			return p.err
+		}
+		if len(p.inflight) == 0 {
+			return nil
+		}
+		if p.conn == nil {
+			if err := p.recover(errors.New("devnet: no connection")); err != nil {
+				return err
+			}
+		}
+		b := p.inflight[0]
+		p.conn.SetReadDeadline(time.Now().Add(p.opts.OpTimeout))
+		payload, err := readFrameInto(p.conn, &p.rbuf)
+		if p.conn != nil {
+			p.conn.SetReadDeadline(time.Time{})
+		}
+		if err != nil {
+			p.noteTimeout(err)
+			if err := p.recover(fmt.Errorf("devnet: receive: %w", err)); err != nil {
+				return err
+			}
+			continue
+		}
+		resp, perr := parseResponse(payload)
+		if perr == nil && resp.seq != b.seq {
+			perr = &FrameError{Reason: fmt.Sprintf("response for sequence %d, want %d", resp.seq, b.seq)}
+		}
+		if perr != nil {
+			if err := p.recover(perr); err != nil {
+				return err
+			}
+			continue
+		}
+		if resp.status != StatusOK {
+			derr := statusError(resp.status, resp.body)
+			class := ClassOf(derr)
+			retryable := class == ClassTransport || class == ClassBusy || class == ClassRetired ||
+				(class == ClassDown && p.opts.Retry.RetryDown)
+			if !retryable {
+				// Batch-level fatal: nothing in the frame executed and
+				// retrying cannot help.
+				return p.fail(derr)
+			}
+			// Batch-level retryable (e.g. the server shed the whole batch):
+			// nothing executed; recover retransmits it with the SAME seq.
+			if class == ClassBusy {
+				p.busyWaits.Inc()
+			}
+			if err := p.recover(derr); err != nil {
+				return err
+			}
+			continue
+		}
+		// Validate the whole body before firing any handler, so a
+		// malformed response never delivers a partial batch (recovery
+		// would then replay it and double-deliver).
+		if verr := validateBatchResponse(b, resp.body); verr != nil {
+			if err := p.recover(verr); err != nil {
+				return err
+			}
+			continue
+		}
+		p.deliver(b, resp.body)
+		p.pop()
+		return nil
+	}
+}
+
+// validateBatchResponse checks a StatusOK batch body end to end:
+// count matches the batch, every entry parses, read bodies are
+// line-sized.
+func validateBatchResponse(b *pbatch, body []byte) error {
+	it, err := parseBatchResults(body)
+	if err != nil {
+		return err
+	}
+	if int(it.n) != len(b.ops) {
+		return &FrameError{Reason: fmt.Sprintf("batch: response has %d results, want %d", it.n, len(b.ops))}
+	}
+	for i := range b.ops {
+		st, _, obody, err := it.next()
+		if err != nil {
+			return err
+		}
+		if st == StatusOK && b.ops[i].op == device.BatchRead && len(obody) != nvm.LineSize {
+			return &FrameError{Reason: fmt.Sprintf("batch: read result %d has %d bytes", i, len(obody))}
+		}
+	}
+	if n := it.trailing(); n != 0 {
+		return &FrameError{Reason: fmt.Sprintf("batch: %d trailing bytes after results", n)}
+	}
+	return nil
+}
+
+// deliver fires the handler for every op in a validated StatusOK batch,
+// re-enqueueing per-op retryable failures. The body has already been
+// validated, so iteration cannot fail.
+func (p *Pipe) deliver(b *pbatch, body []byte) {
+	it, _ := parseBatchResults(body)
+	for i := range b.ops {
+		st, lat, obody, _ := it.next()
+		op := &b.ops[i]
+		if st == StatusOK {
+			var data *nvm.Line
+			if op.op == device.BatchRead {
+				data = (*nvm.Line)(obody)
+			}
+			p.h(op.tag, op.op, data, sim.Time(lat), nil)
+			continue
+		}
+		derr := statusError(st, obody)
+		class := ClassOf(derr)
+		retryable := class == ClassBusy || class == ClassRetired ||
+			(class == ClassDown && p.opts.Retry.RetryDown)
+		if retryable && (p.opts.Retry.MaxAttempts < 0 || op.attempts < p.opts.Retry.MaxAttempts) {
+			if class == ClassBusy {
+				p.busyWaits.Inc()
+			}
+			p.opRetries.Inc()
+			p.queueRetry(b, i, derr)
+			continue
+		}
+		if retryable {
+			p.gaveUp.Inc()
+			derr = &OpError{Op: batchOpName(op.op), Attempts: op.attempts, Err: derr}
+		}
+		p.h(op.tag, op.op, nil, 0, derr)
+	}
+}
+
+// queueRetry copies op i's entry bytes out of its batch and schedules
+// it for re-submission under a new sequence number.
+func (p *Pipe) queueRetry(b *pbatch, i int, cause error) {
+	op := b.ops[i]
+	if w := p.backoffFor(op.attempts, cause); w > p.retryWait {
+		p.retryWait = w
+	}
+	off := len(p.retry.buf)
+	p.retry.buf = append(p.retry.buf, b.buf[op.off:op.off+op.n]...)
+	op.off = off
+	op.attempts++
+	p.retry.ops = append(p.retry.ops, op)
+}
+
+// backoffFor computes the policy backoff for an op's next attempt,
+// stretched to a server retry-after hint when that is longer.
+func (p *Pipe) backoffFor(attempts int, cause error) time.Duration {
+	pol := p.opts.Retry
+	w := pol.BaseBackoff
+	for a := 1; a < attempts && w < pol.MaxBackoff; a++ {
+		w *= 2
+	}
+	if w > pol.MaxBackoff {
+		w = pol.MaxBackoff
+	}
+	var be *device.BusyError
+	if errors.As(cause, &be) && be.RetryAfter > w {
+		w = be.RetryAfter
+		if w > pol.MaxBackoff {
+			w = pol.MaxBackoff
+		}
+	}
+	return w
+}
+
+// flushRetries sleeps the owed backoff once, then re-submits every
+// queued retry into fresh batches under new sequence numbers.
+func (p *Pipe) flushRetries() error {
+	if len(p.retry.ops) == 0 {
+		return nil
+	}
+	if wait := p.retryWait; wait > 0 {
+		p.retryWait = 0
+		wait += time.Duration(p.rng.Int63n(int64(wait/2) + 1))
+		p.backoffNS.Observe(uint64(wait))
+		p.logf("devnet: retrying %d batched ops in %v", len(p.retry.ops), wait)
+		time.Sleep(wait)
+	}
+	// Swap queues so retries queued while we drain (recvOne inside
+	// seal may deliver a batch) land in a clean queue.
+	q := p.retry
+	p.retry = p.retrySpare
+	p.retry.ops = p.retry.ops[:0]
+	p.retry.buf = p.retry.buf[:0]
+	for i := range q.ops {
+		op := q.ops[i]
+		b := p.ensureCur()
+		off := len(b.buf)
+		b.buf = append(b.buf, q.buf[op.off:op.off+op.n]...)
+		op.off = off
+		b.ops = append(b.ops, op)
+		if len(b.ops) >= p.opts.MaxBatch {
+			if err := p.seal(); err != nil {
+				// Fatal: ops already moved to cur were failed by fail();
+				// fail the rest of the queue here so every op still gets
+				// exactly one handler call.
+				cause := p.err
+				if cause == nil {
+					cause = err
+				}
+				for _, rop := range q.ops[i+1:] {
+					p.h(rop.tag, rop.op, nil, 0, cause)
+				}
+				p.retrySpare = retryQueue{ops: q.ops[:0], buf: q.buf[:0]}
+				return err
+			}
+		}
+	}
+	p.retrySpare = retryQueue{ops: q.ops[:0], buf: q.buf[:0]}
+	return nil
+}
+
+// recover handles a window-level failure: drop the connection first
+// (so the old server handler stops executing against it promptly),
+// back off, redial, and retransmit every unanswered batch in order.
+// The dedup window answers any batch that already executed from cache.
+func (p *Pipe) recover(cause error) error {
+	if p.err != nil {
+		return p.err
+	}
+	p.dropConn()
+	pol := p.opts.Retry
+	start := time.Now()
+	backoff := pol.BaseBackoff
+	var be *device.BusyError
+	if errors.As(cause, &be) && be.RetryAfter > backoff {
+		backoff = be.RetryAfter
+		if backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+	}
+	for attempt := 1; ; attempt++ {
+		if pol.MaxAttempts > 0 && attempt > pol.MaxAttempts {
+			p.gaveUp.Inc()
+			return p.fail(&OpError{Op: "pipeline", Attempts: attempt - 1, Elapsed: time.Since(start), Err: cause})
+		}
+		wait := backoff + time.Duration(p.rng.Int63n(int64(backoff/2)+1))
+		if time.Since(start)+wait > pol.MaxElapsed {
+			p.gaveUp.Inc()
+			return p.fail(&OpError{Op: "pipeline", Attempts: attempt - 1, Elapsed: time.Since(start), Err: cause})
+		}
+		p.backoffNS.Observe(uint64(wait))
+		p.logf("devnet: pipeline recovering (%s: %v), reconnecting in %v", ClassOf(cause), cause, wait)
+		time.Sleep(wait)
+		if backoff < pol.MaxBackoff {
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+		conn, err := net.DialTimeout("tcp", p.addr, p.opts.DialTimeout)
+		if err != nil {
+			cause = err
+			continue
+		}
+		p.conn = conn
+		p.reconnects.Inc()
+		ok := true
+		for _, b := range p.inflight {
+			if err := p.send(b); err != nil {
+				cause = err
+				p.dropConn()
+				ok = false
+				break
+			}
+			p.retransmits.Inc()
+		}
+		if ok {
+			p.logf("devnet: pipeline reconnected, %d batches retransmitted", len(p.inflight))
+			return nil
+		}
+	}
+}
+
+// fail marks the pipe fatally dead and delivers the error to every op
+// still pending anywhere (in flight, open batch, retry queue), so the
+// handler fires exactly once per submitted op even on the failure path.
+func (p *Pipe) fail(cause error) error {
+	if p.err != nil {
+		return p.err
+	}
+	p.err = cause
+	p.dropConn()
+	for _, b := range p.inflight {
+		for i := range b.ops {
+			p.h(b.ops[i].tag, b.ops[i].op, nil, 0, cause)
+		}
+	}
+	p.inflight = p.inflight[:0]
+	if p.cur != nil {
+		for i := range p.cur.ops {
+			p.h(p.cur.ops[i].tag, p.cur.ops[i].op, nil, 0, cause)
+		}
+		p.cur = nil
+	}
+	for i := range p.retry.ops {
+		p.h(p.retry.ops[i].tag, p.retry.ops[i].op, nil, 0, cause)
+	}
+	p.retry.ops = p.retry.ops[:0]
+	p.retry.buf = p.retry.buf[:0]
+	return cause
+}
+
+// pop retires the delivered head-of-line batch into the free list.
+func (p *Pipe) pop() {
+	b := p.inflight[0]
+	copy(p.inflight, p.inflight[1:])
+	p.inflight = p.inflight[:len(p.inflight)-1]
+	p.free = append(p.free, b)
+}
+
+func (p *Pipe) dropConn() {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+func (p *Pipe) noteTimeout(err error) {
+	if ne, ok := errAsNet(err); ok && ne.Timeout() {
+		p.timeouts.Inc()
+	}
+}
+
+func batchOpName(op uint8) string {
+	switch op {
+	case device.BatchRead:
+		return "read"
+	case device.BatchWrite:
+		return "write"
+	case device.BatchDrain:
+		return "drain"
+	}
+	return "batch-op"
+}

@@ -82,6 +82,13 @@ const (
 	OpTenantInfo
 	OpTenantList
 	OpTenantMetrics
+
+	// OpBatch is the v3 batched data plane: one frame carries up to
+	// maxBatchOps read/write/drain operations, executed by the server as
+	// one device batch (see batch.go for the body codec and DESIGN.md
+	// "Wire-speed front-end" for the pipelining and dedup rules). The
+	// whole batch is one (session, seq) dedup unit.
+	OpBatch
 )
 
 // Response statuses.
@@ -157,30 +164,55 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // readFramePayload reads and verifies a frame body whose header has
 // already been consumed. The payload buffer grows in bounded chunks as
-// bytes actually arrive, so a header claiming maxFrame costs at most one
-// frameChunk allocation before the stream has to deliver.
+// bytes actually arrive, so a header claiming maxFrame cannot make the
+// receiver allocate maxFrame before the stream has to deliver.
 func readFramePayload(r io.Reader, hdr [frameHeaderSize]byte) ([]byte, error) {
+	var scratch []byte
+	return readFramePayloadInto(r, hdr, &scratch)
+}
+
+// readFramePayloadInto is readFramePayload reusing *scratch's capacity
+// across calls, so a steady-state receive loop allocates nothing once
+// the buffer has grown to its working-set size. The returned payload
+// aliases *scratch and is valid until the next call.
+func readFramePayloadInto(r io.Reader, hdr [frameHeaderSize]byte, scratch *[]byte) ([]byte, error) {
 	n := binary.BigEndian.Uint32(hdr[:4])
 	want := binary.BigEndian.Uint32(hdr[4:])
 	if n > maxFrame {
 		return nil, &FrameError{Reason: fmt.Sprintf("frame of %d bytes exceeds the %d-byte cap", n, maxFrame)}
 	}
-	payload := make([]byte, 0, min(int(n), frameChunk))
+	payload := (*scratch)[:0]
 	for len(payload) < int(n) {
 		chunk := min(int(n)-len(payload), frameChunk)
 		off := len(payload)
-		payload = append(payload, make([]byte, chunk)...)
+		if cap(payload) >= off+chunk {
+			payload = payload[:off+chunk]
+		} else {
+			payload = append(payload, make([]byte, chunk)...)
+		}
 		if _, err := io.ReadFull(r, payload[off:]); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
+			*scratch = payload[:0]
 			return nil, err
 		}
 	}
+	*scratch = payload
 	if got := crc32.Checksum(payload, castagnoli); got != want {
 		return nil, &FrameError{Reason: fmt.Sprintf("payload checksum %08x does not match header %08x", got, want)}
 	}
 	return payload, nil
+}
+
+// readFrameInto receives one frame into *scratch (header, payload, CRC
+// check), the zero-steady-state-alloc sibling of readFrame.
+func readFrameInto(r io.Reader, scratch *[]byte) ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	return readFramePayloadInto(r, hdr, scratch)
 }
 
 // wireRequest is one parsed request payload.
@@ -248,3 +280,9 @@ func putU32(b []byte, v uint32) []byte {
 func beU32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
 
 func beU64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+func bePutU32(b []byte, v uint32) { binary.BigEndian.PutUint32(b, v) }
+
+func bePutU64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+
+func crcChecksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package devnet
+
+const raceEnabled = false

@@ -149,7 +149,15 @@ func NewServerWith(dev *device.Device, opts ServerOptions) *Server {
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
+	draining := s.draining
 	s.mu.Unlock()
+	if draining {
+		// Shutdown/Abort won the race before this listener was
+		// registered; close it here or it would leak (still bound) with
+		// nobody left to close it.
+		ln.Close()
+		return net.ErrClosed
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -281,13 +289,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	// per-connection on purpose: a binding must not outlive the transport
 	// that proved possession of the token.
 	var bound uint32
+	// Per-connection receive buffer and batch scratch: the request loop
+	// reuses both across frames, so a steady stream of batches costs no
+	// per-frame allocations on the server.
+	var rbuf []byte
+	var bs batchScratch
 	for {
 		hdr, err := s.awaitHeader(conn)
 		if err != nil {
 			s.logf("devnet: %v gone: %v", conn.RemoteAddr(), err)
 			return
 		}
-		payload, err := readFramePayload(stallConn{conn, s.opts.ReadStall}, hdr)
+		payload, err := readFramePayloadInto(stallConn{conn, s.opts.ReadStall}, hdr, &rbuf)
 		if err != nil {
 			var fe *FrameError
 			if errors.As(err, &fe) {
@@ -301,7 +314,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		conn.SetReadDeadline(time.Time{})
-		resp := s.dispatch(payload, &bound)
+		resp := s.dispatch(payload, &bound, &bs)
 		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		if err := writeFrame(conn, resp); err != nil {
 			s.logf("devnet: %v write: %v", conn.RemoteAddr(), err)
@@ -359,8 +372,8 @@ func (s *Server) awaitHeader(conn net.Conn) ([frameHeaderSize]byte, error) {
 
 // dispatch parses one request payload, applies the dedup window and the
 // in-flight cap, and executes it panic-isolated. bound is the calling
-// connection's tenant binding.
-func (s *Server) dispatch(payload []byte, bound *uint32) []byte {
+// connection's tenant binding; bs is its reusable batch scratch.
+func (s *Server) dispatch(payload []byte, bound *uint32, bs *batchScratch) []byte {
 	req, err := parseRequest(payload)
 	if err != nil {
 		s.frameErrors.Inc()
@@ -387,11 +400,20 @@ func (s *Server) dispatch(payload []byte, bound *uint32) []byte {
 		}
 		defer s.inflight.Add(-1)
 	}
-	resp := s.handleSafe(req, bound)
+	resp := s.handleSafe(req, bound, bs)
 	// Only successful responses enter the dedup window: a failure did
 	// not commit, so the retry must re-execute. Attach stays out for the
-	// same reason it skips the lookup above.
+	// same reason it skips the lookup above. A StatusOK batch ALWAYS
+	// enters the window even though some of its per-op results may be
+	// failures: the batch executed, and a retransmit must replay the
+	// identical per-op outcomes rather than re-executing anything.
 	if req.session != 0 && req.op != OpTenantAttach && len(resp) > 0 && resp[0] == StatusOK {
+		if req.op == OpBatch {
+			// The batch response aliases per-connection scratch the next
+			// batch overwrites; the dedup window needs its own copy (one
+			// allocation per batch, amortized across its ops).
+			resp = append([]byte(nil), resp...)
+		}
 		s.sessions.Store(req.session, req.seq, resp)
 	}
 	return resp
@@ -399,7 +421,7 @@ func (s *Server) dispatch(payload []byte, bound *uint32) []byte {
 
 // handleSafe confines a handler panic to an error response, keeping the
 // connection (and every other connection) alive.
-func (s *Server) handleSafe(req wireRequest, bound *uint32) (resp []byte) {
+func (s *Server) handleSafe(req wireRequest, bound *uint32, bs *batchScratch) (resp []byte) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.panics.Inc()
@@ -409,6 +431,9 @@ func (s *Server) handleSafe(req wireRequest, bound *uint32) (resp []byte) {
 	}()
 	if req.op >= OpTenantAttach && req.op <= OpTenantMetrics {
 		return s.handleTenant(req, bound)
+	}
+	if req.op == OpBatch {
+		return s.handleBatch(req, bs)
 	}
 	return s.handle(req)
 }
@@ -559,5 +584,113 @@ func respFromErr(seq uint64, err error) []byte {
 		return respHeader(StatusClosed, seq, 0, 0)
 	default:
 		return respErr(seq, err)
+	}
+}
+
+// batchScratch is one connection's reusable batch-execution state:
+// decoded ops, per-op results, and the response buffer. Reuse makes the
+// steady-state batch path allocation-free on the server.
+type batchScratch struct {
+	ops  []device.BatchOp
+	res  []device.BatchResult
+	resp []byte
+}
+
+// handleBatch executes one OpBatch frame: decode into the connection's
+// scratch, run the whole batch through the device as one unit (per-shard
+// coalesced groups, one queue entry per shard — device.ExecBatch), and
+// encode the per-op outcomes. The response header is StatusOK whenever
+// the batch executed; individual failures ride inside as per-op
+// status/body pairs. Batch-level failures keep their v2 meanings: the
+// in-flight cap sheds the whole frame with StatusBusy before this
+// handler runs, and a malformed body is StatusError.
+func (s *Server) handleBatch(req wireRequest, bs *batchScratch) []byte {
+	if s.dev == nil {
+		return respErr(req.seq, fmt.Errorf("batch: this server has no flat data plane"))
+	}
+	if bs == nil {
+		bs = &batchScratch{}
+	}
+	ops, err := decodeBatchOps(req.body, bs.ops)
+	if err != nil {
+		s.frameErrors.Inc()
+		return respErr(req.seq, err)
+	}
+	bs.ops = ops
+	if cap(bs.res) < len(ops) {
+		bs.res = make([]device.BatchResult, len(ops))
+	}
+	res := bs.res[:len(ops)]
+	if err := s.dev.ExecBatch(ops, res); err != nil {
+		return respFromErr(req.seq, err)
+	}
+	out := bs.resp[:0]
+	out = append(out, StatusOK)
+	out = putU64(out, req.seq)
+	out = putU64(out, 0) // latency is per-op inside the body
+	out = putU32(out, uint32(len(ops)))
+	for i := range res {
+		if res[i].Err != nil {
+			out = appendBatchErr(out, res[i].Err)
+			continue
+		}
+		if ops[i].Op == device.BatchWrite {
+			// The exactly-once oracle counts writes the device applied;
+			// a dedup-replayed batch never reaches this loop.
+			s.appliedWrites.Inc()
+		}
+		var body []byte
+		if ops[i].Op == device.BatchRead {
+			body = res[i].Data[:]
+		}
+		out = appendBatchResult(out, StatusOK, uint64(res[i].Latency), body)
+	}
+	bs.resp = out
+	return out
+}
+
+// appendBatchErr appends one failed per-op result, mapping the device's
+// and tenant layer's typed error surfaces onto the same wire statuses
+// and bodies respFromErr uses, so the client's statusError reconstructs
+// them identically.
+func appendBatchErr(out []byte, err error) []byte {
+	var (
+		busy  *device.BusyError
+		power *device.PowerError
+		quota *tenant.QuotaError
+		auth  *tenant.AuthError
+		integ *tenant.IntegrityError
+		tmp   [16]byte
+	)
+	switch {
+	case errors.As(err, &quota):
+		bePutU32(tmp[:], quota.Tenant)
+		bePutU32(tmp[4:], quota.Used)
+		bePutU32(tmp[8:], quota.Budget)
+		return appendBatchResult(out, StatusQuota, 0, tmp[:12])
+	case errors.As(err, &auth):
+		bePutU32(tmp[:], auth.Tenant)
+		return appendBatchResult(out, StatusTenantDenied, 0, tmp[:4])
+	case errors.As(err, &integ):
+		bePutU32(tmp[:], integ.Tenant)
+		bePutU64(tmp[4:], integ.Line)
+		return appendBatchResult(out, StatusTenantIntegrity, 0, tmp[:12])
+	case errors.As(err, &busy):
+		bePutU32(tmp[:], uint32(int32(busy.Shard)))
+		bePutU32(tmp[4:], uint32(busy.Pending))
+		bePutU64(tmp[8:], uint64(busy.RetryAfter.Nanoseconds()))
+		return appendBatchResult(out, StatusBusy, 0, tmp[:16])
+	case errors.As(err, &power):
+		bePutU32(tmp[:], uint32(int32(power.Shard)))
+		bePutU64(tmp[4:], uint64(power.Boundary))
+		return appendBatchResult(out, StatusPowerLoss, 0, tmp[:12])
+	case errors.Is(err, memctrl.ErrCrashed):
+		return appendBatchResult(out, StatusCrashed, 0, nil)
+	case errors.Is(err, device.ErrRetired):
+		return appendBatchResult(out, StatusRetired, 0, nil)
+	case errors.Is(err, device.ErrClosed):
+		return appendBatchResult(out, StatusClosed, 0, nil)
+	default:
+		return appendBatchResult(out, StatusError, 0, []byte(err.Error()))
 	}
 }

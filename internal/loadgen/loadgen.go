@@ -69,6 +69,20 @@ type Params struct {
 	// table stays deterministic; under faults they quantify the retry
 	// traffic the run absorbed.
 	Resilience *telemetry.Registry
+
+	// DialPipe, when non-nil, switches the run to the pipelined open-loop
+	// mode: Conns connection goroutines submit through windowed batching
+	// clients instead of Workers stop-and-wait loops. The handler passed
+	// to DialPipe must be installed as the pipe's completion handler.
+	DialPipe func(h PipeHandler) (PipeConn, error)
+	// Conns is the pipelined connection count (pipelined mode only);
+	// capped at the shard count. Default 1.
+	Conns int
+	// Pipeline and Batch record the window and batch sizes the caller
+	// configured on its pipes; they only annotate the report (the pipe
+	// itself enforces them).
+	Pipeline int
+	Batch    int
 }
 
 // ResilienceCounter is one named client-resilience counter in a report.
@@ -80,18 +94,24 @@ type ResilienceCounter struct {
 // LatencySummary describes one operation class's simulated latencies in
 // nanoseconds, derived from per-shard log2 histograms.
 type LatencySummary struct {
-	Count         uint64
-	P50, P90, P99 float64
-	Max           float64
-	MeanSimNanos  float64
-	TotalSimNanos float64
+	Count              uint64
+	P50, P90, P95, P99 float64
+	Max                float64
+	MeanSimNanos       float64
+	TotalSimNanos      float64
 }
 
 // Report is the deterministic outcome of a run.
 type Report struct {
 	Workload string
+	// Mode is "stop-and-wait" (closed loop, Workers connections) or
+	// "pipelined" (open loop, Conns windowed batching connections).
+	Mode     string
 	Shards   int
 	Workers  int
+	Conns    int
+	Pipeline int
+	Batch    int
 	Ops      int
 	Barriers uint64
 	Read     LatencySummary
@@ -160,6 +180,7 @@ func (h *classHist) summary() LatencySummary {
 		Count: h.count,
 		P50:   h.quantile(0.50),
 		P90:   h.quantile(0.90),
+		P95:   h.quantile(0.95),
 		P99:   h.quantile(0.99),
 		Max:   float64(h.max) / 1e3,
 	}
@@ -296,8 +317,65 @@ func Run(p Params) (*Report, []byte, error) {
 			seed:      p.Seed,
 		}
 	}
-	logf("loadgen: %s over %d shards, %d ops, %d workers", wl.Name, shards, p.Ops, p.Workers)
+	if p.DialPipe != nil {
+		if p.Conns <= 0 {
+			p.Conns = 1
+		}
+		if p.Conns > shards {
+			p.Conns = shards
+		}
+		logf("loadgen: %s over %d shards, %d ops, %d pipelined conns (window %d, batch %d)",
+			wl.Name, shards, p.Ops, p.Conns, p.Pipeline, p.Batch)
+		if err := runPipelined(&p, streams, shards); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		logf("loadgen: %s over %d shards, %d ops, %d workers", wl.Name, shards, p.Ops, p.Workers)
+		if err := runStopAndWait(&p, streams, shards); err != nil {
+			return nil, nil, err
+		}
+	}
 
+	snapshot, err := control.SnapshotJSON()
+	if err != nil {
+		return nil, nil, fmt.Errorf("loadgen: snapshot: %w", err)
+	}
+
+	// Merge per-shard stats in shard order (same rule as the device's
+	// telemetry merge): the report is independent of worker scheduling.
+	rep := &Report{Workload: wl.Name, Mode: "stop-and-wait", Shards: shards, Workers: p.Workers, Ops: p.Ops}
+	if p.DialPipe != nil {
+		rep.Mode = "pipelined"
+		rep.Workers = 0
+		rep.Conns = p.Conns
+		rep.Pipeline = p.Pipeline
+		rep.Batch = p.Batch
+	}
+	var reads, writes classHist
+	for _, s := range streams {
+		reads.merge(&s.reads)
+		writes.merge(&s.writes)
+		rep.Barriers += s.barriers
+		if busy := float64(s.simBusy) / 1e3; busy > rep.SimNanos {
+			rep.SimNanos = busy
+		}
+	}
+	rep.Read = reads.summary()
+	rep.Write = writes.summary()
+	if p.Resilience != nil {
+		snap := p.Resilience.Snapshot()
+		for name, v := range snap.Counters {
+			rep.Resilience = append(rep.Resilience, ResilienceCounter{Name: name, Value: v})
+		}
+		sort.Slice(rep.Resilience, func(i, j int) bool { return rep.Resilience[i].Name < rep.Resilience[j].Name })
+	}
+	return rep, snapshot, nil
+}
+
+// runStopAndWait is Run's closed-loop branch: Workers connection
+// goroutines each drive the shard streams they own, one op in flight
+// per shard, round-robin across the owned shards.
+func runStopAndWait(p *Params, streams []*shardStream, shards int) error {
 	var wg sync.WaitGroup
 	errs := make([]error, p.Workers)
 	for w := 0; w < p.Workers; w++ {
@@ -337,37 +415,10 @@ func Run(p Params) (*Report, []byte, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 	}
-
-	snapshot, err := control.SnapshotJSON()
-	if err != nil {
-		return nil, nil, fmt.Errorf("loadgen: snapshot: %w", err)
-	}
-
-	// Merge per-shard stats in shard order (same rule as the device's
-	// telemetry merge): the report is independent of worker scheduling.
-	rep := &Report{Workload: wl.Name, Shards: shards, Workers: p.Workers, Ops: p.Ops}
-	var reads, writes classHist
-	for _, s := range streams {
-		reads.merge(&s.reads)
-		writes.merge(&s.writes)
-		rep.Barriers += s.barriers
-		if busy := float64(s.simBusy) / 1e3; busy > rep.SimNanos {
-			rep.SimNanos = busy
-		}
-	}
-	rep.Read = reads.summary()
-	rep.Write = writes.summary()
-	if p.Resilience != nil {
-		snap := p.Resilience.Snapshot()
-		for name, v := range snap.Counters {
-			rep.Resilience = append(rep.Resilience, ResilienceCounter{Name: name, Value: v})
-		}
-		sort.Slice(rep.Resilience, func(i, j int) bool { return rep.Resilience[i].Name < rep.Resilience[j].Name })
-	}
-	return rep, snapshot, nil
+	return nil
 }
 
 func btoi(b bool) int {
@@ -380,12 +431,16 @@ func btoi(b bool) int {
 // WriteMarkdown renders the report as the machine-parsable tables the CLI
 // prints on stdout.
 func (r *Report) WriteMarkdown(w io.Writer) error {
+	front := fmt.Sprintf("%d workers", r.Workers)
+	if r.Mode == "pipelined" {
+		front = fmt.Sprintf("%d conns × window %d × batch %d", r.Conns, r.Pipeline, r.Batch)
+	}
 	t := stats.NewTable(
-		fmt.Sprintf("loadgen: %s — %d ops, %d shards, %d workers", r.Workload, r.Ops, r.Shards, r.Workers),
-		"op", "count", "mean (ns)", "p50 (ns)", "p90 (ns)", "p99 (ns)", "max (ns)")
+		fmt.Sprintf("loadgen: %s — %d ops, %d shards, %s", r.Workload, r.Ops, r.Shards, front),
+		"op", "count", "mean (ns)", "p50 (ns)", "p90 (ns)", "p95 (ns)", "p99 (ns)", "max (ns)")
 	addRow := func(name string, s LatencySummary) {
 		t.AddRow(name, s.Count, stats.FormatFloat(s.MeanSimNanos), stats.FormatFloat(s.P50),
-			stats.FormatFloat(s.P90), stats.FormatFloat(s.P99), stats.FormatFloat(s.Max))
+			stats.FormatFloat(s.P90), stats.FormatFloat(s.P95), stats.FormatFloat(s.P99), stats.FormatFloat(s.Max))
 	}
 	addRow("read", r.Read)
 	addRow("write", r.Write)

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+
+	"soteria/internal/device"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+	"soteria/internal/trace"
+)
+
+// PipeHandler mirrors devnet.PipeHandler so the generator can take a
+// pipelined dialer without importing the transport package.
+type PipeHandler func(tag uint64, op uint8, data *nvm.Line, lat sim.Time, err error)
+
+// PipeConn is the pipelined slice of the devnet surface the generator
+// needs; devnet.Pipe implements it directly.
+type PipeConn interface {
+	// Submit enqueues one op tagged for the completion handler. It may
+	// block on window back-pressure, running the handler inline for
+	// completions it reaps while waiting.
+	Submit(tag uint64, op uint8, addr uint64, line *nvm.Line) error
+	// Flush drives the pipe until every submitted op has completed.
+	Flush() error
+	Close() error
+}
+
+// runPipelined is Run's open-loop branch: Conns connection goroutines,
+// each owning the shard streams congruent to its index, submit in
+// round-robin stream order through a windowed pipelined client.
+//
+// Determinism: shard ownership guarantees all of a shard's ops arrive on
+// one connection in stream order, and batch composition is a pure
+// function of the submission sequence (batches seal at MaxBatch ops, not
+// on timers), so the per-shard simulated latencies — and therefore the
+// report and the server snapshot — do not depend on scheduling. Only
+// wall-clock throughput does.
+func runPipelined(p *Params, streams []*shardStream, shards int) error {
+	conns := p.Conns
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var opErr error // first fatal per-op error, set by the handler
+			pc, err := p.DialPipe(func(tag uint64, op uint8, _ *nvm.Line, lat sim.Time, err error) {
+				s := streams[tag]
+				if err != nil {
+					if opErr == nil {
+						opErr = fmt.Errorf("loadgen: shard %d %s: %w", s.shard, batchOpName(op), err)
+					}
+					return
+				}
+				switch op {
+				case device.BatchRead:
+					s.reads.observe(lat)
+					s.simBusy += uint64(lat)
+				case device.BatchWrite:
+					s.writes.observe(lat)
+					s.simBusy += uint64(lat)
+				default:
+					s.barriers++
+				}
+			})
+			if err != nil {
+				errs[c] = fmt.Errorf("loadgen: conn %d dial: %w", c, err)
+				return
+			}
+			defer pc.Close()
+			owned := make([]*shardStream, 0, shards/conns+1)
+			for i := c; i < shards; i += conns {
+				owned = append(owned, streams[i])
+			}
+			for opErr == nil {
+				live := 0
+				for _, s := range owned {
+					if s.remaining <= 0 {
+						continue
+					}
+					live++
+					if err := s.pipeStep(pc); err != nil {
+						errs[c] = err
+						return
+					}
+				}
+				if live == 0 {
+					break
+				}
+			}
+			if err := pc.Flush(); err != nil && opErr == nil {
+				opErr = err
+			}
+			errs[c] = opErr
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pipeStep submits the stream's next operation, tagged with the shard
+// index so the completion handler can route the latency back here.
+func (s *shardStream) pipeStep(pc PipeConn) error {
+	var rec trace.Record
+	if !s.gen.Next(&rec) {
+		s.remaining = 0
+		return nil
+	}
+	tag := uint64(s.shard)
+	var err error
+	switch rec.Op {
+	case trace.OpRead:
+		err = pc.Submit(tag, device.BatchRead, s.globalAddr(rec.Addr), nil)
+	case trace.OpWrite, trace.OpWritePersist:
+		line := s.lineContent(s.writeIdx)
+		s.writeIdx++
+		err = pc.Submit(tag, device.BatchWrite, s.globalAddr(rec.Addr), &line)
+	case trace.OpBarrier:
+		err = pc.Submit(tag, device.BatchDrain, uint64(s.shard)*nvm.LineSize, nil)
+	}
+	if err != nil {
+		return fmt.Errorf("loadgen: shard %d submit: %w", s.shard, err)
+	}
+	s.remaining--
+	return nil
+}
+
+func batchOpName(op uint8) string {
+	switch op {
+	case device.BatchRead:
+		return "read"
+	case device.BatchWrite:
+		return "write"
+	case device.BatchDrain:
+		return "drain"
+	}
+	return "batch-op"
+}

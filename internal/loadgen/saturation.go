@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"soteria/internal/stats"
+)
+
+// SaturationCell is one grid point of the front-end saturation sweep.
+// Pipeline 0 means the stop-and-wait front end with Conns workers;
+// otherwise Conns pipelined connections with the given window and batch.
+type SaturationCell struct {
+	Conns    int
+	Pipeline int
+	Batch    int
+}
+
+func (c SaturationCell) mode() string {
+	if c.Pipeline > 0 {
+		return "pipelined"
+	}
+	return "stop-and-wait"
+}
+
+// SaturationPoint couples a cell with its run outcome. WallOpsPerSec is
+// the only machine-dependent figure; WriteSaturationMarkdown excludes it
+// so the committed curve stays deterministic.
+type SaturationPoint struct {
+	Cell          SaturationCell
+	Report        *Report
+	WallOpsPerSec float64
+}
+
+// DefaultSaturationGrid climbs from a single stop-and-wait worker to the
+// fully scaled-out pipelined front end.
+func DefaultSaturationGrid() []SaturationCell {
+	return []SaturationCell{
+		{Conns: 1},
+		{Conns: 2},
+		{Conns: 4},
+		{Conns: 1, Pipeline: 4, Batch: 32},
+		{Conns: 2, Pipeline: 4, Batch: 32},
+		{Conns: 4, Pipeline: 4, Batch: 32},
+		{Conns: 4, Pipeline: 8, Batch: 64},
+	}
+}
+
+// SaturationParams configures a sweep.
+type SaturationParams struct {
+	// Cells is the grid to sweep; empty means DefaultSaturationGrid.
+	Cells []SaturationCell
+	// Ops, Seed, Workload are shared by every cell (each on a fresh
+	// server, so points are independent and individually deterministic).
+	Ops      int
+	Seed     int64
+	Workload string
+	// Start brings up a fresh device and server for one cell and returns
+	// its dial hooks plus a teardown. The pipelined dialer must honor the
+	// cell's Pipeline/Batch as the pipe's window and batch sizes.
+	Start func(cell SaturationCell) (dial func() (Conn, error), dialPipe func(h PipeHandler) (PipeConn, error), stop func(), err error)
+	// Logf, when non-nil, receives per-cell progress (stderr material).
+	Logf func(format string, args ...any)
+}
+
+// RunSaturation sweeps the grid, one fresh server per cell.
+func RunSaturation(p SaturationParams) ([]SaturationPoint, error) {
+	cells := p.Cells
+	if len(cells) == 0 {
+		cells = DefaultSaturationGrid()
+	}
+	if p.Ops <= 0 {
+		p.Ops = 4000
+	}
+	if p.Workload == "" {
+		p.Workload = "hashmap"
+	}
+	logf := p.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	points := make([]SaturationPoint, 0, len(cells))
+	for _, cell := range cells {
+		dial, dialPipe, stop, err := p.Start(cell)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: saturation cell %+v: start: %w", cell, err)
+		}
+		params := Params{Dial: dial, Ops: p.Ops, Seed: p.Seed, Workload: p.Workload}
+		if cell.Pipeline > 0 {
+			params.DialPipe = dialPipe
+			params.Conns = cell.Conns
+			params.Pipeline = cell.Pipeline
+			params.Batch = cell.Batch
+		} else {
+			params.Workers = cell.Conns
+		}
+		start := time.Now()
+		rep, _, err := Run(params)
+		wall := time.Since(start)
+		stop()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: saturation cell %+v: %w", cell, err)
+		}
+		pt := SaturationPoint{Cell: cell, Report: rep}
+		if acked := rep.Read.Count + rep.Write.Count + rep.Barriers; wall > 0 {
+			pt.WallOpsPerSec = float64(acked) / wall.Seconds()
+		}
+		logf("loadgen: saturation %s conns=%d window=%d batch=%d: %.0f ops/s wall",
+			cell.mode(), cell.Conns, cell.Pipeline, cell.Batch, pt.WallOpsPerSec)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// WriteSaturationMarkdown renders the sweep as a deterministic table:
+// every column derives from the simulated clocks and the fixed request
+// streams, so the file is stable across machines and can be committed.
+// Wall-clock rates stay in SaturationPoint (and the Logf stream).
+func WriteSaturationMarkdown(w io.Writer, points []SaturationPoint) error {
+	if _, err := fmt.Fprintf(w, "# Front-end saturation curve\n\n"+
+		"Deterministic sweep: each row is a fresh server driven with the same\n"+
+		"seeded per-shard request streams; all figures derive from the device's\n"+
+		"simulated clocks. Wall-clock throughput is machine-dependent and is\n"+
+		"reported on stderr by `loadgen -saturation`, not here.\n\n"); err != nil {
+		return err
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	r0 := points[0].Report
+	if _, err := fmt.Fprintf(w, "Workload `%s`, %d ops, %d shards per cell.\n\n",
+		r0.Workload, r0.Ops, r0.Shards); err != nil {
+		return err
+	}
+	t := stats.NewTable("saturation",
+		"mode", "conns", "window", "batch", "acked ops",
+		"read p50 (ns)", "read p99 (ns)", "write p50 (ns)", "write p99 (ns)",
+		"sim makespan (ns)", "ops per sim-ms")
+	for _, pt := range points {
+		r := pt.Report
+		acked := r.Read.Count + r.Write.Count + r.Barriers
+		perSimMs := 0.0
+		if r.SimNanos > 0 {
+			perSimMs = float64(r.Read.Count+r.Write.Count) / (r.SimNanos / 1e6)
+		}
+		t.AddRow(pt.Cell.mode(), pt.Cell.Conns, pt.Cell.Pipeline, pt.Cell.Batch, acked,
+			stats.FormatFloat(r.Read.P50), stats.FormatFloat(r.Read.P99),
+			stats.FormatFloat(r.Write.P50), stats.FormatFloat(r.Write.P99),
+			stats.FormatFloat(r.SimNanos), stats.FormatFloat(perSimMs))
+	}
+	return t.WriteMarkdown(w)
+}

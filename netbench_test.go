@@ -1,0 +1,167 @@
+// Network front-end benchmarks: the same write-heavy mix as
+// BenchmarkDeviceThroughput pushed through the TCP device service, first
+// with the stop-and-wait Client and then with the windowed batching Pipe.
+// The pipe/stopwait ratio is the headline number of the wire-speed front
+// end (BENCH_10.json); the CI bench gate tracks the absolute ns/op.
+package soteria
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"soteria/internal/config"
+	"soteria/internal/device"
+	"soteria/internal/devnet"
+	"soteria/internal/memctrl"
+	"soteria/internal/nvm"
+	"soteria/internal/sim"
+)
+
+// startNetBenchServer boots a fresh sharded device behind a TCP server on a
+// loopback port, so every sub-benchmark measures an independent instance.
+func startNetBenchServer(b *testing.B) (addr string, stop func()) {
+	b.Helper()
+	dev, err := device.New(device.Options{
+		System: config.TestSystem(),
+		Mode:   memctrl.ModeSRC,
+		Key:    []byte("bench-net-key"),
+		Shards: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := devnet.NewServer(dev)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		dev.Close()
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		srv.Shutdown()
+		<-done
+		dev.Close()
+	}
+}
+
+// netBenchAddr maps op i of connection c to a line-interleaved address
+// owned by that connection, mirroring benchDevice's layout so the device
+// shards see the same access pattern with and without the network.
+func netBenchAddr(c, i, conns int) uint64 {
+	const linesPerConn = 1024
+	return ((uint64(i)%linesPerConn)*uint64(conns) + uint64(c)) * nvm.LineSize
+}
+
+// benchNetStopAndWait drives conns closed-loop clients, one in-flight
+// request each — the pre-batching baseline the pipe is measured against.
+func benchNetStopAndWait(b *testing.B, conns int) {
+	addr, stop := startNetBenchServer(b)
+	defer stop()
+	clients := make([]*devnet.Client, conns)
+	for c := range clients {
+		cl, err := devnet.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		clients[c] = cl
+	}
+	perConn := b.N/conns + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := clients[c]
+			var line nvm.Line
+			for i := 0; i < perConn; i++ {
+				a := netBenchAddr(c, i, conns)
+				if i%4 == 3 {
+					if _, _, err := cl.Read(a); err != nil {
+						b.Error(err)
+						return
+					}
+				} else if _, err := cl.Write(a, &line); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// benchNetPipelined drives conns windowed batching pipes through the same
+// mix. Acks are consumed by the handler as Submit blocks on a full window;
+// Flush drains the tail so every op is acknowledged inside the timed
+// region.
+func benchNetPipelined(b *testing.B, conns, window, batch int) {
+	addr, stop := startNetBenchServer(b)
+	defer stop()
+	perConn := b.N/conns + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var opErr error
+			h := func(tag uint64, op uint8, data *nvm.Line, lat sim.Time, err error) {
+				if err != nil && opErr == nil {
+					opErr = err
+				}
+			}
+			p, err := devnet.DialPipe(addr, h, devnet.PipeOptions{
+				Window:   window,
+				MaxBatch: batch,
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer p.Close()
+			var line nvm.Line
+			for i := 0; i < perConn; i++ {
+				a := netBenchAddr(c, i, conns)
+				if i%4 == 3 {
+					err = p.Submit(0, device.BatchRead, a, nil)
+				} else {
+					err = p.Submit(0, device.BatchWrite, a, &line)
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := p.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			if opErr != nil {
+				b.Error(opErr)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// BenchmarkNetThroughput is the wire-speed front-end grid: stop-and-wait
+// versus pipelined at 1 and 4 connections. Sub-names use key=value parts
+// only — a trailing -N would be parsed as a GOMAXPROCS suffix by the
+// benchmark tooling.
+func BenchmarkNetThroughput(b *testing.B) {
+	for _, conns := range []int{1, 4} {
+		b.Run(fmt.Sprintf("mode=stopwait/conns=%d", conns), func(b *testing.B) {
+			benchNetStopAndWait(b, conns)
+		})
+	}
+	for _, conns := range []int{1, 4} {
+		b.Run(fmt.Sprintf("mode=pipe/conns=%d/pipeline=4/batch=32", conns), func(b *testing.B) {
+			benchNetPipelined(b, conns, 4, 32)
+		})
+	}
+}
